@@ -1,0 +1,82 @@
+"""Ablation — is relation weighting really the secret sauce?
+
+T-Mark's core claim is that exploiting per-link-type relevance is what
+beats the classic collective classifiers.  This bench stages the
+cleanest version of that comparison on DBLP (heterogeneous venue
+purity):
+
+* **wvRN+RL** — equal-weight diffusion (no weighting);
+* **WeightedWvRN** — the same diffusion over a graph reweighted by
+  training-set homophily estimates (explicit weighting, no tensor);
+* **ZooBP** — linearised belief propagation (equal coupling);
+* **T-Mark** — learned stationary relation weights + features.
+
+Measured shape (an honest negative result worth recording): *estimated*
+weights do not beat equal weights for the diffusion — on this DBLP even
+the noisy venues carry positive signal, so downweighting them loses
+about as much as it saves, and the estimates add variance.  T-Mark still
+tops the group at moderate supervision because its advantage is not the
+weighting alone but the combination with the feature walk and the
+semi-supervised restart (and its z needs no labeled link pairs).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, RESULTS_DIR, run_once
+from repro.baselines import WeightedWvRN, WvRNRL, ZooBP
+from repro.core import TMark
+from repro.datasets import get_dataset
+from repro.ml.metrics import accuracy
+from repro.ml.splits import stratified_fraction_split
+from repro.utils.rng import spawn_rngs
+
+
+@pytest.fixture(scope="module")
+def dblp():
+    return get_dataset("dblp", scale=BENCH_SCALE, seed=BENCH_SEED)
+
+
+def test_ablation_relation_weighting(benchmark, dblp):
+    y = dblp.y
+    methods = {
+        "wvRN+RL (equal weights)": lambda: WvRNRL(),
+        "WeightedWvRN (estimated weights)": lambda: WeightedWvRN(),
+        "ZooBP (equal coupling)": lambda: ZooBP(),
+        "T-Mark (learned weights + features)": lambda: TMark(
+            alpha=0.8, gamma=0.6, label_threshold=0.8
+        ),
+    }
+
+    def run_all():
+        results = {}
+        for name, factory in methods.items():
+            accs = []
+            for rng in spawn_rngs(BENCH_SEED, 5):
+                mask = stratified_fraction_split(y, 0.3, rng=rng)
+                scores = factory().fit_predict(dblp.masked(mask))
+                predictions = np.argmax(scores, axis=1)
+                accs.append(accuracy(y[~mask], predictions[~mask]))
+            results[name] = float(np.mean(accs))
+        return results
+
+    results = run_once(benchmark, run_all)
+    lines = ["Ablation — relation weighting (DBLP, 30% labels):"]
+    lines += [f"  {name}: {acc:.3f}" for name, acc in results.items()]
+    report = "\n".join(lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "ablation_relation_weighting.txt").write_text(report + "\n")
+    print("\n" + report)
+
+    plain = results["wvRN+RL (equal weights)"]
+    weighted = results["WeightedWvRN (estimated weights)"]
+    tmark = results["T-Mark (learned weights + features)"]
+    zoobp = results["ZooBP (equal coupling)"]
+
+    # The negative result: estimated weights neither help nor hurt the
+    # diffusion much (see the module docstring).
+    assert abs(weighted - plain) < 0.05
+    # T-Mark leads the group...
+    assert tmark >= max(results.values()) - 0.01
+    # ...and clearly beats the equal-coupling belief propagation.
+    assert tmark > zoobp + 0.02

@@ -1,0 +1,85 @@
+"""Ablation — are the method comparisons stable across dataset sizes?
+
+DESIGN.md claims the calibrated generators' *comparisons* (who wins) are
+insensitive to scale, which is what justifies running the grids at
+reduced sizes.  This bench measures T-Mark and wvRN+RL at two scales of
+the DBLP generator and checks the ordering and levels hold; it also
+records the runtime growth of a T-Mark fit (expected roughly linear in
+the link count, per the O(D) cost model).
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SEED, RESULTS_DIR, run_once
+from repro.baselines import WvRNRL
+from repro.core import TMark
+from repro.datasets import make_dblp
+from repro.ml.metrics import accuracy
+from repro.ml.splits import stratified_fraction_split
+from repro.utils.rng import spawn_rngs
+
+
+def _evaluate(hin, n_trials=3):
+    y = hin.y
+    tmark_accs, wvrn_accs = [], []
+    for rng in spawn_rngs(BENCH_SEED, n_trials):
+        mask = stratified_fraction_split(y, 0.1, rng=rng)
+        train = hin.masked(mask)
+        model = TMark(alpha=0.8, gamma=0.6, label_threshold=0.8).fit(train)
+        tmark_accs.append(accuracy(y[~mask], model.predict()[~mask]))
+        scores = WvRNRL().fit_predict(train)
+        wvrn_accs.append(accuracy(y[~mask], np.argmax(scores, 1)[~mask]))
+    return float(np.mean(tmark_accs)), float(np.mean(wvrn_accs))
+
+
+def test_ablation_scaling(benchmark):
+    def run_scales():
+        results = {}
+        for scale in (0.5, 1.0):
+            hin = make_dblp(
+                n_authors=int(400 * scale),
+                attendees_per_conference=max(10, int(35 * scale**0.5)),
+                seed=BENCH_SEED,
+            )
+            mask = stratified_fraction_split(
+                hin.y, 0.1, rng=np.random.default_rng(BENCH_SEED)
+            )
+            train = hin.masked(mask)
+            started = time.perf_counter()
+            TMark(alpha=0.8, gamma=0.6, label_threshold=0.8).fit(train)
+            fit_seconds = time.perf_counter() - started
+            tmark, wvrn = _evaluate(hin)
+            results[scale] = {
+                "n": hin.n_nodes,
+                "links": hin.tensor.nnz,
+                "tmark": tmark,
+                "wvrn": wvrn,
+                "fit_seconds": fit_seconds,
+            }
+        return results
+
+    results = run_once(benchmark, run_scales)
+    lines = ["Ablation — scale stability (DBLP, 10% labels):"]
+    for scale, res in results.items():
+        lines.append(
+            f"  scale={scale}: n={res['n']} links={res['links']} "
+            f"T-Mark={res['tmark']:.3f} wvRN={res['wvrn']:.3f} "
+            f"fit={res['fit_seconds'] * 1000:.0f}ms"
+        )
+    report = "\n".join(lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "ablation_scaling.txt").write_text(report + "\n")
+    print("\n" + report)
+
+    small, large = results[0.5], results[1.0]
+    # The winner is the same at both scales...
+    assert small["tmark"] >= small["wvrn"] - 0.03
+    assert large["tmark"] >= large["wvrn"] - 0.03
+    # ...and T-Mark's level moves by less than 10 accuracy points.
+    assert abs(small["tmark"] - large["tmark"]) < 0.10
+    # Runtime growth is far from quadratic in the link count.
+    link_ratio = large["links"] / small["links"]
+    time_ratio = large["fit_seconds"] / max(small["fit_seconds"], 1e-4)
+    assert time_ratio < link_ratio**2 * 3

@@ -1,0 +1,31 @@
+"""Fig. 10 — convergence of the T-Mark iteration on all four datasets.
+
+Paper's shape: the residual rho_t = ||x_t - x_{t-1}|| + ||z_t - z_{t-1}||
+"drops to zero or keeps stable when the iteration number is larger than
+10" on every dataset.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, run_once, write_report
+from repro.experiments import run_experiment
+
+
+def test_fig10_convergence_curves(benchmark):
+    report = run_once(
+        benchmark, run_experiment, "fig10", scale=BENCH_SCALE, seed=BENCH_SEED
+    )
+    write_report(report)
+    print()
+    print(report)
+
+    curves = report.data["curves"]
+    assert set(curves) == {"DBLP", "Movies", "NUS", "ACM"}
+
+    for name, curve in curves.items():
+        # Every chain converges...
+        assert report.data["converged"][name], f"{name} did not converge"
+        # ...quickly (paper: stable past iteration ~10; allow head-room).
+        assert len(curve) <= 50, f"{name} took {len(curve)} iterations"
+        # ...to a residual below the tolerance.
+        assert curve[-1] < 1e-6
+        # And the tail is far below the head (real decay, not a plateau).
+        assert curve[-1] < curve[0] * 1e-3

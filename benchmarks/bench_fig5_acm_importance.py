@@ -1,0 +1,49 @@
+"""Fig. 5 — relative importance of the six ACM link types per class.
+
+Paper's shape: the importance profiles are similar across classes, with
+"concept" and "conference" clearly more important than the rest.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, run_once, write_report
+from repro.experiments import run_experiment
+
+
+def test_fig5_relation_importance(benchmark):
+    report = run_once(
+        benchmark, run_experiment, "fig5", scale=BENCH_SCALE, seed=BENCH_SEED
+    )
+    write_report(report)
+    print()
+    print(report)
+
+    importance = report.data["mean_importance"]
+    names = report.data["relation_names"]
+    order = sorted(names, key=lambda n: -importance[n])
+
+    # Concept and conference occupy the top two slots.
+    assert set(order[:2]) == {"concept", "conference"}
+
+    # Year (near-random links in the generator) is never a leader even
+    # though it is the most voluminous link type.
+    assert order.index("year") >= 2
+    assert importance["concept"] > importance["year"]
+
+    # Profiles are similar across classes (the paper: "the probability
+    # distributions of link types over different classes are similar"):
+    # the vast majority of classes put concept above year, and no class
+    # inverts them by much.
+    series = report.data["series"]
+    concept_idx = names.index("concept")
+    year_idx = names.index("year")
+    wins = sum(
+        1 for values in series.values() if values[concept_idx] > values[year_idx]
+    )
+    assert wins >= 0.7 * len(series)
+    for cls, values in series.items():
+        assert values[concept_idx] > values[year_idx] - 0.05, cls
+
+    # Each class's importance vector is a distribution.
+    for values in series.values():
+        assert np.isclose(sum(values), 1.0)

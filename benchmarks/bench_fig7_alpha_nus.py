@@ -1,0 +1,42 @@
+"""Fig. 7 — T-Mark accuracy vs alpha on NUS (Tagset1).
+
+Paper's shape: on NUS the curve keeps climbing as alpha grows (with the
+increment flattening past ~0.6), so large alpha is never harmful the way
+it is on DBLP; the paper uses alpha = 0.9 here.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import (
+    BENCH_SCALE,
+    BENCH_SEED,
+    BENCH_TRIALS,
+    run_once,
+    write_report,
+)
+from repro.experiments import run_experiment
+
+
+def test_fig7_alpha_sweep_nus(benchmark):
+    report = run_once(
+        benchmark,
+        run_experiment,
+        "fig7",
+        scale=BENCH_SCALE,
+        seed=BENCH_SEED,
+        n_trials=BENCH_TRIALS,
+    )
+    write_report(report)
+    print()
+    print(report)
+
+    alphas = np.asarray(report.data["alphas"])
+    accuracy = np.asarray(report.data["accuracy"])
+
+    # High-alpha region beats low-alpha region on average.
+    low = accuracy[alphas <= 0.3].mean()
+    high = accuracy[alphas >= 0.7].mean()
+    assert high >= low
+
+    # No catastrophic collapse anywhere in the sweep.
+    assert accuracy.min() > 0.5

@@ -1,0 +1,49 @@
+"""Fig. 8 — T-Mark accuracy vs the feature/relation mix gamma on DBLP.
+
+Paper's shape: feature-only (gamma = 1) is clearly the worst; relation-
+only (gamma = 0) is already strong; mixing both beats either extreme
+(the paper peaks at gamma = 0.6).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import (
+    BENCH_SCALE,
+    BENCH_SEED,
+    BENCH_TRIALS,
+    run_once,
+    write_report,
+)
+from repro.experiments import run_experiment
+
+
+def test_fig8_gamma_sweep_dblp(benchmark):
+    report = run_once(
+        benchmark,
+        run_experiment,
+        "fig8",
+        scale=BENCH_SCALE,
+        seed=BENCH_SEED,
+        n_trials=BENCH_TRIALS,
+    )
+    write_report(report)
+    print()
+    print(report)
+
+    gammas = report.data["gammas"]
+    accuracy = report.data["accuracy"]
+    assert gammas[0] == 0.0 and gammas[-1] == 1.0
+
+    relation_only = accuracy[0]
+    feature_only = accuracy[-1]
+    best = max(accuracy)
+    peak_idx = int(np.argmax(accuracy))
+
+    # Mixing both sources beats either pure corner (the paper's central
+    # Fig. 8 message: "the result is better when using both relational
+    # and feature information").
+    assert best > feature_only + 0.05
+    assert best >= relation_only
+
+    # The peak is interior — neither corner wins.
+    assert 0 < peak_idx < len(gammas) - 1

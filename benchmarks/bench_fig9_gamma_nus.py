@@ -1,0 +1,48 @@
+"""Fig. 9 — T-Mark accuracy vs gamma on NUS (Tagset1).
+
+Paper's shape: the curve is flat for gamma in [0, ~0.4] (the tag links
+alone suffice) and then *drops* as the weak SIFT features take over;
+feature-only is the worst point by far.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import (
+    BENCH_SCALE,
+    BENCH_SEED,
+    BENCH_TRIALS,
+    run_once,
+    write_report,
+)
+from repro.experiments import run_experiment
+
+
+def test_fig9_gamma_sweep_nus(benchmark):
+    report = run_once(
+        benchmark,
+        run_experiment,
+        "fig9",
+        scale=BENCH_SCALE,
+        seed=BENCH_SEED,
+        n_trials=BENCH_TRIALS,
+    )
+    write_report(report)
+    print()
+    print(report)
+
+    gammas = np.asarray(report.data["gammas"])
+    accuracy = np.asarray(report.data["accuracy"])
+
+    relation_only = accuracy[0]
+    feature_only = accuracy[-1]
+
+    # The relational signal alone is strong; features alone are weak.
+    assert relation_only > feature_only + 0.1
+
+    # Low-gamma plateau: gamma = 0.4 is within noise of gamma = 0.
+    low_region = accuracy[gammas <= 0.4]
+    assert low_region.min() > relation_only - 0.1
+
+    # Monotone-ish decline into the feature corner.
+    high_region = accuracy[gammas >= 0.8]
+    assert high_region.mean() < low_region.mean()

@@ -1,0 +1,112 @@
+"""Micro-benchmarks of the computational kernels.
+
+Unlike the table/figure benches (one full experiment per timer run),
+these time the inner loops repeatedly: the O / R tensor-vector products
+(the section 4.5 cost model says each is O(D) in the nonzero count) and
+one full T-Mark fit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TMark
+from repro.datasets import make_dblp
+from repro.tensor.transition import build_transition_tensors
+from repro.utils.rng import ensure_rng
+from tests.conftest import random_sparse_tensor
+
+
+@pytest.fixture(scope="module")
+def medium_tensor():
+    rng = ensure_rng(0)
+    return random_sparse_tensor(rng, n=500, m=10, density=0.002)
+
+
+@pytest.fixture(scope="module")
+def transition_pair(medium_tensor):
+    return build_transition_tensors(medium_tensor)
+
+
+def test_kernel_o_propagate(benchmark, transition_pair):
+    o_tensor, _ = transition_pair
+    n, _, m = o_tensor.shape
+    x = np.full(n, 1.0 / n)
+    z = np.full(m, 1.0 / m)
+    result = benchmark(o_tensor.propagate, x, z)
+    assert result.shape == (n,)
+    assert np.isclose(result.sum(), 1.0)
+
+
+def test_kernel_r_propagate(benchmark, transition_pair):
+    _, r_tensor = transition_pair
+    n, _, m = r_tensor.shape
+    x = np.full(n, 1.0 / n)
+    result = benchmark(r_tensor.propagate, x)
+    assert result.shape == (m,)
+    assert np.isclose(result.sum(), 1.0)
+
+
+def test_kernel_transition_build(benchmark, medium_tensor):
+    o_tensor, r_tensor = benchmark(build_transition_tensors, medium_tensor)
+    assert o_tensor.shape == medium_tensor.shape
+    assert r_tensor.shape == medium_tensor.shape
+
+
+def test_kernel_tmark_fit(benchmark):
+    hin = make_dblp(n_authors=200, attendees_per_conference=20, seed=0)
+    mask = np.zeros(hin.n_nodes, dtype=bool)
+    mask[::5] = True
+    train = hin.masked(mask)
+
+    def fit():
+        return TMark(alpha=0.8, gamma=0.6, label_threshold=0.8).fit(train)
+
+    model = benchmark(fit)
+    assert model.result_.node_scores.shape == (hin.n_nodes, hin.n_labels)
+
+
+def test_kernel_cost_scales_with_nnz(benchmark):
+    """Section 4.5: the per-iteration cost is O(D) in the nonzeros.
+
+    Timed as one unit: propagation on a tensor with 4x the nonzeros of
+    the medium one must not be more than ~25x slower (generous bound —
+    we only guard against accidentally quadratic implementations).
+    """
+    import time
+
+    rng = ensure_rng(1)
+    small = random_sparse_tensor(rng, n=400, m=8, density=0.002)
+    large = random_sparse_tensor(rng, n=800, m=8, density=0.002)
+
+    def measure(tensor):
+        o_tensor, _ = build_transition_tensors(tensor)
+        n, _, m = tensor.shape
+        x = np.full(n, 1.0 / n)
+        z = np.full(m, 1.0 / m)
+        started = time.perf_counter()
+        for _ in range(30):
+            o_tensor.propagate(x, z)
+        return time.perf_counter() - started
+
+    time_small = measure(small)
+    time_large = benchmark.pedantic(
+        measure, args=(large,), rounds=1, iterations=1
+    )
+    assert time_large < max(time_small, 1e-4) * 25
+
+
+def test_kernel_chunked_topk_w(benchmark):
+    """Chunked top-k W on a 2000-node feature matrix (O(n * chunk) memory)."""
+    from repro.core.features import topk_cosine_transition_matrix
+
+    rng = ensure_rng(2)
+    features = rng.poisson(1.0, size=(2000, 60)).astype(float)
+    matrix = benchmark.pedantic(
+        topk_cosine_transition_matrix,
+        args=(features, 20),
+        kwargs={"chunk_size": 256},
+        rounds=1,
+        iterations=1,
+    )
+    cols = np.asarray(matrix.sum(axis=0)).ravel()
+    assert np.allclose(cols, 1.0)

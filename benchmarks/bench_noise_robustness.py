@@ -1,0 +1,50 @@
+"""Extension — robustness to an injected useless link type.
+
+The paper's motivation: "HIN is a complex network which contains many
+useless links" and methods that cannot weight link types are hurt by
+them.  This bench injects a purely random extra relation into DBLP at
+growing volumes and compares T-Mark (learned relation weights) against
+wvRN+RL (equal weights).
+
+Expected shape: T-Mark's accuracy degrades gently; wvRN+RL's collapses
+roughly in proportion to the noise volume — the crossover that justifies
+the whole approach.
+"""
+
+from benchmarks.conftest import (
+    BENCH_SCALE,
+    BENCH_SEED,
+    BENCH_TRIALS,
+    run_once,
+    write_report,
+)
+from repro.experiments import run_experiment
+
+
+def test_noise_robustness(benchmark):
+    report = run_once(
+        benchmark,
+        run_experiment,
+        "noise",
+        scale=BENCH_SCALE,
+        seed=BENCH_SEED,
+        n_trials=BENCH_TRIALS,
+    )
+    write_report(report)
+    print()
+    print(report)
+
+    tmark = report.data["tmark"]
+    wvrn = report.data["wvrn"]
+
+    # On the clean network the two are comparable.
+    assert abs(tmark[0] - wvrn[0]) < 0.08
+
+    # At the heaviest noise level T-Mark holds while wvRN collapses.
+    assert tmark[-1] > tmark[0] - 0.10, "T-Mark degraded too much"
+    assert wvrn[-1] < wvrn[0] - 0.20, "wvRN did not degrade as expected"
+    assert tmark[-1] > wvrn[-1] + 0.15
+
+    # T-Mark dominates at every noisy level.
+    for level_idx in range(1, len(tmark)):
+        assert tmark[level_idx] >= wvrn[level_idx] - 0.02

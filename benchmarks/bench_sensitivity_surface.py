@@ -1,0 +1,46 @@
+"""Extension — the joint alpha x gamma sensitivity surface on DBLP.
+
+The paper sweeps alpha (Fig. 6) and gamma (Fig. 8) separately; the joint
+surface confirms the two stories compose: the optimum is interior in
+gamma (both information sources help) and not at the alpha extremes.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import (
+    BENCH_SCALE,
+    BENCH_SEED,
+    BENCH_TRIALS,
+    run_once,
+    write_report,
+)
+from repro.experiments import run_experiment
+
+
+def test_sensitivity_surface(benchmark):
+    report = run_once(
+        benchmark,
+        run_experiment,
+        "sensitivity",
+        scale=BENCH_SCALE,
+        seed=BENCH_SEED,
+        n_trials=BENCH_TRIALS,
+    )
+    write_report(report)
+    print()
+    print(report)
+
+    surface = np.asarray(report.data["surface"])
+    gammas = report.data["gammas"]
+    best = report.data["best"]
+
+    # The best gamma is interior: mixing beats both pure corners.
+    assert 0.0 < best["gamma"] < max(gammas)
+
+    # Every alpha row prefers some interior gamma to the relational-only
+    # corner or at least does not lose much to it (gamma column 0).
+    interior_best = surface[:, 1:-1].max(axis=1)
+    assert np.all(interior_best >= surface[:, 0] - 0.02)
+
+    # The surface is well-behaved: no cell collapses below 0.5.
+    assert surface.min() > 0.5

@@ -1,0 +1,58 @@
+"""Table 11 — multi-label Macro-F1 on ACM, 9 methods x fractions.
+
+Paper's shape: T-Mark (and TensorRrCc) dominate across the grid and are
+*dramatically* better than everyone else at 10-30% labels; wvRN+RL and
+EMR perform poorly throughout because they treat all link types equally;
+Macro-F1 grows with supervision for the leaders.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import (
+    BENCH_SCALE,
+    BENCH_SEED,
+    BENCH_TRIALS,
+    run_once,
+    write_report,
+)
+from repro.experiments import run_experiment
+
+
+def test_table11_acm_macro_f1(benchmark):
+    report = run_once(
+        benchmark,
+        run_experiment,
+        "table11",
+        scale=BENCH_SCALE,
+        seed=BENCH_SEED,
+        n_trials=BENCH_TRIALS,
+    )
+    write_report(report)
+    print()
+    print(report)
+
+    grid = report.data["grid"]
+    means = {name: np.mean(grid.means(name)) for name in grid.method_names}
+    best = max(means.values())
+
+    # The tensor-chain pair leads or co-leads the multi-label grid.
+    # (Known deviation, recorded in EXPERIMENTS.md: our wvRN+RL shares
+    # the fair prior-matching multi-label decision rule, so it does not
+    # collapse to the paper's 0.10-0.18 band and stays competitive.)
+    assert means["T-Mark"] >= best - 0.06
+
+    # The weight-blind classifiers trail T-Mark clearly on average
+    # (paper: ICA 0.049-0.99 erratic, EMR 0.27-0.47, Hcc slow to start).
+    assert means["T-Mark"] > means["ICA"] + 0.05
+    assert means["T-Mark"] > means["EMR"] + 0.05
+    assert means["T-Mark"] > means["Hcc"]
+
+    # Low-label regime: T-Mark ahead of every conventional collective
+    # classifier at 10% labels (the paper's headline on ACM).
+    low_idx = 0
+    tmark_low = grid.cells["T-Mark"][low_idx].mean
+    for name in ("Hcc", "Hcc-ss", "EMR", "ICA"):
+        assert tmark_low > grid.cells[name][low_idx].mean
+
+    # Supervision helps the leader.
+    assert grid.cells["T-Mark"][-1].mean >= grid.cells["T-Mark"][0].mean

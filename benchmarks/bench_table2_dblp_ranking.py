@@ -1,0 +1,30 @@
+"""Table 2 — top-5 conferences per research area (DBLP link ranking).
+
+Paper's shape: the top-5 link types T-Mark ranks for each research area
+are (almost all) that area's own conferences, with cross-community
+venues like CIKM occasionally crossing over.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, run_once, write_report
+from repro.experiments import run_experiment
+
+
+def test_table2_conference_ranking(benchmark):
+    report = run_once(
+        benchmark, run_experiment, "table2", scale=BENCH_SCALE, seed=BENCH_SEED
+    )
+    write_report(report)
+    print()
+    print(report)
+
+    # Paper shape: top-5 lists are dominated by the area's own venues
+    # (Table 2 has 4/5 or 5/5 per area).
+    assert report.data["precision"] >= 0.6
+
+    # Every area's #1 conference belongs to that area.
+    areas = report.data["conference_areas"]
+    for area, ranking in report.data["rankings"].items():
+        assert areas[ranking[0]] == area, (
+            f"{area}'s top-ranked conference {ranking[0]} is from "
+            f"{areas[ranking[0]]}"
+        )

@@ -1,0 +1,53 @@
+"""Table 4 — node classification accuracy on Movies, 9 methods x fractions.
+
+Paper's shape: everyone is far below their DBLP numbers (0.44 -> 0.63
+for the leaders) because the director link types are extremely sparse
+and the tag features weak; EMR's link-aggregating ensemble is in the
+winning group; accuracy climbs steadily with the label fraction.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import (
+    BENCH_SCALE,
+    BENCH_SEED,
+    BENCH_TRIALS,
+    run_once,
+    write_report,
+)
+from repro.experiments import run_experiment
+
+
+def test_table4_movies_accuracy(benchmark):
+    report = run_once(
+        benchmark,
+        run_experiment,
+        "table4",
+        scale=BENCH_SCALE,
+        seed=BENCH_SEED,
+        n_trials=BENCH_TRIALS,
+    )
+    write_report(report)
+    print()
+    print(report)
+
+    grid = report.data["grid"]
+    means = {name: np.mean(grid.means(name)) for name in grid.method_names}
+    best = max(means.values())
+
+    # The defining contrast with Table 3: nobody gets DBLP-level accuracy
+    # at low label fractions.
+    low_idx = 0
+    assert all(cells[low_idx].mean < 0.8 for cells in grid.cells.values())
+
+    # EMR and T-Mark are both in the leading group (paper: EMR first,
+    # T-Mark second); neither collapses the way wvRN/ICA do in the paper.
+    assert means["EMR"] >= best - 0.08
+    assert means["T-Mark"] >= best - 0.08
+
+    # Supervision helps: the leaders improve from 10% to 90% labels.
+    for name in ("T-Mark", "EMR"):
+        assert grid.cells[name][-1].mean > grid.cells[name][0].mean + 0.1
+
+    # The attribute-only GI trails the leaders (paper: 0.29-0.39 band).
+    assert means["GI"] < best - 0.05

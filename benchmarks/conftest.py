@@ -1,0 +1,57 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every ``bench_*`` file regenerates one paper table or figure:
+
+* the experiment runs once inside the pytest-benchmark timer
+  (``rounds=1`` — these are end-to-end experiment timings, not
+  micro-benchmarks);
+* the reproduced rows/series are written to ``benchmarks/results/<id>.txt``
+  so the artefacts survive the run;
+* assertions check the paper's *qualitative shape* (who wins, where the
+  crossovers fall), not absolute numbers — the substrate is a calibrated
+  synthetic generator, not the authors' datasets.
+
+``REPRO_BENCH_SCALE`` (default 0.6) and ``REPRO_BENCH_TRIALS``
+(default 2) trade fidelity for speed.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+#: Dataset-size multiplier for all benches.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.6"))
+
+#: Random splits per grid cell (the paper uses 10).
+BENCH_TRIALS = int(os.environ.get("REPRO_BENCH_TRIALS", "2"))
+
+#: Root seed for all benches.
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_report(report) -> Path:
+    """Persist a runner report under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{report.experiment_id}.txt"
+    path.write_text(str(report) + "\n", encoding="utf-8")
+    return path
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_trials() -> int:
+    return BENCH_TRIALS

@@ -1,0 +1,77 @@
+"""Building your own HIN with HINBuilder and running the full toolkit.
+
+Shows the end-to-end API a downstream user needs: incremental network
+construction, persistence, summary statistics, meta-path relations,
+MultiRank co-ranking, and T-Mark classification.
+
+Run:  python examples/custom_hin.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import HINBuilder, MultiRank, TMark, load_hin, save_hin
+from repro.hin import hin_summary, with_metapath_relations
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # --- 1. Build a small citation/venue network by hand --------------
+    builder = HINBuilder(label_names=["systems", "theory"])
+    for idx in range(40):
+        field = "systems" if idx < 20 else "theory"
+        # Two-topic bag-of-words features with noise.
+        topic = np.zeros(6)
+        topic[:3] = rng.poisson(2.0, size=3) if field == "systems" else 0
+        topic[3:] = rng.poisson(2.0, size=3) if field == "theory" else 0
+        topic += rng.poisson(0.3, size=6)
+        builder.add_node(f"paper_{idx}", features=topic, labels=[field])
+
+    # Same-venue cliques (mostly within-field) and cross-field citations.
+    for start, field in ((0, "systems"), (20, "theory")):
+        members = [f"paper_{start + i}" for i in range(20)]
+        for _ in range(30):
+            u, v = rng.choice(members, size=2, replace=False)
+            builder.add_link(u, v, f"venue-{field}")
+    for _ in range(25):
+        u, v = rng.choice(40, size=2, replace=False)
+        builder.add_link(f"paper_{u}", f"paper_{v}", "citation", directed=True)
+
+    hin = builder.build(metadata={"source": "examples/custom_hin.py"})
+    print(hin_summary(hin), "\n")
+
+    # --- 2. Persist and reload -----------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        path = save_hin(hin, Path(tmp) / "custom.npz")
+        hin = load_hin(path)
+        print(f"round-tripped through {path.name}\n")
+
+    # --- 3. Derived meta-path relations ---------------------------------
+    extended = with_metapath_relations(hin, {"co-citation": ["citation", "citation"]})
+    print(f"relations after adding a meta-path: {extended.relation_names}\n")
+
+    # --- 4. Unsupervised MultiRank co-ranking ----------------------------
+    ranking = MultiRank().rank(extended)
+    top_nodes = [extended.node_names[i] for i in ranking.top_objects(3)]
+    top_relations = [extended.relation_names[k] for k in ranking.top_relations(2)]
+    print(f"MultiRank: central papers {top_nodes}, dominant links {top_relations}\n")
+
+    # --- 5. Semi-supervised T-Mark classification -------------------------
+    mask = np.zeros(extended.n_nodes, dtype=bool)
+    mask[::4] = True  # keep 25% of labels
+    model = TMark(alpha=0.8, gamma=0.5).fit(extended.masked(mask))
+    predictions = model.predict()
+    acc = float(np.mean(predictions[~mask] == extended.y[~mask]))
+    print(f"T-Mark accuracy on the held-out 75%: {acc:.3f}")
+    for field in extended.label_names:
+        print(
+            f"link ranking for {field}: "
+            + ", ".join(model.result_.top_relations(field, count=4))
+        )
+
+
+if __name__ == "__main__":
+    main()

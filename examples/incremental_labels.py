@@ -1,0 +1,57 @@
+"""Incremental labeling with warm-started chains.
+
+A realistic annotation workflow: labels arrive in batches on a fixed
+network, and after each batch the classifier must be refreshed.  Warm
+starting each per-class chain from the previous stationary pair reaches
+the same fixed point in a fraction of the iterations.
+
+Run:  python examples/incremental_labels.py
+"""
+
+import numpy as np
+
+from repro import TMark, make_dblp
+from repro.ml.metrics import accuracy
+from repro.ml.splits import stratified_fraction_split
+
+
+def main() -> None:
+    hin = make_dblp(seed=0)
+    y = hin.y
+    rng = np.random.default_rng(7)
+
+    # Labels arrive in five batches of ~8% of the nodes each.
+    batches = [stratified_fraction_split(y, 0.08, rng=rng) for _ in range(5)]
+
+    warm_model = TMark(alpha=0.8, gamma=0.6, label_threshold=0.8, tol=1e-10)
+    known = np.zeros(hin.n_nodes, dtype=bool)
+    print(f"{'batch':<7}{'labeled':>9}{'accuracy':>10}{'warm iters':>12}{'cold iters':>12}")
+    for batch_no, batch in enumerate(batches, start=1):
+        known |= batch
+        train = hin.masked(known)
+
+        warm_model.fit(train, warm_start=batch_no > 1)
+        warm_iters = sum(h.n_iterations for h in warm_model.result_.histories)
+
+        cold_model = TMark(alpha=0.8, gamma=0.6, label_threshold=0.8, tol=1e-10)
+        cold_model.fit(train)
+        cold_iters = sum(h.n_iterations for h in cold_model.result_.histories)
+
+        acc = accuracy(y[~known], warm_model.predict()[~known])
+        agree = float(np.mean(warm_model.predict() == cold_model.predict()))
+        print(
+            f"{batch_no:<7}{int(known.sum()):>9}{acc:>10.3f}"
+            f"{warm_iters:>12}{cold_iters:>12}   (agreement {agree:.3f})"
+        )
+    print(
+        "\nWarm starts always agree with a from-scratch fit.  At the "
+        "paper's alpha=0.8 the restart term makes every chain converge in "
+        "~10 iterations per class regardless of the starting point, so the "
+        "saving is small; with weaker restarts (alpha <= 0.3, slower "
+        "geometric contraction) warm starts cut 10-20% of the iterations "
+        "(see benchmarks/bench_ablation_warm_start.py)."
+    )
+
+
+if __name__ == "__main__":
+    main()

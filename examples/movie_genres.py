@@ -1,0 +1,61 @@
+"""Movie-genre prediction on the sparse-director HIN (paper section 6.2).
+
+Demonstrates the regime where per-link-type information is extremely
+sparse: hundreds of director link types each covering a handful of
+movies.  Compares T-Mark against the EMR ensemble (the paper's winner on
+this dataset) and prints the per-genre director rankings of Table 5.
+
+Run:  python examples/movie_genres.py
+"""
+
+import numpy as np
+
+from repro import TMark, make_movies
+from repro.baselines import EMR
+from repro.hin.stats import hin_summary
+from repro.ml.metrics import accuracy
+from repro.ml.splits import stratified_fraction_split
+
+
+def main() -> None:
+    hin = make_movies(seed=0)
+    summary = hin_summary(hin)
+    mean_links = np.mean([rel.n_links for rel in summary.relations])
+    print(f"network: {hin}")
+    print(
+        f"{hin.n_relations} director link types, mean {mean_links:.1f} link "
+        "entries each — per-relation information is scarce\n"
+    )
+
+    labels = hin.y
+    train_mask = stratified_fraction_split(labels, 0.3, rng=np.random.default_rng(0))
+    train_hin = hin.masked(train_mask)
+    test_mask = ~train_mask
+
+    tmark = TMark(alpha=0.9, gamma=0.4, label_threshold=0.95).fit(train_hin)
+    tmark_acc = accuracy(labels[test_mask], tmark.predict()[test_mask])
+    print(f"T-Mark accuracy (30% labels): {tmark_acc:.3f}")
+
+    emr_scores = EMR(n_iterations=2).fit_predict(train_hin)
+    emr_acc = accuracy(
+        labels[test_mask], np.argmax(emr_scores, axis=1)[test_mask]
+    )
+    print(f"EMR accuracy    (30% labels): {emr_acc:.3f}")
+    print(
+        "(the paper's Table 4: on this sparse-link dataset the ensemble "
+        "is competitive with — or better than — the tensor walk)\n"
+    )
+
+    director_genres = hin.metadata["director_genres"]
+    for genre in hin.label_names:
+        top = tmark.result_.top_relations(genre, count=5)
+        marks = [
+            f"{name}{'*' if director_genres[name] == genre else ''}"
+            for name in top
+        ]
+        print(f"top directors for {genre}: {', '.join(marks)}")
+    print("(* = the generator's ground-truth preferred genre matches)")
+
+
+if __name__ == "__main__":
+    main()

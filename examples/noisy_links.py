@@ -1,0 +1,65 @@
+"""Why relation weighting matters: classification under junk links.
+
+The paper motivates T-Mark with HINs that "contain many useless links".
+This script makes that concrete: it injects a purely random extra link
+type into the DBLP-like network at growing volume and compares T-Mark
+against the equal-weight wvRN+RL diffusion.  Note the mechanism the
+numbers reveal: T-Mark's z actually *rises* with the junk volume (z
+tracks usage), yet accuracy holds — random links spread each class
+chain's mass uniformly, a per-chain constant that cancels in the
+ranking, whereas wvRN's neighbour vote is corrupted directly.
+
+Run:  python examples/noisy_links.py
+"""
+
+import numpy as np
+
+from repro import TMark, WvRNRL, make_dblp
+from repro.experiments.robustness import inject_noise_relation
+from repro.ml.metrics import accuracy
+from repro.ml.splits import stratified_fraction_split
+
+
+def main() -> None:
+    clean = make_dblp(seed=0)
+    labels = clean.y
+    base_links = clean.tensor.nnz // 2
+    mask = stratified_fraction_split(labels, 0.2, rng=np.random.default_rng(1))
+
+    print(f"{'noise x':<10}{'T-Mark':>10}{'wvRN+RL':>10}{'z(noise)':>12}")
+    for level in (0.0, 1.0, 2.0, 4.0):
+        hin = (
+            clean
+            if level == 0
+            else inject_noise_relation(clean, int(level * base_links), seed=7)
+        )
+        train = hin.masked(mask)
+
+        model = TMark(alpha=0.8, gamma=0.6, label_threshold=0.8).fit(train)
+        tmark_acc = accuracy(labels[~mask], model.predict()[~mask])
+
+        wvrn_scores = WvRNRL().fit_predict(train)
+        wvrn_acc = accuracy(labels[~mask], np.argmax(wvrn_scores, 1)[~mask])
+
+        if level > 0:
+            # The stationary importance of the junk relation vs the
+            # uniform share 1/m (it grows with usage — see docstring).
+            z_noise = float(
+                model.result_.relation_scores[hin.relation_index("noise")].mean()
+            )
+            uniform = 1.0 / hin.n_relations
+            z_text = f"{z_noise:.3f}/{uniform:.3f}"
+        else:
+            z_text = "-"
+        print(f"{level:<10.1f}{tmark_acc:>10.3f}{wvrn_acc:>10.3f}{z_text:>12}")
+
+    print(
+        "\nThe junk relation dominates the link count, yet T-Mark holds its "
+        "accuracy while the equal-weight diffusion collapses.  Random links "
+        "only add a per-chain uniform constant to T-Mark's stationary x "
+        "(rank-neutral); wvRN's neighbour averaging has no such shield."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Link selection on the NUS-like image HIN (paper section 6.3).
+
+Builds two HINs over the *same* images, labels and features — one linked
+through relevance-selected tags (Tagset1), one through frequent-but-
+uninformative tags (Tagset2) — and shows that T-Mark with relevant links
+reaches high accuracy from 10% labels while frequent links cap far lower
+regardless of supervision (the paper's Tables 8-10).
+
+Run:  python examples/nus_link_selection.py
+"""
+
+import numpy as np
+
+from repro import TMark, make_nus
+from repro.hin.stats import relation_homophily
+from repro.ml.metrics import accuracy
+from repro.ml.splits import stratified_fraction_split
+
+SEED = 0
+
+
+def evaluate(tagset: str, fraction: float) -> float:
+    hin = make_nus(tagset=tagset, seed=SEED)
+    labels = hin.y
+    mask = stratified_fraction_split(
+        labels, fraction, rng=np.random.default_rng(1)
+    )
+    model = TMark(alpha=0.9, gamma=0.4, label_threshold=0.95).fit(hin.masked(mask))
+    return accuracy(labels[~mask], model.predict()[~mask])
+
+
+def main() -> None:
+    for tagset in ("tagset1", "tagset2"):
+        hin = make_nus(tagset=tagset, seed=SEED)
+        homophily = np.nanmean(
+            [relation_homophily(hin, name) for name in hin.relation_names]
+        )
+        print(
+            f"{tagset}: {hin.n_relations} tag link types, "
+            f"{hin.tensor.nnz} links, mean homophily {homophily:.2f}"
+        )
+    print()
+
+    print(f"{'fraction':<10}{'Tagset1':>10}{'Tagset2':>10}")
+    for fraction in (0.1, 0.3, 0.5, 0.7, 0.9):
+        acc1 = evaluate("tagset1", fraction)
+        acc2 = evaluate("tagset2", fraction)
+        print(f"{fraction:<10.1f}{acc1:>10.3f}{acc2:>10.3f}")
+    print(
+        "\nRelevant links dominate: more supervision cannot rescue a HIN "
+        "built from uninformative link types (paper Table 8)."
+    )
+
+    # Per-class tag rankings (Tables 9/10): with Tagset1 the two classes
+    # pull apart clearly.
+    hin = make_nus(tagset="tagset1", seed=SEED)
+    mask = stratified_fraction_split(hin.y, 0.3, rng=np.random.default_rng(1))
+    model = TMark(alpha=0.9, gamma=0.4, label_threshold=0.95).fit(hin.masked(mask))
+    print()
+    for cls in hin.label_names:
+        top = model.result_.top_relations(cls, count=12)
+        print(f"top tags for {cls}: {', '.join(top)}")
+
+
+if __name__ == "__main__":
+    main()

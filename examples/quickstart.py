@@ -1,0 +1,48 @@
+"""Quickstart: classify authors in a DBLP-like HIN with T-Mark.
+
+Builds the calibrated DBLP-like network (4 research areas, 20 conference
+link types), hides 90% of the labels, runs T-Mark, and prints held-out
+accuracy plus the most important conference link types per area.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import TMark, make_dblp
+from repro.ml.metrics import accuracy
+from repro.ml.splits import stratified_fraction_split
+
+
+def main() -> None:
+    # 1. A heterogeneous information network: authors linked through 20
+    #    conference link types, bag-of-words title features, 4 areas.
+    hin = make_dblp(seed=0)
+    print(f"network: {hin}")
+
+    # 2. Keep labels on a stratified 10% of nodes (the training set).
+    labels = hin.y
+    train_mask = stratified_fraction_split(
+        labels, 0.1, rng=np.random.default_rng(42)
+    )
+    train_hin = hin.masked(train_mask)
+    print(f"labeled nodes: {train_mask.sum()} / {hin.n_nodes}")
+
+    # 3. Fit T-Mark (paper's DBLP parameters: alpha=0.8, gamma=0.6).
+    model = TMark(alpha=0.8, gamma=0.6, label_threshold=0.8)
+    model.fit(train_hin)
+
+    # 4. Transductive predictions for every node; score the held-out 90%.
+    predictions = model.predict()
+    test_mask = ~train_mask
+    acc = accuracy(labels[test_mask], predictions[test_mask])
+    print(f"held-out accuracy with 10% labels: {acc:.3f}")
+
+    # 5. The second output of the paper: per-class link-type importance.
+    for area in hin.label_names:
+        top = model.result_.top_relations(area, count=5)
+        print(f"top conferences for {area}: {', '.join(top)}")
+
+
+if __name__ == "__main__":
+    main()

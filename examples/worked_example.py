@@ -1,0 +1,74 @@
+"""The paper's section 3.2 / 4.3 worked example, step by step.
+
+Reconstructs the four-publication bibliography HIN, prints the tensor
+matricizations A_(1) / A_(3), the transition tensors O and R, the
+feature transition matrix W, and the stationary distributions — the
+exact computational walkthrough of the paper.
+
+Run:  python examples/worked_example.py
+"""
+
+import numpy as np
+
+from repro import TMark, make_worked_example
+from repro.core.features import cosine_similarity_matrix, feature_transition_matrix
+from repro.tensor.transition import NodeTransitionTensor, RelationTransitionTensor
+
+np.set_printoptions(precision=2, suppress=True, linewidth=120)
+
+
+def main() -> None:
+    hin = make_worked_example()
+    print("The bibliography HIN of section 3.2:")
+    print(f"  nodes: {', '.join(hin.node_names)}")
+    print(f"  relations: {', '.join(hin.relation_names)}")
+    print(f"  labeled: p1 = DM, p2 = CV; to predict: p3, p4\n")
+
+    # --- Section 3.2: tensor representation and matricizations --------
+    tensor = hin.tensor
+    print(f"tensor A has size {tensor.shape} with {tensor.nnz} nonzeros")
+    print("\n1-mode matricization A_(1) (4 x 12):")
+    print(tensor.unfold(1).toarray())
+    print("\n3-mode matricization A_(3) (3 x 16):")
+    print(tensor.unfold(3).toarray())
+
+    # --- Transition tensors O (Eq. 1) and R (Eq. 2) --------------------
+    o_tensor = NodeTransitionTensor(tensor)
+    r_tensor = RelationTransitionTensor(tensor)
+    print("\ntensor O (columns of each relation slice sum to 1):")
+    dense_o = o_tensor.to_dense()
+    for k, name in enumerate(hin.relation_names):
+        print(f"  slice {name}:")
+        print(dense_o[:, :, k])
+    print("\ntensor R fibre check: every (i, j) fibre sums to 1:",
+          bool(np.allclose(r_tensor.to_dense().sum(axis=2), 1.0)))
+
+    # --- Section 4.2/4.3: the feature transition matrix W -------------
+    print("\ncosine similarity matrix C:")
+    print(cosine_similarity_matrix(hin.features))
+    print("\ncolumn-normalised W:")
+    print(feature_transition_matrix(hin.features))
+
+    # --- Section 4.3: run Algorithm 1 ---------------------------------
+    model = TMark(alpha=0.8, gamma=0.5).fit(hin)
+    result = model.result_
+    print("\nstationary node distributions [x^DM, x^CV]:")
+    print(result.node_scores)
+    print("\nstationary relation distributions [z^DM, z^CV]:")
+    print(result.relation_scores)
+
+    predictions = model.predict()
+    for node in ("p3", "p4"):
+        label = hin.label_names[predictions[hin.node_index(node)]]
+        truth = hin.metadata["ground_truth"][node]
+        status = "correct" if label == truth else "WRONG"
+        print(f"prediction for {node}: {label} (ground truth {truth}) -> {status}")
+
+    print("\nDM relation ranking (co-author/citation should beat "
+          "same-conference, as in the paper):")
+    for name, score in result.ranked_relations("DM"):
+        print(f"  {name}: {score:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Evaluation utilities for rankings and experiment post-processing.
+
+The paper's second output — per-class link-type rankings — needs its own
+evaluation vocabulary: precision against a ground-truth relevance set,
+average precision, and rank-correlation / overlap between rankings.
+These back the Table 2 / 5 / 9-10 benches and are exposed for downstream
+analysis of :class:`~repro.core.tmark.TMarkResult` objects.
+"""
+
+from repro.analysis.ranking import (
+    average_precision,
+    kendall_tau,
+    precision_at_k,
+    ranking_overlap,
+    relation_ranking_report,
+)
+from repro.analysis.theory import (
+    SpectrumReport,
+    fixed_point_spectrum,
+    numerical_jacobian,
+    tmark_update_map,
+)
+
+__all__ = [
+    "precision_at_k",
+    "average_precision",
+    "kendall_tau",
+    "ranking_overlap",
+    "relation_ranking_report",
+    "SpectrumReport",
+    "fixed_point_spectrum",
+    "numerical_jacobian",
+    "tmark_update_map",
+]

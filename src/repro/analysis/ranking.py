@@ -1,0 +1,128 @@
+"""Ranking-quality metrics.
+
+All functions operate on *sequences of item names* (or ids) so they plug
+directly into :meth:`TMarkResult.top_relations` /
+:meth:`TMarkResult.ranked_relations` output.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+def precision_at_k(ranked: Sequence, relevant, k: int) -> float:
+    """Fraction of the top ``k`` ranked items that are relevant."""
+    if k <= 0:
+        raise ValidationError(f"k must be positive, got {k}")
+    if not ranked:
+        raise ValidationError("ranked sequence is empty")
+    relevant = set(relevant)
+    top = list(ranked)[:k]
+    return sum(1 for item in top if item in relevant) / len(top)
+
+
+def average_precision(ranked: Sequence, relevant) -> float:
+    """Average precision of a ranking against a relevant set.
+
+    The mean of precision@i over the rank positions ``i`` where a
+    relevant item appears; 0 if no relevant item is ranked.
+    """
+    relevant = set(relevant)
+    if not relevant:
+        raise ValidationError("relevant set is empty")
+    if not ranked:
+        raise ValidationError("ranked sequence is empty")
+    hits = 0
+    precisions = []
+    for position, item in enumerate(ranked, start=1):
+        if item in relevant:
+            hits += 1
+            precisions.append(hits / position)
+    if not precisions:
+        return 0.0
+    return float(np.mean(precisions))
+
+
+def kendall_tau(ranking_a: Sequence, ranking_b: Sequence) -> float:
+    """Kendall rank correlation between two orderings of the same items.
+
+    +1 = identical order, -1 = exactly reversed.  Both rankings must be
+    permutations of one another.
+    """
+    items_a, items_b = list(ranking_a), list(ranking_b)
+    if set(items_a) != set(items_b) or len(items_a) != len(items_b):
+        raise ValidationError("rankings must order the same set of items")
+    if len(set(items_a)) != len(items_a):
+        raise ValidationError("rankings must not contain duplicates")
+    n = len(items_a)
+    if n < 2:
+        raise ValidationError("need at least two items for a rank correlation")
+    position_b = {item: idx for idx, item in enumerate(items_b)}
+    sequence = [position_b[item] for item in items_a]
+    concordant = discordant = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            if sequence[i] < sequence[j]:
+                concordant += 1
+            else:
+                discordant += 1
+    return (concordant - discordant) / (n * (n - 1) / 2)
+
+
+def ranking_overlap(ranking_a: Sequence, ranking_b: Sequence, k: int) -> float:
+    """Jaccard overlap of the two rankings' top-``k`` sets."""
+    if k <= 0:
+        raise ValidationError(f"k must be positive, got {k}")
+    top_a = set(list(ranking_a)[:k])
+    top_b = set(list(ranking_b)[:k])
+    union = top_a | top_b
+    if not union:
+        raise ValidationError("both rankings are empty")
+    return len(top_a & top_b) / len(union)
+
+
+def relation_ranking_report(
+    result, ground_truth: Mapping[str, str], *, k: int = 5
+) -> dict[str, dict[str, float]]:
+    """Score a fitted model's per-class link rankings against ground truth.
+
+    Parameters
+    ----------
+    result:
+        A :class:`~repro.core.tmark.TMarkResult` (anything exposing
+        ``label_names`` and ``ranked_relations``).
+    ground_truth:
+        Maps relation name -> the class it truly belongs to (e.g. the
+        DBLP generator's ``conference_areas``).
+    k:
+        Depth for precision@k.
+
+    Returns
+    -------
+    Per class: ``{"precision_at_k": ..., "average_precision": ...}``,
+    plus a ``"macro"`` entry averaging over classes.
+    """
+    report: dict[str, dict[str, float]] = {}
+    precisions = []
+    average_precisions = []
+    for label in result.label_names:
+        ranked = [name for name, _ in result.ranked_relations(label)]
+        relevant = {name for name, cls in ground_truth.items() if cls == label}
+        if not relevant:
+            continue
+        p_at_k = precision_at_k(ranked, relevant, k)
+        ap = average_precision(ranked, relevant)
+        report[label] = {"precision_at_k": p_at_k, "average_precision": ap}
+        precisions.append(p_at_k)
+        average_precisions.append(ap)
+    if not report:
+        raise ValidationError("ground_truth covers none of the model's classes")
+    report["macro"] = {
+        "precision_at_k": float(np.mean(precisions)),
+        "average_precision": float(np.mean(average_precisions)),
+    }
+    return report

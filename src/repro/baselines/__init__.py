@@ -1,0 +1,53 @@
+"""The paper's comparison methods (section 6), implemented from scratch.
+
+Every baseline follows one transductive interface:
+``fit_predict(hin, rng=None) -> (n, q) score matrix`` where ``hin`` carries
+labels only on its training nodes.  The harness turns scores into
+single-label predictions (argmax) or multi-label ones (prior matching).
+
+* :class:`~repro.baselines.ica.ICA` — iterative classification with all
+  link types merged into one [7].
+* :class:`~repro.baselines.hcc.Hcc` — meta-path based collective
+  classification: per-link-type label aggregates as features [3].
+* :class:`~repro.baselines.hcc.HccSS` — Hcc with a semiICA self-training
+  loop [8].
+* :class:`~repro.baselines.wvrn.WvRNRL` — weighted-vote relational
+  neighbour with relaxation labelling, content mapped to an extra
+  similarity relation [37].
+* :class:`~repro.baselines.emr.EMR` — ensemble of per-link-type
+  relational classifiers with SVM bases [6].
+* :class:`~repro.baselines.highway.HighwayNetwork` — gated deep net on
+  content features [38].
+* :class:`~repro.baselines.graph_inception.GraphInception` — multi-hop
+  per-relation graph convolution features + neural head [39].
+"""
+
+from repro.baselines.base import CollectiveClassifier, clamp_labeled, training_pairs
+from repro.baselines.emr import EMR
+from repro.baselines.gnetmine import GNetMine
+from repro.baselines.graph_inception import GraphInception
+from repro.baselines.hcc import Hcc, HccSS
+from repro.baselines.highway import HighwayNetwork
+from repro.baselines.ica import ICA
+from repro.baselines.rankclass import RankClass
+from repro.baselines.weighted_wvrn import WeightedWvRN, estimate_relation_weights
+from repro.baselines.wvrn import WvRNRL
+from repro.baselines.zoobp import ZooBP
+
+__all__ = [
+    "CollectiveClassifier",
+    "clamp_labeled",
+    "training_pairs",
+    "ICA",
+    "Hcc",
+    "HccSS",
+    "WvRNRL",
+    "WeightedWvRN",
+    "estimate_relation_weights",
+    "ZooBP",
+    "GNetMine",
+    "RankClass",
+    "EMR",
+    "HighwayNetwork",
+    "GraphInception",
+]

@@ -1,0 +1,112 @@
+"""Shared machinery for the baseline collective classifiers.
+
+Defines the abstract transductive interface plus the relational-feature
+helpers (neighbour label aggregation, label clamping, multi-label
+training-pair expansion) every iterative baseline relies on.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ValidationError
+from repro.hin.graph import HIN
+
+
+class CollectiveClassifier(abc.ABC):
+    """Abstract transductive classifier over a HIN.
+
+    Implementations read supervision from ``hin.label_matrix`` (labeled
+    rows = training set) and return scores for *all* nodes.
+    """
+
+    @abc.abstractmethod
+    def fit_predict(self, hin: HIN, rng=None) -> np.ndarray:
+        """Return an ``(n, q)`` non-negative class-score matrix."""
+
+    @property
+    def name(self) -> str:
+        """Display name used in experiment tables."""
+        return type(self).__name__
+
+
+def label_scores(hin: HIN) -> tuple[np.ndarray, np.ndarray]:
+    """Initial score matrix and labeled mask from a HIN's supervision.
+
+    Labeled nodes get their label rows normalised to sum to one (a node
+    with two labels contributes half to each); unlabeled nodes get the
+    labeled-set class prior — the standard wvRN initialisation, also a
+    sensible bootstrap for the iterative methods.
+    """
+    labels = hin.label_matrix.astype(float)
+    labeled = hin.labeled_mask
+    if not np.any(labeled):
+        raise ValidationError("the HIN has no labeled nodes to learn from")
+    scores = np.empty((hin.n_nodes, hin.n_labels))
+    row_sums = labels[labeled].sum(axis=1, keepdims=True)
+    scores[labeled] = labels[labeled] / row_sums
+    prior = labels[labeled].sum(axis=0)
+    prior_total = prior.sum()
+    prior = prior / prior_total if prior_total else np.full(hin.n_labels, 1.0 / hin.n_labels)
+    scores[~labeled] = prior
+    return scores, labeled
+
+
+def clamp_labeled(scores: np.ndarray, hin: HIN) -> np.ndarray:
+    """Overwrite labeled rows of ``scores`` with their true (normalised) labels."""
+    result = np.asarray(scores, dtype=float).copy()
+    labeled = hin.labeled_mask
+    labels = hin.label_matrix.astype(float)
+    row_sums = labels[labeled].sum(axis=1, keepdims=True)
+    result[labeled] = labels[labeled] / row_sums
+    return result
+
+
+def training_pairs(hin: HIN) -> tuple[np.ndarray, np.ndarray]:
+    """Expand the labeled nodes into ``(row_index, class_index)`` pairs.
+
+    Single-label nodes appear once; a multi-label node appears once per
+    label (the standard one-example-per-label reduction, so the same
+    single-label base classifiers serve the ACM experiments).
+    """
+    rows, cols = np.nonzero(hin.label_matrix)
+    if rows.size == 0:
+        raise ValidationError("the HIN has no labeled nodes to learn from")
+    return rows, cols
+
+
+def symmetric_adjacency(hin: HIN, relation: int | None = None) -> sp.csr_matrix:
+    """Symmetrised adjacency: one relation's slice or all merged.
+
+    Neighbour aggregation should see a link regardless of its stored
+    direction, hence ``A + A^T`` (weights added, duplicates merged).
+    """
+    if relation is None:
+        adj = hin.tensor.aggregate_relations()
+    else:
+        adj = hin.tensor.relation_slice(relation)
+    return (adj + adj.T).tocsr()
+
+
+def neighbor_label_features(adjacency: sp.spmatrix, scores: np.ndarray) -> np.ndarray:
+    """Row-normalised neighbour label distribution per node.
+
+    ``result[u]`` is the weighted mean of ``scores`` over ``u``'s
+    neighbours; isolated nodes get all-zero rows (no neighbourhood
+    evidence).  This is the aggregation operator of ICA/Hcc [3], [7].
+    """
+    scores = np.asarray(scores, dtype=float)
+    agg = np.asarray(adjacency @ scores)
+    degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+    safe = np.where(degrees > 0, degrees, 1.0)
+    return agg / safe[:, None]
+
+
+def stack_features(content, relational: np.ndarray):
+    """Concatenate content features with relational aggregate features."""
+    if sp.issparse(content):
+        return sp.hstack([sp.csr_matrix(content), sp.csr_matrix(relational)]).tocsr()
+    return np.hstack([np.asarray(content, dtype=float), relational])

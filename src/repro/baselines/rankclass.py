@@ -1,0 +1,120 @@
+"""RankClass-style ranking-based classification (Ji et al. [16]).
+
+RankClass maintains, per class, an authority ranking of nodes together
+with class-conditional relation weights, alternating between (a) ranking
+nodes by a restart walk on the class's weighted graph and (b) raising
+the weight of relations that concentrate the class's ranking mass.  The
+paper discusses it directly ("assumed that the important node within
+each class played more important roles for classification") and T-Mark
+differs by using node features and a tensor stationary distribution.
+
+This implementation keeps the alternation on the projected one-node-type
+HIN:
+
+1. per class ``c``, a personalised-PageRank vector ``x_c`` on the
+   relation-weighted merged graph, restarting on the class's labeled
+   nodes;
+2. relation weights ``w_c[k]`` proportional to the ``x_c``-mass flowing
+   over relation ``k``'s links (smoothed), renormalised each round.
+
+Classification is argmax over the per-class ranking vectors — exactly
+T-Mark's decision rule, which makes the two directly comparable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.baselines.base import CollectiveClassifier, label_scores
+from repro.errors import ValidationError
+from repro.hin.graph import HIN
+from repro.utils.validation import check_fraction, check_positive_int
+
+
+class RankClass(CollectiveClassifier):
+    """Per-class authority ranking with class-conditional relation weights.
+
+    Parameters
+    ----------
+    restart:
+        Restart probability toward the class's labeled nodes.
+    n_rounds:
+        Outer alternations between ranking and weight updates.
+    n_walk_iterations:
+        Power iterations per ranking step.
+    smoothing:
+        Additive smoothing on the relation-weight update.
+    """
+
+    def __init__(
+        self,
+        *,
+        restart: float = 0.15,
+        n_rounds: int = 3,
+        n_walk_iterations: int = 30,
+        smoothing: float = 0.1,
+    ):
+        self.restart = check_fraction(restart, "restart")
+        self.n_rounds = check_positive_int(n_rounds, "n_rounds")
+        self.n_walk_iterations = check_positive_int(
+            n_walk_iterations, "n_walk_iterations"
+        )
+        if smoothing <= 0:
+            raise ValidationError(f"smoothing must be positive, got {smoothing}")
+        self.smoothing = float(smoothing)
+
+    @staticmethod
+    def _column_stochastic(matrix: sp.spmatrix) -> sp.csr_matrix:
+        mat = sp.csc_matrix(matrix, dtype=float)
+        col_sums = np.asarray(mat.sum(axis=0)).ravel()
+        scale = np.where(col_sums > 0, 1.0 / np.where(col_sums > 0, col_sums, 1.0), 0.0)
+        return (mat @ sp.diags(scale)).tocsr()
+
+    def _rank(self, walk: sp.csr_matrix, seed_vector: np.ndarray) -> np.ndarray:
+        x = seed_vector.copy()
+        for _ in range(self.n_walk_iterations):
+            x = (1.0 - self.restart) * np.asarray(walk @ x).ravel()
+            # Leaked mass (dangling columns) returns to the seeds too.
+            x = x + (1.0 - x.sum()) * seed_vector
+        return x
+
+    def fit_predict(self, hin: HIN, rng=None) -> np.ndarray:
+        """Alternate ranking and relation-weight updates; return scores."""
+        del rng  # deterministic
+        label_scores(hin)  # validates supervision exists
+        n, q, m = hin.n_nodes, hin.n_labels, hin.n_relations
+        slices = []
+        for k in range(m):
+            slice_k = hin.tensor.relation_slice(k)
+            slices.append((slice_k + slice_k.T).tocsr())
+
+        scores = np.zeros((n, q))
+        labels = hin.label_matrix
+        for c in range(q):
+            class_nodes = np.flatnonzero(labels[:, c])
+            if class_nodes.size == 0:
+                scores[:, c] = 1.0 / n
+                continue
+            seed_vector = np.zeros(n)
+            seed_vector[class_nodes] = 1.0 / class_nodes.size
+            weights = np.full(m, 1.0 / m)
+            x = seed_vector
+            for _ in range(self.n_rounds):
+                merged = None
+                for k in range(m):
+                    if weights[k] == 0:
+                        continue
+                    term = slices[k] * weights[k]
+                    merged = term if merged is None else merged + term
+                walk = self._column_stochastic(merged)
+                x = self._rank(walk, seed_vector)
+                # Relation weights: x-mass flowing over each link type.
+                mass = np.empty(m)
+                for k in range(m):
+                    mass[k] = float(x @ (slices[k] @ x))
+                mass = mass + self.smoothing * mass.sum() / max(m, 1)
+                total = mass.sum()
+                weights = mass / total if total > 0 else np.full(m, 1.0 / m)
+            scores[:, c] = x
+        return scores

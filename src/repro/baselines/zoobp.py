@@ -1,0 +1,121 @@
+"""ZooBP-style linearised belief propagation [15].
+
+Eswaran et al.'s ZooBP approximates loopy belief propagation on
+heterogeneous graphs by a *linear* system over residual beliefs (beliefs
+minus the uninformative uniform):
+
+.. math::
+
+    B = E + \\epsilon \\sum_k H\\, (A_k + A_k^T)\\, B
+
+where ``E`` holds the residual priors of the labeled nodes, ``H`` is the
+(homophily) coupling matrix — here the centering matrix
+``I - (1/q) 11^T`` scaled per relation — and ``epsilon`` a small
+interaction strength that guarantees convergence of the Jacobi
+iteration.  Projected onto our one-node-type HIN it becomes a clean,
+convergent relative of wvRN that (unlike wvRN) can carry *per-relation*
+coupling strengths; by default all relations couple equally, matching
+the paper's characterisation of the baselines T-Mark improves on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import CollectiveClassifier, label_scores
+from repro.errors import ValidationError
+from repro.hin.graph import HIN
+from repro.utils.validation import check_positive_int
+
+
+class ZooBP(CollectiveClassifier):
+    """Linearised belief propagation over typed links.
+
+    Parameters
+    ----------
+    interaction_strength:
+        The ``epsilon`` of the linear system.  Internally rescaled by
+        the maximum node degree so the Jacobi iteration is a contraction
+        for any input graph.
+    n_iterations:
+        Jacobi sweeps.
+    relation_strengths:
+        Optional per-relation coupling multipliers in [0, 1] (length
+        ``m``); ``None`` couples all relations equally.
+    """
+
+    def __init__(
+        self,
+        *,
+        interaction_strength: float = 0.5,
+        n_iterations: int = 50,
+        relation_strengths=None,
+    ):
+        if not 0 < interaction_strength <= 1:
+            raise ValidationError(
+                f"interaction_strength must be in (0, 1], got {interaction_strength}"
+            )
+        self.interaction_strength = float(interaction_strength)
+        self.n_iterations = check_positive_int(n_iterations, "n_iterations")
+        self.relation_strengths = (
+            None
+            if relation_strengths is None
+            else np.asarray(relation_strengths, dtype=float)
+        )
+        if self.relation_strengths is not None and (
+            self.relation_strengths.ndim != 1
+            or np.any(self.relation_strengths < 0)
+            or np.any(self.relation_strengths > 1)
+        ):
+            raise ValidationError(
+                "relation_strengths must be a 1-D array of values in [0, 1]"
+            )
+
+    def fit_predict(self, hin: HIN, rng=None) -> np.ndarray:
+        """Solve the linear system by Jacobi iteration; return scores."""
+        del rng  # deterministic
+        scores, labeled = label_scores(hin)
+        q = hin.n_labels
+        strengths = self.relation_strengths
+        if strengths is None:
+            strengths = np.ones(hin.n_relations)
+        elif strengths.size != hin.n_relations:
+            raise ValidationError(
+                f"relation_strengths has {strengths.size} entries, "
+                f"expected {hin.n_relations}"
+            )
+
+        # Residual priors: labeled nodes only, centred around uniform.
+        priors = np.zeros((hin.n_nodes, q))
+        priors[labeled] = scores[labeled] - 1.0 / q
+
+        # Weighted symmetric adjacency summed over relations.
+        adjacency = None
+        for k in range(hin.n_relations):
+            if strengths[k] == 0:
+                continue
+            slice_k = hin.tensor.relation_slice(k)
+            sym = (slice_k + slice_k.T) * strengths[k]
+            adjacency = sym if adjacency is None else adjacency + sym
+        if adjacency is None:
+            raise ValidationError("all relation strengths are zero")
+        adjacency = adjacency.tocsr()
+
+        # Contraction-safe epsilon: eps * max_degree < 1.
+        degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+        max_degree = float(degrees.max()) if degrees.size else 0.0
+        eps = self.interaction_strength / max(max_degree, 1.0)
+
+        # Centering matrix H = I - (1/q) 11^T applied on the class axis.
+        def couple(beliefs):
+            return beliefs - beliefs.mean(axis=1, keepdims=True)
+
+        beliefs = priors.copy()
+        for _ in range(self.n_iterations):
+            beliefs = priors + eps * couple(np.asarray(adjacency @ beliefs))
+        # Back to probability-like scores for the common interface.
+        result = beliefs + 1.0 / q
+        result = np.clip(result, 0.0, None)
+        totals = result.sum(axis=1, keepdims=True)
+        result = np.where(totals > 0, result / np.where(totals > 0, totals, 1.0), 1.0 / q)
+        return result

@@ -1,0 +1,109 @@
+"""Restart label vectors: Eq. 11 (initial) and Eq. 12 (ICA update).
+
+The restart vector ``l`` concentrates the random walk on the nodes
+believed to carry the current class.  Initially these are the labeled
+training nodes (uniform ``1/n_c`` each).  From iteration 3 onwards T-Mark
+additionally *accepts* unlabeled nodes whose current stationary confidence
+``x_i`` clears a threshold ``lambda`` — the ICA idea of folding confident
+predictions back into the supervision.
+
+The paper calls ``lambda`` a "relative threshold" while Eq. 12 writes the
+absolute test ``[x]_i > lambda``.  Two facts make the literal reading
+unusable: stationary probabilities scale like ``1/n`` (so a fixed
+absolute threshold is meaningless across network sizes), and the restart
+term concentrates the bulk of the mass on the labeled anchors (so even a
+threshold relative to the *global* maximum would never accept an
+unlabeled node).  The default here is therefore relative to the best
+*candidate*: a node is accepted when
+``x_i > lambda * max(x over unlabeled nodes)``.  The absolute variant
+remains available for the ablation bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.validation import check_array_1d, check_probability
+
+#: Supported interpretations of the Eq. 12 threshold.
+THRESHOLD_MODES = ("relative", "absolute")
+
+
+def initial_label_vector(labeled_class_mask: np.ndarray) -> np.ndarray:
+    """The Eq. 11 restart vector for one class.
+
+    Parameters
+    ----------
+    labeled_class_mask:
+        Boolean mask over nodes: ``True`` where the node is a *labeled
+        training node of the current class*.
+
+    Returns
+    -------
+    Length-``n`` distribution: ``1/n_c`` on the masked nodes.  When the
+    class has no labeled nodes (possible under tiny label fractions) the
+    walk has no anchor and the vector falls back to uniform over all
+    nodes, which makes the class's confidence uninformative but keeps the
+    chain well-defined.
+    """
+    mask = np.asarray(labeled_class_mask, dtype=bool)
+    if mask.ndim != 1 or mask.size == 0:
+        raise ValidationError("labeled_class_mask must be a non-empty 1-D bool mask")
+    n_c = int(mask.sum())
+    if n_c == 0:
+        return np.full(mask.size, 1.0 / mask.size)
+    vector = np.zeros(mask.size)
+    vector[mask] = 1.0 / n_c
+    return vector
+
+
+def updated_label_vector(
+    labeled_class_mask: np.ndarray,
+    x: np.ndarray,
+    threshold: float,
+    *,
+    mode: str = "relative",
+) -> np.ndarray:
+    """The Eq. 12 restart vector: training nodes plus confident predictions.
+
+    Parameters
+    ----------
+    labeled_class_mask:
+        Boolean mask of labeled training nodes of the current class.
+    x:
+        Current stationary node distribution for this class.
+    threshold:
+        The ``lambda`` of Eq. 12, in [0, 1].
+    mode:
+        ``"relative"`` accepts unlabeled nodes with
+        ``x_i > threshold * max(x over unlabeled nodes)`` (default, see
+        module docstring); ``"absolute"`` uses the literal Eq. 12 test
+        ``x_i > threshold``.
+
+    Returns
+    -------
+    Length-``n`` distribution: ``1/n_l`` over the union of training nodes
+    and accepted nodes.
+    """
+    mask = np.asarray(labeled_class_mask, dtype=bool)
+    x = check_array_1d(x, "x", size=mask.size)
+    threshold = check_probability(threshold, "threshold")
+    if mode not in THRESHOLD_MODES:
+        raise ValidationError(
+            f"mode must be one of {THRESHOLD_MODES}, got {mode!r}"
+        )
+    candidates = ~mask
+    if mode == "relative":
+        candidate_max = float(x[candidates].max()) if np.any(candidates) else 0.0
+        cutoff = threshold * candidate_max
+    else:
+        cutoff = threshold
+    accepted = mask | (candidates & (x > cutoff))
+    n_l = int(accepted.sum())
+    if n_l == 0:
+        # Degenerate: nothing labeled and nothing confident; stay uniform.
+        return np.full(mask.size, 1.0 / mask.size)
+    vector = np.zeros(mask.size)
+    vector[accepted] = 1.0 / n_l
+    return vector

@@ -1,0 +1,79 @@
+"""Persistence for fitted T-Mark results.
+
+Fitting is cheap on the calibrated datasets but expensive on real HINs;
+``save_result`` / ``load_result`` store a :class:`TMarkResult` (scores,
+rankings, convergence telemetry) in a pickle-free ``.npz`` archive so
+predictions and link rankings can be served without refitting.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.convergence import ChainHistory
+from repro.core.tmark import TMarkResult
+from repro.errors import ValidationError
+
+_FORMAT_VERSION = 1
+
+
+def save_result(result: TMarkResult, path) -> Path:
+    """Serialise a fitted :class:`TMarkResult` to ``path`` (``.npz``)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "label_names": list(result.label_names),
+        "relation_names": list(result.relation_names),
+        "histories": [
+            {
+                "tol": history.tol,
+                "converged": history.converged,
+                "n_anchors": history.n_anchors,
+                "residuals": list(map(float, history.residuals)),
+                "accepted_history": list(map(int, history.accepted_history)),
+            }
+            for history in result.histories
+        ],
+    }
+    np.savez_compressed(
+        path,
+        header=np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+        node_scores=result.node_scores,
+        relation_scores=result.relation_scores,
+    )
+    return path
+
+
+def load_result(path) -> TMarkResult:
+    """Load a :class:`TMarkResult` written by :func:`save_result`."""
+    path = Path(path)
+    if not path.exists():
+        raise ValidationError(f"no such result archive: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        header = json.loads(bytes(archive["header"]).decode("utf-8"))
+        if header.get("format_version") != _FORMAT_VERSION:
+            raise ValidationError(
+                f"unsupported result archive version: {header.get('format_version')}"
+            )
+        histories = []
+        for payload in header["histories"]:
+            history = ChainHistory(
+                tol=float(payload["tol"]),
+                residuals=[float(r) for r in payload["residuals"]],
+                converged=bool(payload["converged"]),
+                n_anchors=int(payload["n_anchors"]),
+                accepted_history=[int(a) for a in payload["accepted_history"]],
+            )
+            histories.append(history)
+        return TMarkResult(
+            node_scores=archive["node_scores"],
+            relation_scores=archive["relation_scores"],
+            histories=histories,
+            label_names=tuple(header["label_names"]),
+            relation_names=tuple(header["relation_names"]),
+        )

@@ -1,0 +1,41 @@
+"""TensorRrCc — the ICDM 2017 predecessor of T-Mark (Han et al. [12]).
+
+TensorRrCc runs the same coupled tensor Markov chain as T-Mark but keeps
+the restart vector ``l`` fixed at the Eq. 11 initial value: there is no
+ICA-style label update.  The delta between :class:`TensorRrCc` and
+:class:`~repro.core.tmark.TMark` is therefore exactly the paper's claimed
+extension, which makes this class both the strongest baseline in the
+evaluation tables and the natural ablation control.
+"""
+
+from __future__ import annotations
+
+from repro.core.tmark import TMark
+
+
+class TensorRrCc(TMark):
+    """T-Mark without the iterative label update (Eq. 12 disabled).
+
+    Accepts the same parameters as :class:`~repro.core.tmark.TMark`
+    except ``update_labels`` (forced to ``False``) and the
+    ``label_threshold`` / ``threshold_mode`` knobs that only matter with
+    the update enabled.
+    """
+
+    def __init__(
+        self,
+        *,
+        alpha: float = 0.8,
+        gamma: float = 0.5,
+        tol: float = 1e-8,
+        max_iter: int = 500,
+        similarity_top_k: int | None = None,
+    ):
+        super().__init__(
+            alpha=alpha,
+            gamma=gamma,
+            tol=tol,
+            max_iter=max_iter,
+            update_labels=False,
+            similarity_top_k=similarity_top_k,
+        )

@@ -1,0 +1,129 @@
+"""ACM digital-library generator — the multi-label study (Table 11, Fig. 5).
+
+The paper's ACM task: predict the (multiple) ACM index terms of KDD /
+SIGIR publications linked through six relation types — authors, concepts,
+conferences, keywords, published year and citations (citations directed,
+the rest undirected).  The generator is calibrated to the two structural
+facts behind the paper's results:
+
+* **link-type quality varies wildly** — "concept" and "conference" links
+  are strongly class-aligned while "year" links are essentially random
+  and voluminous (Fig. 5's finding), so methods that weight link types
+  (T-Mark) beat methods that cannot (ICA, EMR) by a wide margin;
+* **index terms are many and imbalanced** — a Zipf prior over 11 terms
+  makes Macro-F1 punish methods whose estimates are dominated by the
+  majority classes; T-Mark's per-class chains are inherently
+  class-normalised, which is where its low-label advantage comes from.
+
+The calibrated per-type homophily/volume is stored in
+``hin.metadata["relation_homophily"]`` for the Fig. 5 bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.synthetic import RelationSpec, make_synthetic_hin
+from repro.hin.graph import HIN
+from repro.utils.validation import check_positive_int
+
+#: The six ACM link types and their generator homophily (calibrated so
+#: concept > conference >> the rest, with year links near-random —
+#: Fig. 5's ordering).
+ACM_RELATION_HOMOPHILY: dict[str, float] = {
+    "concept": 0.95,
+    "conference": 0.90,
+    "citation": 0.50,
+    "keyword": 0.35,
+    "author": 0.20,
+    "year": 0.02,
+}
+
+#: Link volume per relation.  The noisy relations (author, year) carry
+#: *more* links than the clean ones — exactly the regime where treating
+#: all link types equally (ICA / EMR / wvRN) is punished.
+ACM_RELATION_LINKS: dict[str, int] = {
+    "concept": 500,
+    "conference": 450,
+    "citation": 250,
+    "keyword": 450,
+    "author": 550,
+    "year": 600,
+}
+
+#: Eleven index terms standing in for ACM CCS categories, assigned with
+#: a Zipf prior (the first terms are common, the tail rare).
+ACM_INDEX_TERMS: tuple[str, ...] = (
+    "H.2.8-database-applications",
+    "H.3.3-information-search",
+    "I.2.6-learning",
+    "I.5.2-classifier-design",
+    "H.2.4-systems",
+    "G.3-probability-statistics",
+    "H.3.4-systems-software",
+    "I.5.3-clustering",
+    "H.2.5-heterogeneous-databases",
+    "I.2.7-natural-language",
+    "F.2.2-nonnumerical-algorithms",
+)
+
+
+def make_acm(
+    *,
+    n_papers: int = 300,
+    link_scale: float = 1.0,
+    extra_labels_rate: float = 0.35,
+    vocab_size: int = 150,
+    words_per_node: int = 25,
+    feature_noise: float = 0.8,
+    seed=None,
+) -> HIN:
+    """Generate the ACM-like multi-label publication HIN.
+
+    Parameters
+    ----------
+    n_papers:
+        Number of publication nodes.
+    link_scale:
+        Multiplier on the per-relation link volumes of
+        :data:`ACM_RELATION_LINKS`.
+    extra_labels_rate:
+        Expected extra index terms per paper beyond the primary one
+        (extras shape both links and features, so they are learnable).
+    vocab_size, words_per_node, feature_noise:
+        Title bag-of-words model; noisy by default — on the paper's ACM
+        the relational signal dominates the content signal.
+    seed:
+        RNG seed or generator.
+    """
+    n_papers = check_positive_int(n_papers, "n_papers")
+    if link_scale <= 0:
+        raise ValueError(f"link_scale must be positive, got {link_scale}")
+    specs = [
+        RelationSpec(
+            name=name,
+            n_links=int(round(link_scale * ACM_RELATION_LINKS[name])),
+            homophily=homophily,
+            directed=(name == "citation"),
+        )
+        for name, homophily in ACM_RELATION_HOMOPHILY.items()
+    ]
+    priors = 1.0 / np.arange(1, len(ACM_INDEX_TERMS) + 1)
+    priors /= priors.sum()
+    return make_synthetic_hin(
+        n_papers,
+        ACM_INDEX_TERMS,
+        specs,
+        class_priors=priors,
+        vocab_size=vocab_size,
+        words_per_node=words_per_node,
+        feature_noise=feature_noise,
+        multilabel=True,
+        extra_labels_rate=extra_labels_rate,
+        seed=seed,
+        metadata={
+            "dataset": "acm",
+            "relation_homophily": dict(ACM_RELATION_HOMOPHILY),
+            "relation_links": dict(ACM_RELATION_LINKS),
+        },
+    )

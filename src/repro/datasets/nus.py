@@ -1,0 +1,161 @@
+"""NUS-WIDE generator — the link-selection study (Tables 6–10, Figs. 7, 9).
+
+Section 6.3's point: building the HIN from *relevant* tags (Tagset1 —
+tags whose images mostly share a class) gives ~0.95 accuracy with 10%
+labels, while *frequent but irrelevant* tags (Tagset2) cap accuracy at
+~0.69 no matter how much supervision is available.
+
+The generator reproduces that contrast directly: Tagset1 tags have high
+class homophily and one-sided class affinity; Tagset2 tags have high
+frequency (more links) but near-chance homophily.  The two HINs share
+nodes, labels and features when built with the same ``seed`` (the label /
+feature stream is drawn before any tag links), so Table 8's comparison is
+apples-to-apples.
+
+Tag names are the paper's own Tables 6 and 7 lists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.synthetic import (
+    RelationSpec,
+    sample_labels,
+    sample_topic_features,
+)
+from repro.errors import DatasetError
+from repro.hin.builder import HINBuilder
+from repro.hin.graph import HIN
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive_int
+
+#: The two high-level classes of section 6.3.
+NUS_CLASSES: tuple[str, str] = ("Scene", "Object")
+
+#: Paper Table 6 — the 41 relevance-selected tags.
+TAGSET1: tuple[str, ...] = (
+    "sky", "water", "clouds", "landscape", "sunset", "architecture",
+    "portrait", "reflection", "animal", "building", "animals", "lake",
+    "mountains", "cute", "abandoned", "grass", "mountain", "window",
+    "cat", "sunrise", "zoo", "bridge", "cloud", "dog", "fall", "face",
+    "square", "rain", "airplane", "eyes", "home", "cold", "windows",
+    "sign", "flying", "plane", "arizona", "manhattan", "peace", "rural",
+    "sports",
+)
+
+#: Object-flavoured tags within Tagset1 (the rest lean Scene) — used to
+#: set each tag's class affinity and as Table 9's qualitative ground truth.
+TAGSET1_OBJECT_TAGS: frozenset[str] = frozenset(
+    {
+        "portrait", "animal", "animals", "cute", "cat", "zoo", "dog",
+        "face", "airplane", "eyes", "flying", "plane", "sports",
+    }
+)
+
+#: Paper Table 7 — the 41 frequency-selected tags.
+TAGSET2: tuple[str, ...] = (
+    "nature", "sky", "blue", "water", "clouds", "red", "green", "bravo",
+    "landscape", "explore", "sunset", "white", "night", "architecture",
+    "portrait", "city", "travel", "trees", "california", "reflection",
+    "animal", "girl", "interestingness", "building", "river", "animals",
+    "lake", "abandoned", "window", "cat", "sunrise", "zoo", "bridge",
+    "dog", "baby", "buildings", "food", "storm", "moon", "skyline",
+    "cats",
+)
+
+
+def make_nus(
+    *,
+    tagset: str = "tagset1",
+    n_images: int = 400,
+    links_per_relevant_tag: int = 55,
+    links_per_frequent_tag: int = 90,
+    relevant_homophily: float = 0.9,
+    frequent_homophily: float = 0.15,
+    vocab_size: int = 100,
+    words_per_node: int = 30,
+    feature_noise: float = 0.9,
+    seed=None,
+) -> HIN:
+    """Generate a NUS-like scene/object HIN over one tag set.
+
+    Parameters
+    ----------
+    tagset:
+        ``"tagset1"`` (relevance-selected tags) or ``"tagset2"``
+        (frequency-selected tags).  Same ``seed`` => same nodes, labels
+        and features across the two.
+    n_images:
+        Number of image nodes.
+    links_per_relevant_tag, links_per_frequent_tag:
+        Links per tag link type; Tagset2 tags are (by construction) more
+        frequent.
+    relevant_homophily, frequent_homophily:
+        Class homophily of tags in each set (two classes => 0.5 is
+        chance level).
+    vocab_size, words_per_node, feature_noise:
+        SIFT-codeword bag-of-words model; noisy by default (Fig. 9: the
+        relational signal alone suffices on NUS).
+    seed:
+        RNG seed or generator.
+    """
+    if tagset not in ("tagset1", "tagset2"):
+        raise DatasetError(f"tagset must be 'tagset1' or 'tagset2', got {tagset!r}")
+    n_images = check_positive_int(n_images, "n_images")
+    rng = ensure_rng(seed)
+    classes = list(NUS_CLASSES)
+
+    # Drawn before any tag-specific randomness: both tag sets built from
+    # the same seed share labels and features.
+    labels = sample_labels(n_images, len(classes), None, rng)
+    features = sample_topic_features(
+        labels,
+        len(classes),
+        vocab_size=vocab_size,
+        words_per_node=words_per_node,
+        feature_noise=feature_noise,
+        rng=rng,
+    )
+
+    specs: list[RelationSpec] = []
+    tag_classes: dict[str, str] = {}
+    if tagset == "tagset1":
+        for tag in TAGSET1:
+            is_object = tag in TAGSET1_OBJECT_TAGS
+            affinity = (0.0, 1.0) if is_object else (1.0, 0.0)
+            tag_classes[tag] = classes[1] if is_object else classes[0]
+            specs.append(
+                RelationSpec(
+                    name=tag,
+                    n_links=links_per_relevant_tag,
+                    homophily=relevant_homophily,
+                    affinity=affinity,
+                )
+            )
+    else:
+        for tag in TAGSET2:
+            specs.append(
+                RelationSpec(
+                    name=tag,
+                    n_links=links_per_frequent_tag,
+                    homophily=frequent_homophily,
+                    affinity=None,
+                )
+            )
+
+    builder = HINBuilder(classes)
+    for idx in range(n_images):
+        builder.add_node(
+            f"image_{idx}", features=features[idx], labels=[classes[labels[idx]]]
+        )
+    from repro.datasets.synthetic import sample_relation_links
+
+    for spec in specs:
+        builder.add_relation(spec.name)
+        for u, v in sample_relation_links(spec, labels, len(classes), rng):
+            builder.add_link(f"image_{u}", f"image_{v}", spec.name)
+    metadata = {"dataset": "nus", "tagset": tagset}
+    if tag_classes:
+        metadata["tag_classes"] = tag_classes
+    return builder.build(metadata=metadata)

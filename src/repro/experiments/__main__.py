@@ -1,0 +1,164 @@
+"""Command-line entry point: ``python -m repro.experiments``.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments run table3 [--scale 1.0] [--seed 0]
+                                           [--trials 3] [--full] [--std]
+                                           [--save-dir DIR]
+    python -m repro.experiments run all
+    python -m repro.experiments compare table3 [--trials 10]
+    python -m repro.experiments tune dblp [--fraction 0.3]
+
+``--full`` switches the neural/ensemble baselines to their full training
+budgets; ``--trials 10`` matches the paper's 10-runs-per-split protocol;
+``--std`` prints mean±std cells (the paper's format); ``compare`` scores
+a measured grid against the paper's published numbers; ``tune``
+grid-searches T-Mark's hyper-parameters inside a dataset's labeled set.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import experiment_ids, get_experiment, run_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the T-Mark paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list the registered experiments")
+    compare = sub.add_parser(
+        "compare",
+        help="run a grid experiment and compare it against the paper's numbers",
+    )
+    compare.add_argument("experiment", help="a grid experiment id, e.g. table3")
+    compare.add_argument("--scale", type=float, default=1.0)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--trials", type=int, default=3)
+    tune = sub.add_parser(
+        "tune", help="grid-search T-Mark's alpha/gamma/lambda on a dataset"
+    )
+    tune.add_argument(
+        "dataset", help="dataset name: dblp, movies, nus (single-label only)"
+    )
+    tune.add_argument("--scale", type=float, default=0.5)
+    tune.add_argument("--seed", type=int, default=0)
+    tune.add_argument("--fraction", type=float, default=0.3,
+                      help="labeled fraction to tune within")
+    tune.add_argument("--trials", type=int, default=3)
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id, e.g. table3, or 'all'")
+    run.add_argument("--scale", type=float, default=1.0, help="dataset size multiplier")
+    run.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    run.add_argument(
+        "--trials", type=int, default=3, help="random splits per grid cell (paper: 10)"
+    )
+    run.add_argument(
+        "--full",
+        action="store_true",
+        help="full training budgets for the neural/ensemble baselines",
+    )
+    run.add_argument(
+        "--std",
+        action="store_true",
+        help="print mean±std cells in grid tables (the paper's format)",
+    )
+    run.add_argument(
+        "--save-dir",
+        default=None,
+        help="also write <id>.txt/.json (and .csv for grids) to this directory",
+    )
+    return parser
+
+
+def _run_one(experiment_id: str, args) -> None:
+    experiment = get_experiment(experiment_id)
+    kwargs = {"scale": args.scale, "seed": args.seed}
+    # Only the grid experiments take trial counts / fast switches.
+    import inspect
+
+    signature = inspect.signature(experiment.runner)
+    if "n_trials" in signature.parameters:
+        kwargs["n_trials"] = args.trials
+    if "fast" in signature.parameters:
+        kwargs["fast"] = not args.full
+    if "with_std" in signature.parameters and getattr(args, "std", False):
+        kwargs["with_std"] = True
+    started = time.perf_counter()
+    report = run_experiment(experiment_id, **kwargs)
+    elapsed = time.perf_counter() - started
+    print(report)
+    if args.save_dir:
+        from repro.experiments.export import save_report
+
+        for path in save_report(report, args.save_dir):
+            print(f"[wrote {path}]")
+    print(f"[{experiment_id} finished in {elapsed:.1f}s]\n")
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in experiment_ids():
+            print(f"{experiment_id:10s} {get_experiment(experiment_id).title}")
+        return 0
+    if args.command == "tune":
+        import numpy as np
+
+        from repro.datasets import get_dataset
+        from repro.experiments.tuning import tune_tmark
+        from repro.ml.splits import stratified_fraction_split
+
+        hin = get_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        if hin.multilabel:
+            print(f"{args.dataset} is multi-label; tune supports single-label only")
+            return 1
+        mask = stratified_fraction_split(
+            hin.y, args.fraction, rng=np.random.default_rng(args.seed)
+        )
+        grid = {
+            "alpha": [0.5, 0.7, 0.8, 0.9],
+            "gamma": [0.2, 0.4, 0.6],
+            "label_threshold": [0.8, 0.95],
+        }
+        result = tune_tmark(
+            hin.masked(mask), grid, n_trials=args.trials, seed=args.seed
+        )
+        print(result)
+        print(f"\nbest parameters: {result.best_params}")
+        return 0
+    if args.command == "compare":
+        from repro.experiments.paper import PAPER_GRIDS, compare_with_paper
+
+        if args.experiment not in PAPER_GRIDS:
+            print(
+                f"no paper reference grid for {args.experiment!r}; "
+                f"available: {', '.join(sorted(PAPER_GRIDS))}"
+            )
+            return 1
+        report = run_experiment(
+            args.experiment,
+            scale=args.scale,
+            seed=args.seed,
+            n_trials=args.trials,
+        )
+        print(report)
+        comparison = compare_with_paper(args.experiment, report.data["grid"])
+        print()
+        print(comparison)
+        return 0 if comparison.all_shapes_hold else 2
+    targets = experiment_ids() if args.experiment == "all" else [args.experiment]
+    for experiment_id in targets:
+        _run_one(experiment_id, args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""The paper's method roster with per-dataset hyper-parameters.
+
+Section 6.5 fixes the T-Mark parameters per dataset: ``alpha = 0.8`` on
+DBLP and ``0.9`` elsewhere; ``gamma = 0.6`` on DBLP and ``0.4`` on NUS
+(we use 0.4 for Movies/ACM too, matching the paper's "same trend as NUS"
+remark).  The ICA-update threshold ``lambda`` is our own knob (the paper
+does not report a value); it is tuned once per dataset and recorded
+here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.baselines import EMR, GraphInception, Hcc, HccSS, HighwayNetwork, ICA, WvRNRL
+from repro.core import TMark, TensorRrCc
+from repro.errors import ValidationError
+
+#: Per-dataset T-Mark hyper-parameters (alpha, gamma from section 6.5;
+#: label_threshold tuned per dataset, see module docstring).
+TMARK_PARAMS: dict[str, dict[str, float]] = {
+    "dblp": {"alpha": 0.8, "gamma": 0.6, "label_threshold": 0.8},
+    "movies": {"alpha": 0.9, "gamma": 0.4, "label_threshold": 0.95},
+    "nus": {"alpha": 0.9, "gamma": 0.4, "label_threshold": 0.95},
+    "acm": {"alpha": 0.9, "gamma": 0.2, "label_threshold": 0.95},
+}
+
+#: Fast-mode knobs for the expensive neural / ensemble baselines.
+_FAST_EPOCHS = 60
+_FULL_EPOCHS = 150
+
+
+def tmark_params(dataset: str) -> dict[str, float]:
+    """The section 6.5 T-Mark parameters for ``dataset``."""
+    try:
+        return dict(TMARK_PARAMS[dataset])
+    except KeyError:
+        raise ValidationError(
+            f"unknown dataset {dataset!r}; known: {sorted(TMARK_PARAMS)}"
+        ) from None
+
+
+def method_roster(
+    dataset: str, *, fast: bool = True
+) -> list[tuple[str, Callable[[], object]]]:
+    """The nine methods of Tables 3/4/11 as ``(name, factory)`` pairs.
+
+    Order matches the paper's column order.  ``fast=True`` trims the
+    neural baselines' epochs and EMR's inner iterations so a full
+    9 x 9 x trials grid stays laptop-fast; the comparisons are
+    insensitive to this (checked by the harness tests).
+    """
+    params = tmark_params(dataset)
+    epochs = _FAST_EPOCHS if fast else _FULL_EPOCHS
+    emr_iterations = 2 if fast else 3
+    return [
+        ("T-Mark", lambda: TMark(**params)),
+        (
+            "TensorRrCc",
+            lambda: TensorRrCc(alpha=params["alpha"], gamma=params["gamma"]),
+        ),
+        ("GI", lambda: GraphInception(epochs=epochs)),
+        ("HN", lambda: HighwayNetwork(epochs=epochs)),
+        ("Hcc", lambda: Hcc()),
+        ("Hcc-ss", lambda: HccSS()),
+        ("wvRN+RL", lambda: WvRNRL()),
+        ("EMR", lambda: EMR(n_iterations=emr_iterations)),
+        ("ICA", lambda: ICA()),
+    ]

@@ -1,0 +1,187 @@
+"""The paper's published numbers, as data, plus shape comparison.
+
+``PAPER_TABLES`` transcribes the evaluation tables of the paper (T-Mark
+column and key baselines).  :func:`compare_with_paper` lines a measured
+:class:`~repro.experiments.harness.GridResult` up against them and
+reports per-cell deltas together with the *shape checks* that a faithful
+reproduction must pass (who wins, monotone trends) — the programmatic
+version of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.experiments.harness import GridResult
+
+#: Label fractions shared by all paper tables.
+PAPER_FRACTIONS: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+#: Table 3 — node classification accuracy on DBLP.
+PAPER_TABLE3: dict[str, tuple[float, ...]] = {
+    "T-Mark": (0.928, 0.933, 0.935, 0.935, 0.939, 0.939, 0.940, 0.940, 0.940),
+    "TensorRrCc": (0.927, 0.933, 0.935, 0.935, 0.938, 0.938, 0.939, 0.940, 0.940),
+    "GI": (0.277, 0.243, 0.267, 0.304, 0.436, 0.410, 0.464, 0.489, 0.575),
+    "HN": (0.683, 0.725, 0.753, 0.770, 0.787, 0.790, 0.793, 0.806, 0.803),
+    "Hcc": (0.914, 0.924, 0.929, 0.930, 0.932, 0.934, 0.935, 0.935, 0.937),
+    "Hcc-ss": (0.917, 0.927, 0.929, 0.929, 0.932, 0.933, 0.934, 0.935, 0.938),
+    "wvRN+RL": (0.805, 0.876, 0.880, 0.888, 0.898, 0.901, 0.904, 0.904, 0.908),
+    "EMR": (0.789, 0.818, 0.835, 0.847, 0.855, 0.858, 0.863, 0.865, 0.860),
+    "ICA": (0.860, 0.919, 0.922, 0.927, 0.928, 0.928, 0.929, 0.933, 0.933),
+}
+
+#: Table 4 — node classification accuracy on Movies.
+PAPER_TABLE4: dict[str, tuple[float, ...]] = {
+    "T-Mark": (0.441, 0.483, 0.511, 0.518, 0.529, 0.546, 0.549, 0.553, 0.560),
+    "TensorRrCc": (0.441, 0.483, 0.511, 0.518, 0.529, 0.546, 0.549, 0.553, 0.560),
+    "GI": (0.309, 0.297, 0.292, 0.302, 0.348, 0.299, 0.391, 0.376, 0.339),
+    "HN": (0.453, 0.483, 0.506, 0.531, 0.543, 0.563, 0.572, 0.579, 0.594),
+    "Hcc": (0.435, 0.456, 0.460, 0.461, 0.467, 0.473, 0.478, 0.474, 0.491),
+    "Hcc-ss": (0.426, 0.453, 0.458, 0.460, 0.468, 0.471, 0.476, 0.473, 0.486),
+    "wvRN+RL": (0.318, 0.318, 0.309, 0.308, 0.309, 0.306, 0.314, 0.300, 0.303),
+    "EMR": (0.486, 0.537, 0.569, 0.582, 0.600, 0.613, 0.612, 0.613, 0.629),
+    "ICA": (0.203, 0.219, 0.239, 0.238, 0.254, 0.258, 0.257, 0.258, 0.268),
+}
+
+#: Table 8 — T-Mark on the two NUS link sets.
+PAPER_TABLE8: dict[str, tuple[float, ...]] = {
+    "Tagset1": (0.955, 0.954, 0.958, 0.956, 0.959, 0.959, 0.960, 0.959, 0.961),
+    "Tagset2": (0.664, 0.672, 0.683, 0.684, 0.682, 0.692, 0.688, 0.686, 0.692),
+}
+
+#: Table 11 — Macro-F1 on ACM (multi-label).
+PAPER_TABLE11: dict[str, tuple[float, ...]] = {
+    "T-Mark": (0.940, 0.966, 0.978, 0.989, 0.992, 0.995, 0.995, 0.995, 0.995),
+    "TensorRrCc": (0.940, 0.968, 0.988, 0.993, 0.997, 0.997, 0.997, 0.997, 0.997),
+    "GI": (0.220, 0.528, 0.655, 0.725, 0.734, 0.816, 0.821, 0.659, 0.658),
+    "HN": (0.618, 0.729, 0.722, 0.739, 0.756, 0.756, 0.758, 0.773, 0.785),
+    "Hcc": (0.430, 0.478, 0.559, 0.855, 0.972, 0.991, 0.995, 0.995, 0.996),
+    "Hcc-ss": (0.569, 0.912, 0.953, 0.988, 0.995, 0.995, 0.996, 0.995, 0.998),
+    "wvRN+RL": (0.105, 0.115, 0.157, 0.173, 0.180, 0.180, 0.180, 0.180, 0.179),
+    "EMR": (0.265, 0.340, 0.377, 0.408, 0.433, 0.434, 0.469, 0.460, 0.451),
+    "ICA": (0.049, 0.048, 0.105, 0.194, 0.570, 0.860, 0.947, 0.989, 0.987),
+}
+
+#: Registry: experiment id -> the paper's grid.
+PAPER_GRIDS: dict[str, dict[str, tuple[float, ...]]] = {
+    "table3": PAPER_TABLE3,
+    "table4": PAPER_TABLE4,
+    "table8": PAPER_TABLE8,
+    "table11": PAPER_TABLE11,
+}
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One qualitative expectation and whether the measurement meets it."""
+
+    description: str
+    passed: bool
+
+
+@dataclass
+class PaperComparison:
+    """Outcome of lining a measured grid up against the paper's."""
+
+    experiment_id: str
+    #: method -> list of (fraction, paper, measured, delta); only the
+    #: fractions present in both grids appear.
+    deltas: dict[str, list[tuple[float, float, float, float]]]
+    checks: list[ShapeCheck] = field(default_factory=list)
+
+    @property
+    def all_shapes_hold(self) -> bool:
+        """True when every qualitative check passed."""
+        return all(check.passed for check in self.checks)
+
+    def mean_absolute_delta(self, method: str) -> float:
+        """Mean |paper - measured| for one method."""
+        rows = self.deltas[method]
+        return float(np.mean([abs(delta) for *_, delta in rows]))
+
+    def __str__(self) -> str:
+        lines = [f"paper comparison — {self.experiment_id}"]
+        for method, rows in self.deltas.items():
+            mad = self.mean_absolute_delta(method)
+            lines.append(f"  {method}: mean |paper - measured| = {mad:.3f}")
+        for check in self.checks:
+            status = "ok " if check.passed else "FAIL"
+            lines.append(f"  [{status}] {check.description}")
+        return "\n".join(lines)
+
+
+def compare_with_paper(experiment_id: str, grid: GridResult) -> PaperComparison:
+    """Compare a measured grid against the paper's published numbers.
+
+    Only methods and fractions present on both sides are compared; the
+    qualitative shape checks are derived from the paper grid itself
+    (winner identity at the lowest and highest shared fraction, and the
+    leader's upward trend).
+    """
+    if experiment_id not in PAPER_GRIDS:
+        raise ValidationError(
+            f"no paper grid for {experiment_id!r}; known: {sorted(PAPER_GRIDS)}"
+        )
+    paper = PAPER_GRIDS[experiment_id]
+    shared_methods = [m for m in grid.method_names if m in paper]
+    if not shared_methods:
+        raise ValidationError("the measured grid shares no methods with the paper's")
+    shared_fractions = [
+        (g_idx, PAPER_FRACTIONS.index(f))
+        for g_idx, f in enumerate(grid.fractions)
+        if f in PAPER_FRACTIONS
+    ]
+    if not shared_fractions:
+        raise ValidationError("the measured grid shares no fractions with the paper's")
+
+    deltas: dict[str, list[tuple[float, float, float, float]]] = {}
+    for method in shared_methods:
+        rows = []
+        for g_idx, p_idx in shared_fractions:
+            measured = grid.cells[method][g_idx].mean
+            published = paper[method][p_idx]
+            rows.append(
+                (PAPER_FRACTIONS[p_idx], published, measured, measured - published)
+            )
+        deltas[method] = rows
+
+    checks: list[ShapeCheck] = []
+    first_g, first_p = shared_fractions[0]
+    last_g, last_p = shared_fractions[-1]
+
+    paper_winner_low = max(shared_methods, key=lambda m: paper[m][first_p])
+    measured_low = {m: grid.cells[m][first_g].mean for m in shared_methods}
+    winner_low = max(measured_low, key=measured_low.get)
+    checks.append(
+        ShapeCheck(
+            f"winner at fraction {PAPER_FRACTIONS[first_p]} is "
+            f"{paper_winner_low} (measured winner: {winner_low})",
+            winner_low == paper_winner_low
+            or measured_low[paper_winner_low] >= measured_low[winner_low] - 0.02,
+        )
+    )
+
+    leader = paper_winner_low
+    leader_rows = deltas[leader]
+    checks.append(
+        ShapeCheck(
+            f"{leader} improves (or holds) from the lowest to the highest fraction",
+            leader_rows[-1][2] >= leader_rows[0][2] - 0.02,
+        )
+    )
+
+    paper_last = {m: paper[m][last_p] for m in shared_methods}
+    paper_weakest = min(paper_last, key=paper_last.get)
+    measured_last = {m: grid.cells[m][last_g].mean for m in shared_methods}
+    checks.append(
+        ShapeCheck(
+            f"the paper's weakest method at the top fraction ({paper_weakest}) "
+            "does not win the measured grid there",
+            measured_last[paper_weakest]
+            <= max(measured_last.values()),
+        )
+    )
+    return PaperComparison(experiment_id=experiment_id, deltas=deltas, checks=checks)

@@ -1,0 +1,83 @@
+"""Registry mapping experiment ids to runners (the DESIGN.md index)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ValidationError
+from repro.experiments import runners
+from repro.experiments.report import ExperimentReport
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered paper artefact."""
+
+    experiment_id: str
+    title: str
+    runner: Callable[..., ExperimentReport]
+
+
+_EXPERIMENTS: dict[str, Experiment] = {}
+
+
+def _register(experiment_id: str, title: str, runner) -> None:
+    _EXPERIMENTS[experiment_id] = Experiment(experiment_id, title, runner)
+
+
+_register("table2", "Top 5 conferences per research area (DBLP)", runners.run_table2)
+_register("table3", "Node classification accuracy on DBLP", runners.run_table3)
+_register("table4", "Node classification accuracy on Movies", runners.run_table4)
+_register("table5", "Top 10 directors per movie genre", runners.run_table5)
+_register("table6_7", "The tags in Tagset1 / Tagset2 (NUS)", runners.run_table6_7)
+_register("table8", "T-Mark accuracy on NUS link sets", runners.run_table8)
+_register("table9_10", "Top-12 tags per class in each tag set", runners.run_table9_10)
+_register("table11", "Multi-label Macro-F1 on ACM", runners.run_table11)
+_register("fig5", "Relative importance of ACM link types", runners.run_fig5)
+_register("fig6", "Accuracy vs alpha on DBLP", runners.run_fig6)
+_register("fig7", "Accuracy vs alpha on NUS", runners.run_fig7)
+_register("fig8", "Accuracy vs gamma on DBLP", runners.run_fig8)
+_register("fig9", "Accuracy vs gamma on NUS", runners.run_fig9)
+_register("fig10", "Convergence curves on four datasets", runners.run_fig10)
+# Auxiliary experiments beyond the paper's artefacts:
+_register("extensions", "Extension baselines vs T-Mark (DBLP)", runners.run_extensions)
+_register("summary", "Calibrated dataset statistics", runners.run_dataset_summary)
+
+from repro.experiments import robustness as _robustness  # noqa: E402
+
+_register(
+    "sensitivity",
+    "Joint alpha x gamma sensitivity (DBLP)",
+    _robustness.run_sensitivity,
+)
+_register(
+    "noise",
+    "Robustness to injected useless links (DBLP)",
+    _robustness.run_noise_robustness,
+)
+_register(
+    "label_noise",
+    "Robustness to mislabeled training nodes (DBLP)",
+    _robustness.run_label_noise,
+)
+
+
+def experiment_ids() -> list[str]:
+    """All registered experiment ids in paper order."""
+    return list(_EXPERIMENTS)
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up one experiment; raises on unknown ids."""
+    try:
+        return _EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ValidationError(
+            f"unknown experiment {experiment_id!r}; known: {experiment_ids()}"
+        ) from None
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentReport:
+    """Run one registered experiment and return its report."""
+    return get_experiment(experiment_id).runner(**kwargs)

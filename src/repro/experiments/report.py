@@ -1,0 +1,32 @@
+"""The :class:`ExperimentReport` container returned by every runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentReport:
+    """Output of one table/figure reproduction.
+
+    Attributes
+    ----------
+    experiment_id:
+        Registry id (``"table3"``, ``"fig10"``, ...).
+    title:
+        Human-readable description referencing the paper artefact.
+    text:
+        The rendered table / series, ready to print.
+    data:
+        Structured results (grids, rankings, series) for programmatic
+        checks — the benchmark suite asserts the paper's qualitative
+        shapes against this.
+    """
+
+    experiment_id: str
+    title: str
+    text: str
+    data: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"== {self.experiment_id}: {self.title} ==\n{self.text}"

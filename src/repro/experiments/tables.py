@@ -1,0 +1,129 @@
+"""ASCII rendering of experiment outputs.
+
+Renders the three output shapes the paper uses: method x fraction grids
+(Tables 3, 4, 8, 11), ranked name lists (Tables 2, 5, 6/7, 9/10) and
+numeric series (the parameter / convergence figures).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.experiments.harness import GridResult
+
+
+def format_grid(grid: GridResult, *, title: str = "", with_std: bool = False) -> str:
+    """Render a :class:`GridResult` as a fixed-width table.
+
+    The winning method per fraction is marked with ``*`` — the paper
+    bold-faces its winners; an ASCII table stars them.
+    """
+    width = max((len(name) for name in grid.method_names), default=6) + 2
+    lines = []
+    if title:
+        lines.append(title)
+    header = "fraction".ljust(10) + "".join(
+        name.rjust(width) for name in grid.method_names
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for f_idx, fraction in enumerate(grid.fractions):
+        winner = grid.winner(f_idx)
+        row = [f"{fraction:<10.1f}"]
+        for name in grid.method_names:
+            cell = grid.cells[name][f_idx]
+            if with_std:
+                text = f"{cell.mean:.3f}±{cell.std:.3f}"
+            else:
+                text = f"{cell.mean:.3f}"
+            if name == winner:
+                text += "*"
+            row.append(text.rjust(width))
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def format_ranking_table(
+    rankings: Mapping[str, Sequence[str]], *, title: str = "", top: int | None = None
+) -> str:
+    """Render per-class ranked name lists side by side (Tables 2 and 5)."""
+    columns = list(rankings)
+    depth = max((len(rankings[c]) for c in columns), default=0)
+    if top is not None:
+        depth = min(depth, top)
+    width = max(
+        [len(c) for c in columns]
+        + [len(name) for c in columns for name in rankings[c][:depth]],
+        default=8,
+    ) + 2
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("rank".ljust(6) + "".join(c.rjust(width) for c in columns))
+    lines.append("-" * (6 + width * len(columns)))
+    for rank in range(depth):
+        row = [f"{rank + 1:<6d}"]
+        for c in columns:
+            entries = rankings[c]
+            row.append((entries[rank] if rank < len(entries) else "").rjust(width))
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+#: Unicode block characters for sparklines, lowest to highest.
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def format_sparkline(values, *, minimum: float | None = None, maximum: float | None = None) -> str:
+    """A one-line unicode sparkline of a numeric series.
+
+    NaNs render as spaces; a constant series renders at mid height.
+    Used by the CLI to give the figure reports a visual silhouette.
+    """
+    import math
+
+    vals = [float(v) for v in values]
+    finite = [v for v in vals if not math.isnan(v)]
+    if not finite:
+        return " " * len(vals)
+    low = min(finite) if minimum is None else float(minimum)
+    high = max(finite) if maximum is None else float(maximum)
+    span = high - low
+    chars = []
+    for v in vals:
+        if math.isnan(v):
+            chars.append(" ")
+        elif span <= 0:
+            chars.append(_SPARK_BLOCKS[len(_SPARK_BLOCKS) // 2])
+        else:
+            idx = int((v - low) / span * (len(_SPARK_BLOCKS) - 1))
+            chars.append(_SPARK_BLOCKS[max(0, min(idx, len(_SPARK_BLOCKS) - 1))])
+    return "".join(chars)
+
+
+def format_series(
+    series: Mapping[str, Sequence[float]],
+    xs: Sequence[float],
+    *,
+    title: str = "",
+    x_name: str = "x",
+) -> str:
+    """Render named numeric series over a shared x-axis (the figures)."""
+    names = list(series)
+    width = max((len(n) for n in names), default=6) + 4
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(x_name.ljust(10) + "".join(n.rjust(width) for n in names))
+    lines.append("-" * (10 + width * len(names)))
+    for idx, x in enumerate(xs):
+        row = [f"{x:<10.3g}"]
+        for name in names:
+            values = series[name]
+            text = f"{values[idx]:.4f}" if idx < len(values) else ""
+            row.append(text.rjust(width))
+        lines.append("".join(row))
+    # A one-line silhouette per series, shared value scale.
+    for name in names:
+        lines.append(f"{name:<10.10s}{format_sparkline(series[name]).rjust(width)}")
+    return "\n".join(lines)

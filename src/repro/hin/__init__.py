@@ -1,0 +1,40 @@
+"""Heterogeneous information network (HIN) substrate.
+
+A :class:`~repro.hin.graph.HIN` couples the adjacency tensor of
+:mod:`repro.tensor` with node features, a label space and human-readable
+node/relation names.  :class:`~repro.hin.builder.HINBuilder` constructs one
+incrementally from named nodes and typed links;
+:mod:`~repro.hin.io` persists HINs to ``.npz``;
+:mod:`~repro.hin.metapath` composes link types into meta-path relations
+(used by the Hcc baseline); :mod:`~repro.hin.stats` computes the summary
+statistics (density, homophily) that the dataset generators are calibrated
+against.
+"""
+
+from repro.hin.builder import HINBuilder
+from repro.hin.graph import HIN
+from repro.hin.interop import from_networkx, to_networkx
+from repro.hin.io import load_hin, save_hin
+from repro.hin.loaders import load_hin_from_files
+from repro.hin.metapath import compose_relations, with_metapath_relations
+from repro.hin.sampling import induced_subgraph, sample_nodes
+from repro.hin.stats import hin_summary, relation_homophily
+from repro.hin.validate import HINWarning, check_hin
+
+__all__ = [
+    "HIN",
+    "HINBuilder",
+    "load_hin",
+    "save_hin",
+    "load_hin_from_files",
+    "to_networkx",
+    "from_networkx",
+    "compose_relations",
+    "induced_subgraph",
+    "sample_nodes",
+    "with_metapath_relations",
+    "hin_summary",
+    "relation_homophily",
+    "check_hin",
+    "HINWarning",
+]

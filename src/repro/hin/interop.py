@@ -1,0 +1,140 @@
+"""Interoperability between :class:`HIN` and networkx multigraphs.
+
+Downstream users usually already hold their network in networkx.  A HIN
+maps naturally onto a :class:`networkx.MultiDiGraph`: one node per HIN
+node (attributes: ``features``, ``labels``), one edge per stored tensor
+entry (attributes: ``relation``, ``weight``).  The converse direction
+builds a HIN from any multigraph whose edges carry a ``relation`` key.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.hin.builder import HINBuilder
+from repro.hin.graph import HIN
+
+#: Edge attribute naming the link type.
+RELATION_KEY = "relation"
+
+
+def to_networkx(hin: HIN) -> nx.MultiDiGraph:
+    """Convert a HIN to a :class:`networkx.MultiDiGraph`.
+
+    Node attributes: ``features`` (1-D ndarray), ``labels`` (tuple of
+    label names).  Edge attributes: ``relation`` (name), ``weight``.
+    Every stored tensor entry becomes one directed edge ``j -> i`` (the
+    walk direction), so an undirected HIN link appears as two edges.
+    """
+    graph = nx.MultiDiGraph()
+    graph.graph["label_names"] = list(hin.label_names)
+    graph.graph["relation_names"] = list(hin.relation_names)
+    graph.graph["multilabel"] = hin.multilabel
+    graph.graph.update(hin.metadata)
+    features = hin.features_dense()
+    for idx, name in enumerate(hin.node_names):
+        labels = tuple(
+            hin.label_names[c] for c in np.flatnonzero(hin.label_matrix[idx])
+        )
+        graph.add_node(name, features=features[idx].copy(), labels=labels)
+    i, j, k = hin.tensor.coords
+    values = hin.tensor.values
+    for target, source, rel, weight in zip(i, j, k, values):
+        graph.add_edge(
+            hin.node_names[source],
+            hin.node_names[target],
+            **{RELATION_KEY: hin.relation_names[rel], "weight": float(weight)},
+        )
+    return graph
+
+
+def from_networkx(
+    graph: nx.Graph,
+    *,
+    label_names=None,
+    multilabel: bool = False,
+    feature_key: str = "features",
+    label_key: str = "labels",
+) -> HIN:
+    """Build a HIN from a networkx (multi)graph.
+
+    Parameters
+    ----------
+    graph:
+        Any networkx graph; edges must carry a ``relation`` attribute.
+        Undirected graphs contribute both directions per edge; directed
+        graphs contribute the stored direction only.
+    label_names:
+        The class-label space; inferred from graph/node attributes when
+        omitted.
+    feature_key, label_key:
+        Node-attribute names holding the feature vector and the label
+        name(s).  A node may carry a single label name or a sequence.
+
+    Raises
+    ------
+    ValidationError
+        On missing relation attributes, missing/ragged features, or
+        labels outside the label space.
+    """
+    if graph.number_of_nodes() == 0:
+        raise ValidationError("cannot build a HIN from an empty graph")
+
+    if label_names is None:
+        label_names = graph.graph.get("label_names")
+    if label_names is None:
+        # Infer from node attributes, sorted for determinism.
+        seen = set()
+        for _, data in graph.nodes(data=True):
+            seen.update(_as_label_tuple(data.get(label_key)))
+        label_names = sorted(seen)
+    if not label_names:
+        raise ValidationError(
+            "no label space: pass label_names or label nodes via the "
+            f"{label_key!r} attribute"
+        )
+
+    builder = HINBuilder(label_names, multilabel=multilabel)
+    # Preserve a round-tripped HIN's relation order when available.
+    for relation in graph.graph.get("relation_names", ()):
+        builder.add_relation(str(relation))
+    for node, data in graph.nodes(data=True):
+        if feature_key not in data:
+            raise ValidationError(f"node {node!r} has no {feature_key!r} attribute")
+        builder.add_node(
+            str(node),
+            features=np.asarray(data[feature_key], dtype=float),
+            labels=_as_label_tuple(data.get(label_key)),
+        )
+
+    directed = graph.is_directed()
+    for source, target, data in graph.edges(data=True):
+        relation = data.get(RELATION_KEY)
+        if relation is None:
+            raise ValidationError(
+                f"edge ({source!r}, {target!r}) has no {RELATION_KEY!r} attribute"
+            )
+        builder.add_link(
+            str(source),
+            str(target),
+            str(relation),
+            weight=float(data.get("weight", 1.0)),
+            directed=directed,
+        )
+    metadata = {
+        key: value
+        for key, value in graph.graph.items()
+        if key not in ("label_names", "relation_names", "multilabel")
+    }
+    return builder.build(metadata=metadata or None)
+
+
+def _as_label_tuple(value) -> tuple[str, ...]:
+    """Normalise a node's label attribute to a tuple of names."""
+    if value is None:
+        return ()
+    if isinstance(value, str):
+        return (value,)
+    return tuple(str(v) for v in value)

@@ -1,0 +1,123 @@
+"""Persistence for :class:`~repro.hin.graph.HIN` objects.
+
+A HIN round-trips through a single ``.npz`` archive: tensor coordinates,
+feature matrix (dense or CSR components), boolean label matrix, and the
+name/metadata payload serialised as JSON inside the archive.  No pickling
+is involved, so archives are safe to share and stable across library
+versions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ValidationError
+from repro.hin.graph import HIN
+from repro.tensor.sptensor import SparseTensor3
+
+_FORMAT_VERSION = 1
+
+
+def save_hin(hin: HIN, path) -> Path:
+    """Serialise ``hin`` to ``path`` (``.npz``); returns the resolved path."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    i, j, k = hin.tensor.coords
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "n_nodes": hin.n_nodes,
+        "n_relations": hin.n_relations,
+        "relation_names": list(hin.relation_names),
+        "label_names": list(hin.label_names),
+        "node_names": list(hin.node_names),
+        "multilabel": hin.multilabel,
+        "metadata": _jsonable(hin.metadata),
+        "features_sparse": bool(sp.issparse(hin.features)),
+    }
+    arrays = {
+        "header": np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+        "tensor_i": i,
+        "tensor_j": j,
+        "tensor_k": k,
+        "tensor_values": hin.tensor.values,
+        "label_matrix": hin.label_matrix,
+    }
+    if sp.issparse(hin.features):
+        feats = sp.csr_matrix(hin.features)
+        arrays["features_data"] = feats.data
+        arrays["features_indices"] = feats.indices
+        arrays["features_indptr"] = feats.indptr
+        arrays["features_shape"] = np.asarray(feats.shape)
+    else:
+        arrays["features"] = np.asarray(hin.features)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_hin(path) -> HIN:
+    """Load a HIN previously written by :func:`save_hin`."""
+    path = Path(path)
+    if not path.exists():
+        raise ValidationError(f"no such HIN archive: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        header = json.loads(bytes(archive["header"]).decode("utf-8"))
+        if header.get("format_version") != _FORMAT_VERSION:
+            raise ValidationError(
+                f"unsupported HIN archive version: {header.get('format_version')}"
+            )
+        n = int(header["n_nodes"])
+        m = int(header["n_relations"])
+        tensor = SparseTensor3(
+            archive["tensor_i"],
+            archive["tensor_j"],
+            archive["tensor_k"],
+            archive["tensor_values"],
+            shape=(n, n, m),
+        )
+        if header["features_sparse"]:
+            features = sp.csr_matrix(
+                (
+                    archive["features_data"],
+                    archive["features_indices"],
+                    archive["features_indptr"],
+                ),
+                shape=tuple(archive["features_shape"]),
+            )
+        else:
+            features = archive["features"]
+        return HIN(
+            tensor,
+            header["relation_names"],
+            features,
+            archive["label_matrix"],
+            header["label_names"],
+            node_names=header["node_names"],
+            multilabel=bool(header["multilabel"]),
+            metadata=header["metadata"],
+        )
+
+
+def _jsonable(value):
+    """Best-effort conversion of metadata values to JSON-safe types."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(val) for val in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise ValidationError(
+        f"HIN metadata value of type {type(value).__name__} is not JSON-serialisable"
+    )

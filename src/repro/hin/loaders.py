@@ -1,0 +1,193 @@
+"""Plain-text loaders for real HIN datasets.
+
+The calibrated generators stand in for the paper's datasets in this
+environment, but a downstream user with the actual archives (or any HIN
+in flat files) can load them directly:
+
+* **links file** (TSV/CSV): ``source  target  relation  [weight]``
+  — one line per link; relation names are free-form strings.
+* **labels file** (TSV/CSV): ``node  label[,label...]``
+  — nodes may be missing (unlabeled) and may list several labels.
+* **features file**: either a dense ``.npy`` / text matrix aligned with
+  the node order, or a sparse TSV of ``node  dim  value`` triplets.
+
+:func:`load_hin_from_files` wires the three together; the lower-level
+parsers are exposed for custom pipelines.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.hin.builder import HINBuilder
+from repro.hin.graph import HIN
+
+
+def _sniff_delimiter(path: Path) -> str:
+    """Choose tab or comma from the first non-comment line."""
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            if line.strip() and not line.startswith("#"):
+                return "\t" if "\t" in line else ","
+    raise DatasetError(f"{path} contains no data lines")
+
+
+def _rows(path: Path):
+    """Yield parsed rows, skipping blanks and ``#`` comments."""
+    delimiter = _sniff_delimiter(path)
+    with open(path, encoding="utf-8", newline="") as handle:
+        for row in csv.reader(handle, delimiter=delimiter):
+            cells = [cell.strip() for cell in row]
+            if not cells or not any(cells) or cells[0].startswith("#"):
+                continue
+            yield cells
+
+
+def parse_links_file(path) -> list[tuple[str, str, str, float]]:
+    """Parse ``source target relation [weight]`` rows."""
+    path = Path(path)
+    links = []
+    for lineno, cells in enumerate(_rows(path), start=1):
+        if len(cells) < 3:
+            raise DatasetError(
+                f"{path}:{lineno}: expected 'source target relation [weight]', "
+                f"got {len(cells)} fields"
+            )
+        weight = 1.0
+        if len(cells) >= 4 and cells[3]:
+            try:
+                weight = float(cells[3])
+            except ValueError as exc:
+                raise DatasetError(
+                    f"{path}:{lineno}: weight {cells[3]!r} is not a number"
+                ) from exc
+        links.append((cells[0], cells[1], cells[2], weight))
+    if not links:
+        raise DatasetError(f"{path}: no links found")
+    return links
+
+
+def parse_labels_file(path) -> dict[str, list[str]]:
+    """Parse ``node label[,label...]`` rows into node -> label names."""
+    path = Path(path)
+    labels: dict[str, list[str]] = {}
+    for lineno, cells in enumerate(_rows(path), start=1):
+        if len(cells) < 2:
+            raise DatasetError(
+                f"{path}:{lineno}: expected 'node label[,label...]'"
+            )
+        node = cells[0]
+        if node in labels:
+            raise DatasetError(f"{path}:{lineno}: duplicate node {node!r}")
+        names = [part.strip() for part in ",".join(cells[1:]).split(",")]
+        labels[node] = [name for name in names if name]
+    if not labels:
+        raise DatasetError(f"{path}: no labels found")
+    return labels
+
+
+def parse_sparse_features_file(path) -> dict[str, dict[int, float]]:
+    """Parse ``node dim value`` triplets into node -> {dim: value}."""
+    path = Path(path)
+    features: dict[str, dict[int, float]] = {}
+    for lineno, cells in enumerate(_rows(path), start=1):
+        if len(cells) != 3:
+            raise DatasetError(f"{path}:{lineno}: expected 'node dim value'")
+        node, dim_text, value_text = cells
+        try:
+            dim = int(dim_text)
+            value = float(value_text)
+        except ValueError as exc:
+            raise DatasetError(
+                f"{path}:{lineno}: bad dim/value {dim_text!r}/{value_text!r}"
+            ) from exc
+        if dim < 0:
+            raise DatasetError(f"{path}:{lineno}: negative feature dim {dim}")
+        features.setdefault(node, {})[dim] = value
+    if not features:
+        raise DatasetError(f"{path}: no features found")
+    return features
+
+
+def load_hin_from_files(
+    links_path,
+    labels_path,
+    features_path=None,
+    *,
+    label_names=None,
+    multilabel: bool = False,
+    directed_relations: set[str] | frozenset[str] = frozenset(),
+    n_features: int | None = None,
+) -> HIN:
+    """Assemble a HIN from flat files.
+
+    Parameters
+    ----------
+    links_path:
+        TSV/CSV of ``source target relation [weight]``.
+    labels_path:
+        TSV/CSV of ``node label[,label...]``; nodes appearing only in
+        the links file become unlabeled nodes.
+    features_path:
+        Optional sparse-triplet TSV (``node dim value``).  When omitted,
+        every node gets a single constant feature (structure-only HIN).
+    label_names:
+        Explicit label space; inferred (sorted) from the labels file
+        when omitted.
+    multilabel:
+        Allow several labels per node.
+    directed_relations:
+        Relation names stored one-way (e.g. ``{"citation"}``); all other
+        relations are symmetrised.
+    n_features:
+        Feature dimensionality; inferred as ``max dim + 1`` when omitted.
+    """
+    links = parse_links_file(links_path)
+    labels = parse_labels_file(labels_path)
+    features = (
+        parse_sparse_features_file(features_path)
+        if features_path is not None
+        else None
+    )
+
+    node_names = sorted(
+        {name for src, dst, _, _ in links for name in (src, dst)}
+        | set(labels)
+        | (set(features) if features else set())
+    )
+    if label_names is None:
+        label_names = sorted({name for names in labels.values() for name in names})
+    if features is not None and n_features is None:
+        n_features = 1 + max(dim for dims in features.values() for dim in dims)
+    if features is None:
+        n_features = 1
+
+    builder = HINBuilder(label_names, multilabel=multilabel)
+    for node in node_names:
+        vector = np.zeros(n_features)
+        if features is None:
+            vector[0] = 1.0
+        else:
+            for dim, value in features.get(node, {}).items():
+                if dim >= n_features:
+                    raise DatasetError(
+                        f"feature dim {dim} of node {node!r} exceeds "
+                        f"n_features={n_features}"
+                    )
+                vector[dim] = value
+        builder.add_node(node, features=vector, labels=labels.get(node, ()))
+
+    directed_relations = {str(r) for r in directed_relations}
+    for source, target, relation, weight in links:
+        builder.add_link(
+            source,
+            target,
+            relation,
+            weight=weight,
+            directed=relation in directed_relations,
+        )
+    return builder.build(metadata={"source": str(Path(links_path))})

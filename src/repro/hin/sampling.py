@@ -1,0 +1,106 @@
+"""Subnetwork extraction utilities.
+
+Real HIN archives are often too large to iterate on; these helpers carve
+out consistent subnetworks — induced subgraphs over a node subset, and
+random node samples that preserve class balance — keeping features,
+labels, names and metadata aligned.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ValidationError
+from repro.hin.graph import HIN
+from repro.tensor.sptensor import SparseTensor3
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+def induced_subgraph(hin: HIN, nodes: Sequence) -> HIN:
+    """The subnetwork induced by ``nodes`` (names or indices).
+
+    Keeps every link whose *both* endpoints are in the subset, all
+    relation types (possibly emptied), and the nodes' features/labels.
+    Node order follows the order given.
+    """
+    indices = []
+    for node in nodes:
+        if isinstance(node, str):
+            indices.append(hin.node_index(node))
+        else:
+            idx = int(node)
+            if not 0 <= idx < hin.n_nodes:
+                raise ValidationError(
+                    f"node index {idx} out of range [0, {hin.n_nodes})"
+                )
+            indices.append(idx)
+    if not indices:
+        raise ValidationError("nodes must be non-empty")
+    if len(set(indices)) != len(indices):
+        raise ValidationError("nodes must be distinct")
+    index_array = np.asarray(indices, dtype=np.int64)
+
+    position = np.full(hin.n_nodes, -1, dtype=np.int64)
+    position[index_array] = np.arange(index_array.size)
+
+    i, j, k = hin.tensor.coords
+    keep = (position[i] >= 0) & (position[j] >= 0)
+    tensor = SparseTensor3(
+        position[i[keep]],
+        position[j[keep]],
+        k[keep],
+        hin.tensor.values[keep],
+        shape=(index_array.size, index_array.size, hin.n_relations),
+    )
+    features = hin.features
+    if sp.issparse(features):
+        sub_features = features[index_array]
+    else:
+        sub_features = np.asarray(features)[index_array]
+    return HIN(
+        tensor,
+        hin.relation_names,
+        sub_features,
+        hin.label_matrix[index_array],
+        hin.label_names,
+        node_names=[hin.node_names[idx] for idx in index_array],
+        multilabel=hin.multilabel,
+        metadata=hin.metadata,
+    )
+
+
+def sample_nodes(hin: HIN, n_nodes: int, *, stratified: bool = True, rng=None) -> HIN:
+    """A random induced subnetwork of ``n_nodes`` nodes.
+
+    With ``stratified=True`` (default, single-label HINs) the sample
+    preserves the class proportions and covers every class that fits.
+    """
+    n_nodes = check_positive_int(n_nodes, "n_nodes")
+    if n_nodes > hin.n_nodes:
+        raise ValidationError(
+            f"cannot sample {n_nodes} nodes from a {hin.n_nodes}-node HIN"
+        )
+    rng = ensure_rng(rng)
+    if stratified and not hin.multilabel and hin.labeled_mask.all():
+        y = hin.y
+        chosen: list[int] = []
+        classes = np.unique(y)
+        # Proportional allocation with at least one node per class.
+        for c in classes:
+            members = np.flatnonzero(y == c)
+            quota = max(1, int(round(n_nodes * members.size / hin.n_nodes)))
+            quota = min(quota, members.size)
+            chosen.extend(rng.choice(members, size=quota, replace=False).tolist())
+        chosen = chosen[:n_nodes]
+        remaining = np.setdiff1d(np.arange(hin.n_nodes), chosen)
+        if len(chosen) < n_nodes:
+            extra = rng.choice(remaining, size=n_nodes - len(chosen), replace=False)
+            chosen.extend(extra.tolist())
+        indices = np.asarray(sorted(chosen), dtype=np.int64)
+    else:
+        indices = np.sort(rng.choice(hin.n_nodes, size=n_nodes, replace=False))
+    return induced_subgraph(hin, indices.tolist())

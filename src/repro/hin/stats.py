@@ -1,0 +1,112 @@
+"""Summary statistics of a HIN.
+
+Two uses: (a) the dataset generators in :mod:`repro.datasets` are
+*calibrated* against these statistics (per-relation density and homophily
+drive which method wins where — see DESIGN.md), and (b) section 6.3 of the
+paper selects link types by exactly these quantities (homophily for
+Tagset1, frequency for Tagset2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hin.graph import HIN
+
+
+@dataclass(frozen=True)
+class RelationStats:
+    """Per-link-type structure statistics."""
+
+    name: str
+    #: Number of directed link entries stored for this relation.
+    n_links: int
+    #: n_links / (n * (n - 1)): fraction of possible directed pairs linked.
+    density: float
+    #: Fraction of links whose endpoints share at least one label
+    #: (computed over links between two *labeled* nodes; NaN if none).
+    homophily: float
+    #: Number of distinct nodes incident to this relation.
+    n_active_nodes: int
+
+
+@dataclass(frozen=True)
+class HINSummary:
+    """Whole-network summary statistics."""
+
+    n_nodes: int
+    n_relations: int
+    n_labels: int
+    n_features: int
+    n_links: int
+    n_labeled: int
+    multilabel: bool
+    relations: list[RelationStats] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        lines = [
+            f"HIN: {self.n_nodes} nodes, {self.n_relations} relations, "
+            f"{self.n_labels} labels, {self.n_features} features, "
+            f"{self.n_links} links, {self.n_labeled} labeled"
+            + (" (multi-label)" if self.multilabel else ""),
+        ]
+        for rel in self.relations:
+            homo = "n/a" if np.isnan(rel.homophily) else f"{rel.homophily:.3f}"
+            lines.append(
+                f"  {rel.name}: links={rel.n_links} density={rel.density:.2e} "
+                f"homophily={homo} active_nodes={rel.n_active_nodes}"
+            )
+        return "\n".join(lines)
+
+
+def relation_homophily(hin: HIN, relation: int | str) -> float:
+    """Fraction of a relation's links joining same-labeled nodes.
+
+    Only links whose both endpoints carry labels count; returns NaN when
+    there are none.  For multi-label HINs "same label" means the label
+    sets intersect.
+    """
+    k = hin.relation_index(relation) if isinstance(relation, str) else int(relation)
+    i, j, ks = hin.tensor.coords
+    mask = ks == k
+    src, dst = j[mask], i[mask]
+    labels = hin.label_matrix
+    labeled = labels.any(axis=1)
+    both = labeled[src] & labeled[dst]
+    if not np.any(both):
+        return float("nan")
+    shared = (labels[src[both]] & labels[dst[both]]).any(axis=1)
+    return float(shared.mean())
+
+
+def hin_summary(hin: HIN) -> HINSummary:
+    """Compute the full :class:`HINSummary` of a network."""
+    i, j, ks = hin.tensor.coords
+    n = hin.n_nodes
+    possible = max(n * (n - 1), 1)
+    relations = []
+    for k, name in enumerate(hin.relation_names):
+        mask = ks == k
+        n_links = int(mask.sum())
+        active = np.union1d(i[mask], j[mask]).size
+        relations.append(
+            RelationStats(
+                name=name,
+                n_links=n_links,
+                density=n_links / possible,
+                homophily=relation_homophily(hin, k),
+                n_active_nodes=int(active),
+            )
+        )
+    return HINSummary(
+        n_nodes=n,
+        n_relations=hin.n_relations,
+        n_labels=hin.n_labels,
+        n_features=hin.n_features,
+        n_links=hin.tensor.nnz,
+        n_labeled=int(hin.labeled_mask.sum()),
+        multilabel=hin.multilabel,
+        relations=relations,
+    )

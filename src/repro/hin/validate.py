@@ -1,0 +1,130 @@
+"""Network linting: diagnose HIN issues before fitting.
+
+T-Mark and the baselines are robust to most structural quirks (dangling
+fibres, isolated nodes, empty relations) but several of them silently
+degrade results.  :func:`check_hin` returns human-readable warnings for
+the conditions worth knowing about before a fit, so pipelines can fail
+fast or log them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hin.graph import HIN
+from repro.tensor.transition import is_irreducible
+
+
+@dataclass(frozen=True)
+class HINWarning:
+    """One diagnosed issue.
+
+    Attributes
+    ----------
+    code:
+        Stable machine-readable identifier (``isolated-nodes``, ...).
+    message:
+        Human-readable description with counts/names.
+    severity:
+        ``"info"`` (harmless, handled internally), ``"warning"``
+        (degrades some methods) or ``"error"`` (a fit will be
+        meaningless or fail).
+    """
+
+    code: str
+    message: str
+    severity: str
+
+
+def check_hin(hin: HIN) -> list[HINWarning]:
+    """Lint a HIN; returns an empty list when nothing is noteworthy."""
+    warnings: list[HINWarning] = []
+    i, j, k = hin.tensor.coords
+
+    # Isolated nodes: no links in or out — only features can place them.
+    connected = np.zeros(hin.n_nodes, dtype=bool)
+    connected[i] = True
+    connected[j] = True
+    n_isolated = int((~connected).sum())
+    if n_isolated:
+        warnings.append(
+            HINWarning(
+                code="isolated-nodes",
+                message=(
+                    f"{n_isolated} node(s) have no links at all; relational "
+                    "methods see them only through the restart/feature terms"
+                ),
+                severity="warning",
+            )
+        )
+
+    # Empty relations: dead weight in z and in per-relation baselines.
+    counts = np.bincount(k, minlength=hin.n_relations)
+    empty = [hin.relation_names[rel] for rel in np.flatnonzero(counts == 0)]
+    if empty:
+        warnings.append(
+            HINWarning(
+                code="empty-relations",
+                message=f"relation(s) with no links: {', '.join(empty)}",
+                severity="warning",
+            )
+        )
+
+    # Classes with no labeled nodes: their chains are uninformative.
+    labeled_per_class = hin.label_matrix.sum(axis=0)
+    unlabeled_classes = [
+        hin.label_names[c] for c in np.flatnonzero(labeled_per_class == 0)
+    ]
+    if unlabeled_classes:
+        warnings.append(
+            HINWarning(
+                code="classes-without-labels",
+                message=(
+                    "class(es) with no labeled nodes: "
+                    + ", ".join(unlabeled_classes)
+                ),
+                severity="warning",
+            )
+        )
+
+    # No supervision at all: transductive fits cannot start.
+    if not hin.labeled_mask.any():
+        warnings.append(
+            HINWarning(
+                code="no-labels",
+                message="the HIN has no labeled nodes; supervised fits will fail",
+                severity="error",
+            )
+        )
+
+    # Reducibility: Theorem 2's positivity guarantee does not apply.
+    if hin.tensor.nnz and not is_irreducible(hin.tensor):
+        warnings.append(
+            HINWarning(
+                code="not-irreducible",
+                message=(
+                    "the aggregated link graph is not strongly connected; "
+                    "the paper's positivity guarantee (Theorem 2) does not "
+                    "apply (the restart term keeps chains well-defined)"
+                ),
+                severity="info",
+            )
+        )
+
+    # Featureless nodes: their W columns fall back to uniform.
+    features = hin.features_dense()
+    n_featureless = int((np.abs(features).sum(axis=1) == 0).sum())
+    if n_featureless:
+        warnings.append(
+            HINWarning(
+                code="featureless-nodes",
+                message=(
+                    f"{n_featureless} node(s) have all-zero features; their "
+                    "W columns fall back to the uniform distribution"
+                ),
+                severity="info",
+            )
+        )
+    return warnings

@@ -1,0 +1,56 @@
+"""Pure numpy/scipy machine-learning substrate.
+
+The paper's baselines need conventional supervised learners (logistic
+regression, linear SVMs, neural layers).  No external ML library is used:
+everything here is implemented from scratch on numpy, with scipy's
+L-BFGS-B as the only optimisation dependency for the convex models.
+
+* :class:`~repro.ml.logistic.LogisticRegression` — multinomial softmax
+  regression (base classifier of ICA / Hcc / Hcc-ss).
+* :class:`~repro.ml.svm.LinearSVM` — one-vs-rest L2 squared-hinge SVM
+  (base classifier of EMR, as in the paper).
+* :class:`~repro.ml.naive_bayes.MultinomialNaiveBayes` — fast text
+  baseline used in tests and examples.
+* :mod:`~repro.ml.mlp` — dense / highway layers with manual backprop and
+  Adam (substrate of the Highway Network and Graph Inception baselines).
+* :mod:`~repro.ml.metrics` — accuracy, macro/micro F1, confusion matrix.
+* :mod:`~repro.ml.preprocess` — tf-idf, row normalisation, scaling.
+* :mod:`~repro.ml.splits` — stratified label-fraction splits (the
+  {10..90}% grids of Tables 3, 4, 8, 11).
+"""
+
+from repro.ml.logistic import LogisticRegression
+from repro.ml.metrics import (
+    accuracy,
+    confusion_matrix,
+    f1_per_class,
+    macro_f1,
+    micro_f1,
+    multilabel_macro_f1,
+)
+from repro.ml.mlp import AdamOptimizer, DenseLayer, HighwayLayer, MLPClassifier
+from repro.ml.naive_bayes import MultinomialNaiveBayes
+from repro.ml.preprocess import l2_normalize_rows, standardize, tfidf_transform
+from repro.ml.splits import multilabel_fraction_split, stratified_fraction_split
+from repro.ml.svm import LinearSVM
+
+__all__ = [
+    "LogisticRegression",
+    "LinearSVM",
+    "MultinomialNaiveBayes",
+    "MLPClassifier",
+    "DenseLayer",
+    "HighwayLayer",
+    "AdamOptimizer",
+    "accuracy",
+    "macro_f1",
+    "micro_f1",
+    "multilabel_macro_f1",
+    "f1_per_class",
+    "confusion_matrix",
+    "tfidf_transform",
+    "l2_normalize_rows",
+    "standardize",
+    "stratified_fraction_split",
+    "multilabel_fraction_split",
+]

@@ -1,0 +1,95 @@
+"""Evaluation metrics used by the paper's tables.
+
+Tables 3, 4 and 8 report plain accuracy; Table 11 reports Macro-F1 on a
+multi-label problem.  All metrics are implemented directly (no sklearn)
+and tested against hand-computed cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError, ValidationError
+
+
+def _check_aligned(y_true, y_pred):
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ShapeError(
+            f"y_true and y_pred shapes differ: {y_true.shape} vs {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValidationError("metrics are undefined on empty inputs")
+    return y_true, y_pred
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Fraction of exactly matching entries."""
+    y_true, y_pred = _check_aligned(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true, y_pred, n_classes: int | None = None) -> np.ndarray:
+    """Confusion counts ``C[t, p]`` = #(true t predicted p)."""
+    y_true, y_pred = _check_aligned(
+        np.asarray(y_true, dtype=np.int64), np.asarray(y_pred, dtype=np.int64)
+    )
+    if y_true.ndim != 1:
+        raise ShapeError("confusion_matrix expects 1-D label arrays")
+    if n_classes is None:
+        n_classes = int(max(y_true.max(initial=0), y_pred.max(initial=0))) + 1
+    if y_true.min(initial=0) < 0 or y_pred.min(initial=0) < 0:
+        raise ValidationError("labels must be non-negative class indices")
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+def f1_per_class(y_true, y_pred, n_classes: int | None = None) -> np.ndarray:
+    """Per-class F1 scores; a class absent from both sides scores 0."""
+    matrix = confusion_matrix(y_true, y_pred, n_classes)
+    true_pos = np.diag(matrix).astype(float)
+    predicted = matrix.sum(axis=0).astype(float)
+    actual = matrix.sum(axis=1).astype(float)
+    denom = predicted + actual
+    with np.errstate(invalid="ignore", divide="ignore"):
+        f1 = np.where(denom > 0, 2.0 * true_pos / denom, 0.0)
+    return f1
+
+
+def macro_f1(y_true, y_pred, n_classes: int | None = None) -> float:
+    """Unweighted mean of per-class F1 (single-label)."""
+    return float(f1_per_class(y_true, y_pred, n_classes).mean())
+
+
+def micro_f1(y_true, y_pred, n_classes: int | None = None) -> float:
+    """Micro-averaged F1 — equals accuracy in the single-label case."""
+    matrix = confusion_matrix(y_true, y_pred, n_classes)
+    true_pos = float(np.diag(matrix).sum())
+    total = float(matrix.sum())
+    return true_pos / total if total else 0.0
+
+
+def multilabel_macro_f1(y_true, y_pred) -> float:
+    """Macro-F1 over ``(n, q)`` boolean matrices (Table 11's metric).
+
+    F1 is computed per label column and averaged; a label with no true
+    and no predicted positives contributes 1.0 (perfect agreement on
+    absence), matching the common convention for sparse label spaces.
+    """
+    y_true = np.asarray(y_true, dtype=bool)
+    y_pred = np.asarray(y_pred, dtype=bool)
+    if y_true.shape != y_pred.shape or y_true.ndim != 2:
+        raise ShapeError(
+            f"expected matching (n, q) boolean matrices, got {y_true.shape} "
+            f"and {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValidationError("metrics are undefined on empty inputs")
+    true_pos = (y_true & y_pred).sum(axis=0).astype(float)
+    predicted = y_pred.sum(axis=0).astype(float)
+    actual = y_true.sum(axis=0).astype(float)
+    denom = predicted + actual
+    f1 = np.where(denom > 0, 2.0 * true_pos / np.where(denom > 0, denom, 1.0), 1.0)
+    return float(f1.mean())

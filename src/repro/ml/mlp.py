@@ -1,0 +1,269 @@
+"""Neural-network substrate: dense and highway layers with manual backprop.
+
+Supports the Highway Network baseline (Srivastava et al. [38]) and the
+classifier head of the Graph Inception baseline [39].  Everything is
+numpy: forward passes cache what the backward pass needs, gradients flow
+layer to layer, and :class:`AdamOptimizer` applies the updates.
+
+A highway layer computes ``y = g * h(x) + (1 - g) * x`` where
+``h(x) = relu(W_h x + b_h)`` is the transform and
+``g = sigmoid(W_g x + b_g)`` the gate; the gate bias is initialised
+negative so early training passes inputs through (the carry behaviour the
+paper's HN baseline relies on).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotFittedError, ValidationError
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+class DenseLayer:
+    """Affine layer with optional ReLU, He initialisation."""
+
+    def __init__(self, n_in: int, n_out: int, *, activation: str = "relu", rng=None):
+        if activation not in ("relu", "linear"):
+            raise ValidationError(f"activation must be 'relu' or 'linear', got {activation!r}")
+        rng = ensure_rng(rng)
+        scale = np.sqrt(2.0 / max(n_in, 1))
+        self.weights = rng.normal(0.0, scale, size=(n_in, n_out))
+        self.bias = np.zeros(n_out)
+        self.activation = activation
+        self._cache_input: np.ndarray | None = None
+        self._cache_pre: np.ndarray | None = None
+        self.grad_weights = np.zeros_like(self.weights)
+        self.grad_bias = np.zeros_like(self.bias)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute the layer output, caching for backward."""
+        self._cache_input = x
+        pre = x @ self.weights + self.bias
+        self._cache_pre = pre
+        if self.activation == "relu":
+            return relu(pre)
+        return pre
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backpropagate, accumulating parameter gradients."""
+        if self._cache_input is None or self._cache_pre is None:
+            raise NotFittedError("backward called before forward")
+        if self.activation == "relu":
+            grad_out = grad_out * (self._cache_pre > 0)
+        self.grad_weights = self._cache_input.T @ grad_out
+        self.grad_bias = grad_out.sum(axis=0)
+        return grad_out @ self.weights.T
+
+    def parameters(self):
+        """``(param, grad)`` pairs for the optimiser."""
+        return [(self.weights, self.grad_weights), (self.bias, self.grad_bias)]
+
+
+class HighwayLayer:
+    """Highway layer: ``y = g * relu(W_h x + b_h) + (1 - g) * x``."""
+
+    def __init__(self, size: int, *, gate_bias: float = -1.0, rng=None):
+        rng = ensure_rng(rng)
+        scale = np.sqrt(2.0 / max(size, 1))
+        self.w_h = rng.normal(0.0, scale, size=(size, size))
+        self.b_h = np.zeros(size)
+        self.w_g = rng.normal(0.0, scale, size=(size, size))
+        # Negative gate bias biases toward carry early in training.
+        self.b_g = np.full(size, float(gate_bias))
+        self._cache: tuple | None = None
+        self.grad_w_h = np.zeros_like(self.w_h)
+        self.grad_b_h = np.zeros_like(self.b_h)
+        self.grad_w_g = np.zeros_like(self.w_g)
+        self.grad_b_g = np.zeros_like(self.b_g)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute the gated output, caching for backward."""
+        pre_h = x @ self.w_h + self.b_h
+        h = relu(pre_h)
+        pre_g = x @ self.w_g + self.b_g
+        g = sigmoid(pre_g)
+        self._cache = (x, pre_h, h, g)
+        return g * h + (1.0 - g) * x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backpropagate through transform and gate paths."""
+        if self._cache is None:
+            raise NotFittedError("backward called before forward")
+        x, pre_h, h, g = self._cache
+        grad_h = grad_out * g
+        grad_g = grad_out * (h - x)
+        grad_pre_h = grad_h * (pre_h > 0)
+        grad_pre_g = grad_g * g * (1.0 - g)
+        self.grad_w_h = x.T @ grad_pre_h
+        self.grad_b_h = grad_pre_h.sum(axis=0)
+        self.grad_w_g = x.T @ grad_pre_g
+        self.grad_b_g = grad_pre_g.sum(axis=0)
+        return (
+            grad_pre_h @ self.w_h.T
+            + grad_pre_g @ self.w_g.T
+            + grad_out * (1.0 - g)
+        )
+
+    def parameters(self):
+        """``(param, grad)`` pairs for the optimiser."""
+        return [
+            (self.w_h, self.grad_w_h),
+            (self.b_h, self.grad_b_h),
+            (self.w_g, self.grad_w_g),
+            (self.b_g, self.grad_b_g),
+        ]
+
+
+class AdamOptimizer:
+    """Adam with in-place parameter updates."""
+
+    def __init__(self, *, lr: float = 1e-2, beta1: float = 0.9, beta2: float = 0.999, eps: float = 1e-8):
+        if lr <= 0:
+            raise ValidationError(f"lr must be positive, got {lr}")
+        self.lr = float(lr)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self, parameters) -> None:
+        """Apply one Adam update to ``(param, grad)`` pairs (in place)."""
+        self._t += 1
+        for param, grad in parameters:
+            key = id(param)
+            if key not in self._m:
+                self._m[key] = np.zeros_like(param)
+                self._v[key] = np.zeros_like(param)
+            m = self._m[key]
+            v = self._v[key]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / (1.0 - self.beta1**self._t)
+            v_hat = v / (1.0 - self.beta2**self._t)
+            param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class MLPClassifier:
+    """Softmax classifier over a stack of layers.
+
+    Parameters
+    ----------
+    layers:
+        Pre-built layer stack (Dense / Highway), ending in a layer whose
+        output dimension equals the number of classes.
+    n_classes:
+        Number of classes (for validation / fixed class spaces).
+    epochs, batch_size, lr:
+        Training schedule; full-batch when ``batch_size`` is ``None``.
+    l2:
+        Weight decay applied to every weight matrix.
+    """
+
+    def __init__(
+        self,
+        layers,
+        n_classes: int,
+        *,
+        epochs: int = 100,
+        batch_size: int | None = None,
+        lr: float = 1e-2,
+        l2: float = 1e-4,
+        rng=None,
+    ):
+        self.layers = list(layers)
+        if not self.layers:
+            raise ValidationError("at least one layer is required")
+        self.n_classes = check_positive_int(n_classes, "n_classes")
+        self.epochs = check_positive_int(epochs, "epochs")
+        if batch_size is not None:
+            batch_size = check_positive_int(batch_size, "batch_size")
+        self.batch_size = batch_size
+        self.l2 = float(l2)
+        self.rng = ensure_rng(rng)
+        self.optimizer = AdamOptimizer(lr=lr)
+        self.loss_history_: list[float] = []
+        self._fitted = False
+
+    def _forward(self, x: np.ndarray) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    def fit(self, features, labels) -> "MLPClassifier":
+        """Train with softmax cross-entropy on integer labels."""
+        x = np.asarray(features, dtype=float)
+        if hasattr(features, "toarray"):
+            x = features.toarray().astype(float)
+        y = np.asarray(labels, dtype=np.int64)
+        if y.ndim != 1 or y.size != x.shape[0]:
+            raise ValidationError("labels must align with feature rows")
+        if y.size == 0:
+            raise ValidationError("cannot fit on an empty training set")
+        if y.min() < 0 or y.max() >= self.n_classes:
+            raise ValidationError(f"labels must lie in [0, {self.n_classes})")
+        n = x.shape[0]
+        batch = self.batch_size or n
+        onehot = np.zeros((n, self.n_classes))
+        onehot[np.arange(n), y] = 1.0
+        for _ in range(self.epochs):
+            order = self.rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, batch):
+                idx = order[start:start + batch]
+                logits = self._forward(x[idx])
+                shifted = logits - logits.max(axis=1, keepdims=True)
+                exp = np.exp(shifted)
+                probs = exp / exp.sum(axis=1, keepdims=True)
+                picked = np.clip(probs[np.arange(idx.size), y[idx]], 1e-300, None)
+                epoch_loss += -np.log(picked).sum()
+                grad = (probs - onehot[idx]) / idx.size
+                for layer in reversed(self.layers):
+                    grad = layer.backward(grad)
+                params = []
+                for layer in self.layers:
+                    for param, param_grad in layer.parameters():
+                        if param.ndim == 2 and self.l2 > 0:
+                            param_grad = param_grad + self.l2 * param
+                        params.append((param, param_grad))
+                self.optimizer.step(params)
+            self.loss_history_.append(epoch_loss / n)
+        self._fitted = True
+        return self
+
+    def predict_proba(self, features) -> np.ndarray:
+        """Class probabilities per row."""
+        if not self._fitted:
+            raise NotFittedError("MLPClassifier.fit must be called first")
+        x = np.asarray(features, dtype=float)
+        if hasattr(features, "toarray"):
+            x = features.toarray().astype(float)
+        logits = self._forward(x)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def predict(self, features) -> np.ndarray:
+        """Most probable class index per row."""
+        return np.argmax(self.predict_proba(features), axis=1)

@@ -1,0 +1,38 @@
+"""Sparse 3-way tensor substrate for HIN collective classification.
+
+The paper represents a HIN with ``n`` nodes and ``m`` link types as a
+non-negative tensor ``A`` of shape ``(n, n, m)`` where ``A[i, j, k] > 0``
+iff node ``j`` connects to node ``i`` through link type ``k`` (section 3.1).
+This subpackage provides:
+
+* :class:`~repro.tensor.sptensor.SparseTensor3` — a COO sparse 3-way tensor
+  with slicing, mode matricization and arithmetic;
+* :class:`~repro.tensor.transition.NodeTransitionTensor` (``O``, Eq. 1) and
+  :class:`~repro.tensor.transition.RelationTransitionTensor` (``R``, Eq. 2)
+  with implicit dangling handling;
+* the tensor-vector contractions of Eq. 5–8 as methods on those classes and
+  as reference (dense, brute-force) functions in
+  :mod:`~repro.tensor.products` used for cross-checking.
+"""
+
+from repro.tensor.products import (
+    dense_mode13_product,
+    dense_mode12_product,
+)
+from repro.tensor.sptensor import SparseTensor3
+from repro.tensor.transition import (
+    NodeTransitionTensor,
+    RelationTransitionTensor,
+    build_transition_tensors,
+    is_irreducible,
+)
+
+__all__ = [
+    "SparseTensor3",
+    "NodeTransitionTensor",
+    "RelationTransitionTensor",
+    "build_transition_tensors",
+    "is_irreducible",
+    "dense_mode13_product",
+    "dense_mode12_product",
+]

@@ -1,0 +1,49 @@
+"""Reference (dense, brute-force) tensor-vector contractions.
+
+These mirror the definitions in section 4.1 of the paper:
+
+* ``(T x-bar_1 x x-bar_3 z)_i = sum_j sum_k T[i, j, k] x[j] z[k]``
+* ``(T x-bar_1 x x-bar_2 y)_k = sum_i sum_j T[i, j, k] x[i] y[j]``
+
+They exist to cross-check the optimised sparse implementations in
+:mod:`repro.tensor.transition` (property tests assert elementwise equality
+on random tensors) and to keep the maths of the paper readable in code.
+They are O(n^2 m) and meant for small inputs only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.utils.validation import check_array_1d
+
+
+def dense_mode13_product(tensor: np.ndarray, x: np.ndarray, z: np.ndarray) -> np.ndarray:
+    """Compute ``T x-bar_1 x x-bar_3 z`` on a dense ``(n, n, m)`` array.
+
+    Returns the length-``n`` vector with entries
+    ``sum_{j,k} T[i, j, k] * x[j] * z[k]``.
+    """
+    arr = np.asarray(tensor, dtype=float)
+    if arr.ndim != 3 or arr.shape[0] != arr.shape[1]:
+        raise ShapeError(f"expected a dense (n, n, m) tensor, got {arr.shape}")
+    n, _, m = arr.shape
+    x = check_array_1d(x, "x", size=n)
+    z = check_array_1d(z, "z", size=m)
+    return np.einsum("ijk,j,k->i", arr, x, z)
+
+
+def dense_mode12_product(tensor: np.ndarray, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Compute ``T x-bar_1 x x-bar_2 y`` on a dense ``(n, n, m)`` array.
+
+    Returns the length-``m`` vector with entries
+    ``sum_{i,j} T[i, j, k] * x[i] * y[j]``.
+    """
+    arr = np.asarray(tensor, dtype=float)
+    if arr.ndim != 3 or arr.shape[0] != arr.shape[1]:
+        raise ShapeError(f"expected a dense (n, n, m) tensor, got {arr.shape}")
+    n, _, m = arr.shape
+    x = check_array_1d(x, "x", size=n)
+    y = check_array_1d(y, "y", size=n)
+    return np.einsum("ijk,i,j->k", arr, x, y)

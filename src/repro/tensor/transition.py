@@ -1,0 +1,207 @@
+"""Transition probability tensors ``O`` and ``R`` (Eq. 1 and 2).
+
+``O[i, j, k] = A[i, j, k] / sum_i A[i, j, k]`` is the probability of
+stepping to node ``i`` given the walk sits at node ``j`` and uses relation
+``k``.  ``R[i, j, k] = A[i, j, k] / sum_k A[i, j, k]`` is the probability
+of using relation ``k`` for the step ``j -> i``.
+
+Dangling fibres — a ``(j, k)`` column with no out-weight, or an ``(i, j)``
+pair with no relation — are defined by the paper as uniform (``1/n`` resp.
+``1/m``).  Materialising those would destroy sparsity (*every* node pair
+without a link is an ``R`` dangling fibre), so both classes keep the sparse
+normalised part and apply the uniform correction *analytically* inside
+their product methods.  The corrections are exact: when the inputs are
+probability distributions the outputs are too (Theorem 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.csgraph import connected_components
+
+from repro.errors import ShapeError
+from repro.tensor.sptensor import SparseTensor3
+from repro.utils.validation import check_array_1d
+
+
+class NodeTransitionTensor:
+    """The node-transition tensor ``O`` of Eq. 1, with implicit dangling mass.
+
+    Stores the mode-1 matricization of the normalised tensor as CSR
+    (shape ``(n, n*m)``) plus the set of non-dangling columns.
+    """
+
+    __slots__ = ("_mat", "_nondangling_cols", "_n", "_m")
+
+    def __init__(self, tensor: SparseTensor3):
+        n, _, m = tensor.shape
+        self._n = n
+        self._m = m
+        unfolded = tensor.unfold(1).tocsc()
+        col_sums = tensor.mode1_column_sums()
+        nondangling = col_sums > 0
+        # Normalise each non-dangling column to sum to one.
+        scale = np.ones_like(col_sums)
+        scale[nondangling] = 1.0 / col_sums[nondangling]
+        unfolded = unfolded @ sp.diags(scale)
+        self._mat = unfolded.tocsr()
+        self._nondangling_cols = np.flatnonzero(nondangling)
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """Logical tensor shape ``(n, n, m)``."""
+        return (self._n, self._n, self._m)
+
+    @property
+    def n_dangling(self) -> int:
+        """Number of dangling ``(j, k)`` columns (uniform 1/n fibres)."""
+        return self._n * self._m - self._nondangling_cols.size
+
+    def matricized(self) -> sp.csr_matrix:
+        """The sparse part of the mode-1 matricization (dangling cols zero)."""
+        return self._mat.copy()
+
+    def propagate(self, x: np.ndarray, z: np.ndarray) -> np.ndarray:
+        """Compute ``O x-bar_1 x x-bar_3 z`` (the contraction in Eq. 7/10).
+
+        Returns the length-``n`` vector with entries
+        ``sum_{j,k} O[i, j, k] * x[j] * z[k]`` including the uniform
+        contribution of dangling columns.
+        """
+        x = check_array_1d(x, "x", size=self._n)
+        z = check_array_1d(z, "z", size=self._m)
+        # v[k*n + j] = x[j] * z[k] — the mode-1 column weights.
+        v = (z[:, None] * x[None, :]).ravel()
+        result = self._mat @ v
+        total = float(x.sum()) * float(z.sum())
+        nondangling_mass = float(v[self._nondangling_cols].sum())
+        dangling_mass = max(total - nondangling_mass, 0.0)
+        if dangling_mass > 0.0:
+            result = result + dangling_mass / self._n
+        return result
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise the full ``(n, n, m)`` tensor including dangling fibres.
+
+        Intended for tests and tiny examples only.
+        """
+        dense = np.full((self._n, self._n, self._m), 0.0)
+        mat = self._mat.tocoo()
+        k, j = np.divmod(mat.col, self._n)
+        dense[mat.row, j, k] = mat.data
+        dangling = np.ones(self._n * self._m, dtype=bool)
+        dangling[self._nondangling_cols] = False
+        for col in np.flatnonzero(dangling):
+            k, j = divmod(col, self._n)
+            dense[:, j, k] = 1.0 / self._n
+        return dense
+
+
+class RelationTransitionTensor:
+    """The relation-transition tensor ``R`` of Eq. 2, with implicit dangling mass.
+
+    Stores the normalised non-zeros in COO form plus the list of linked
+    ``(i, j)`` pairs, so the uniform ``1/m`` correction for unlinked pairs
+    can be applied analytically.
+    """
+
+    __slots__ = ("_i", "_j", "_k", "_values", "_pair_i", "_pair_j", "_n", "_m")
+
+    def __init__(self, tensor: SparseTensor3):
+        n, _, m = tensor.shape
+        self._n = n
+        self._m = m
+        i, j, k = tensor.coords
+        values = tensor.values
+        fibre_sums = tensor.mode3_fibre_sums()
+        fibre_idx = j * n + i
+        self._values = values / fibre_sums[fibre_idx]
+        self._i = i
+        self._j = j
+        self._k = k
+        linked = np.unique(fibre_idx)
+        self._pair_j, self._pair_i = np.divmod(linked, n)
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """Logical tensor shape ``(n, n, m)``."""
+        return (self._n, self._n, self._m)
+
+    @property
+    def n_linked_pairs(self) -> int:
+        """Number of ``(i, j)`` pairs connected by at least one relation."""
+        return self._pair_i.size
+
+    def propagate(self, x: np.ndarray, y: np.ndarray | None = None) -> np.ndarray:
+        """Compute ``R x-bar_1 x x-bar_2 y`` (the contraction in Eq. 8).
+
+        Returns the length-``m`` vector with entries
+        ``sum_{i,j} R[i, j, k] * x[i] * y[j]`` including the uniform 1/m
+        contribution of unlinked node pairs.  ``y`` defaults to ``x`` (the
+        form used in Algorithm 1, step 6).
+        """
+        x = check_array_1d(x, "x", size=self._n)
+        y = x if y is None else check_array_1d(y, "y", size=self._n)
+        weights = self._values * x[self._i] * y[self._j]
+        z = np.bincount(self._k, weights=weights, minlength=self._m)
+        total = float(x.sum()) * float(y.sum())
+        linked_mass = float((x[self._pair_i] * y[self._pair_j]).sum())
+        dangling_mass = max(total - linked_mass, 0.0)
+        if dangling_mass > 0.0:
+            z = z + dangling_mass / self._m
+        return z
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise the full ``(n, n, m)`` tensor including dangling fibres.
+
+        Intended for tests and tiny examples only.
+        """
+        dense = np.full((self._n, self._n, self._m), 1.0 / self._m)
+        linked = set(zip(self._pair_i.tolist(), self._pair_j.tolist()))
+        for ii, jj in linked:
+            dense[ii, jj, :] = 0.0
+        dense[self._i, self._j, self._k] = self._values
+        return dense
+
+
+def build_transition_tensors(
+    tensor: SparseTensor3,
+) -> tuple[NodeTransitionTensor, RelationTransitionTensor]:
+    """Build the ``(O, R)`` pair of section 3.1 from an adjacency tensor."""
+    return NodeTransitionTensor(tensor), RelationTransitionTensor(tensor)
+
+
+def is_irreducible(tensor: SparseTensor3) -> bool:
+    """Check the paper's irreducibility assumption on ``A``.
+
+    The tensor is treated as irreducible when the aggregated directed graph
+    over all relations is strongly connected (any node reaches any other
+    via some chain of relations).  The restart term of Eq. 10 makes T-Mark
+    well-behaved even without this property, but positivity of the
+    stationary distributions (Theorem 2) is only guaranteed with it.
+    """
+    if tensor.n_nodes == 1:
+        return True
+    agg = tensor.aggregate_relations()
+    n_components, _ = connected_components(agg, directed=True, connection="strong")
+    return bool(n_components == 1)
+
+
+def stochastic_matrix_from_counts(matrix: sp.spmatrix) -> sp.csr_matrix:
+    """Column-normalise a non-negative matrix; zero columns become uniform.
+
+    Utility shared by the feature-transition matrix ``W`` (Eq. 9) and
+    several baselines.  The returned matrix is dense-free: zero columns are
+    left zero and a caller needing exact stochasticity should handle them
+    (``W`` does so explicitly because cosine similarity of a node with
+    itself is 1, so its columns are never empty for non-zero features).
+    """
+    mat = sp.csc_matrix(matrix, dtype=float)
+    if mat.shape[0] != mat.shape[1]:
+        raise ShapeError(f"expected a square matrix, got {mat.shape}")
+    col_sums = np.asarray(mat.sum(axis=0)).ravel()
+    scale = np.ones_like(col_sums)
+    nonzero = col_sums > 0
+    scale[nonzero] = 1.0 / col_sums[nonzero]
+    return (mat @ sp.diags(scale)).tocsr()

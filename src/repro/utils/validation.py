@@ -1,0 +1,77 @@
+"""Input-validation helpers shared across the library.
+
+Each helper raises a :class:`~repro.errors.ValidationError` (or
+:class:`~repro.errors.ShapeError`) with a message naming the offending
+argument, so user-facing APIs give actionable feedback instead of cryptic
+numpy errors deep inside an algorithm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError, ValidationError
+
+
+def check_positive_int(value, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it as int."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValidationError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValidationError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_fraction(value, name: str, *, inclusive_low=False, inclusive_high=False) -> float:
+    """Validate that ``value`` lies in the (0, 1) interval.
+
+    ``inclusive_low`` / ``inclusive_high`` widen the interval to include the
+    corresponding endpoint.
+    """
+    try:
+        val = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be a float, got {value!r}") from exc
+    low_ok = val >= 0.0 if inclusive_low else val > 0.0
+    high_ok = val <= 1.0 if inclusive_high else val < 1.0
+    if not (low_ok and high_ok and np.isfinite(val)):
+        low = "[0" if inclusive_low else "(0"
+        high = "1]" if inclusive_high else "1)"
+        raise ValidationError(f"{name} must lie in {low}, {high}, got {value!r}")
+    return val
+
+
+def check_probability(value, name: str) -> float:
+    """Validate that ``value`` is a probability in [0, 1]."""
+    return check_fraction(value, name, inclusive_low=True, inclusive_high=True)
+
+
+def check_array_1d(array, name: str, *, size: int | None = None) -> np.ndarray:
+    """Coerce ``array`` to a 1-D float ndarray, optionally checking length."""
+    arr = np.asarray(array, dtype=float)
+    if arr.ndim != 1:
+        raise ShapeError(f"{name} must be 1-D, got shape {arr.shape}")
+    if size is not None and arr.size != size:
+        raise ShapeError(f"{name} must have length {size}, got {arr.size}")
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} contains non-finite values")
+    return arr
+
+
+def check_array_2d(array, name: str, *, shape: tuple[int | None, int | None] | None = None):
+    """Coerce ``array`` to a 2-D float ndarray, optionally checking shape.
+
+    ``shape`` entries may be ``None`` to leave that axis unconstrained.
+    """
+    arr = np.asarray(array, dtype=float)
+    if arr.ndim != 2:
+        raise ShapeError(f"{name} must be 2-D, got shape {arr.shape}")
+    if shape is not None:
+        for axis, expected in enumerate(shape):
+            if expected is not None and arr.shape[axis] != expected:
+                raise ShapeError(
+                    f"{name} must have shape {shape} (None = any), got {arr.shape}"
+                )
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} contains non-finite values")
+    return arr

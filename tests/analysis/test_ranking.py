@@ -1,0 +1,117 @@
+"""Tests for the ranking-evaluation metrics."""
+
+import pytest
+
+from repro.analysis.ranking import (
+    average_precision,
+    kendall_tau,
+    precision_at_k,
+    ranking_overlap,
+    relation_ranking_report,
+)
+from repro.errors import ValidationError
+
+
+class TestPrecisionAtK:
+    def test_perfect(self):
+        assert precision_at_k(["a", "b", "c"], {"a", "b", "c"}, 3) == 1.0
+
+    def test_partial(self):
+        assert precision_at_k(["a", "x", "b"], {"a", "b"}, 3) == pytest.approx(2 / 3)
+
+    def test_k_smaller_than_ranking(self):
+        assert precision_at_k(["a", "x", "b"], {"a", "b"}, 1) == 1.0
+
+    def test_k_larger_than_ranking(self):
+        # Truncates to the available ranking length.
+        assert precision_at_k(["a", "x"], {"a"}, 10) == 0.5
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(ValidationError):
+            precision_at_k(["a"], {"a"}, 0)
+
+    def test_empty_ranking_rejected(self):
+        with pytest.raises(ValidationError):
+            precision_at_k([], {"a"}, 1)
+
+
+class TestAveragePrecision:
+    def test_perfect_front_loading(self):
+        assert average_precision(["a", "b", "x", "y"], {"a", "b"}) == 1.0
+
+    def test_hand_computed(self):
+        # Relevant at positions 1 and 3: (1/1 + 2/3) / 2.
+        ap = average_precision(["a", "x", "b"], {"a", "b"})
+        assert ap == pytest.approx((1.0 + 2 / 3) / 2)
+
+    def test_nothing_found(self):
+        assert average_precision(["x", "y"], {"a"}) == 0.0
+
+    def test_empty_relevant_rejected(self):
+        with pytest.raises(ValidationError):
+            average_precision(["a"], set())
+
+
+class TestKendallTau:
+    def test_identical(self):
+        assert kendall_tau(["a", "b", "c"], ["a", "b", "c"]) == 1.0
+
+    def test_reversed(self):
+        assert kendall_tau(["a", "b", "c"], ["c", "b", "a"]) == -1.0
+
+    def test_one_swap(self):
+        # 3 pairs, 1 discordant: (2 - 1) / 3.
+        assert kendall_tau(["a", "b", "c"], ["b", "a", "c"]) == pytest.approx(1 / 3)
+
+    def test_different_item_sets_rejected(self):
+        with pytest.raises(ValidationError):
+            kendall_tau(["a", "b"], ["a", "c"])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValidationError):
+            kendall_tau(["a", "a"], ["a", "a"])
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValidationError):
+            kendall_tau(["a"], ["a"])
+
+
+class TestRankingOverlap:
+    def test_identical_tops(self):
+        assert ranking_overlap(["a", "b", "c"], ["b", "a", "z"], 2) == 1.0
+
+    def test_disjoint_tops(self):
+        assert ranking_overlap(["a", "b"], ["x", "y"], 2) == 0.0
+
+    def test_partial(self):
+        assert ranking_overlap(["a", "b"], ["b", "c"], 2) == pytest.approx(1 / 3)
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(ValidationError):
+            ranking_overlap(["a"], ["a"], 0)
+
+
+class TestRelationRankingReport:
+    def test_on_fitted_dblp_model(self):
+        import numpy as np
+
+        from repro.core import TMark
+        from repro.datasets import make_dblp
+        from repro.ml.splits import stratified_fraction_split
+
+        hin = make_dblp(n_authors=150, attendees_per_conference=20, seed=0)
+        mask = stratified_fraction_split(hin.y, 0.3, rng=np.random.default_rng(0))
+        model = TMark(alpha=0.8, gamma=0.6, label_threshold=0.8).fit(hin.masked(mask))
+        report = relation_ranking_report(
+            model.result_, hin.metadata["conference_areas"], k=5
+        )
+        assert set(report) == {"DB", "DM", "AI", "IR", "macro"}
+        assert report["macro"]["precision_at_k"] > 0.5
+        assert 0 <= report["macro"]["average_precision"] <= 1
+
+    def test_unmatched_ground_truth_rejected(self, partially_labeled_hin):
+        from repro.core import TMark
+
+        model = TMark(max_iter=50).fit(partially_labeled_hin)
+        with pytest.raises(ValidationError):
+            relation_ranking_report(model.result_, {"r0": "no-such-class"})

@@ -1,0 +1,119 @@
+"""Tests for the shared baseline machinery."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.baselines.base import (
+    clamp_labeled,
+    label_scores,
+    neighbor_label_features,
+    stack_features,
+    symmetric_adjacency,
+    training_pairs,
+)
+from repro.errors import ValidationError
+from repro.hin.builder import HINBuilder
+
+
+def mini_hin(multilabel=False):
+    builder = HINBuilder(["a", "b"], multilabel=multilabel)
+    labels_u = ["a", "b"] if multilabel else ["a"]
+    builder.add_node("u", features=[1.0, 0.0], labels=labels_u)
+    builder.add_node("v", features=[0.0, 1.0], labels=["b"])
+    builder.add_node("w", features=[0.5, 0.5])
+    builder.add_link("u", "v", "r0", directed=True)
+    builder.add_link("v", "w", "r1")
+    return builder.build()
+
+
+class TestLabelScores:
+    def test_labeled_rows_one_hot(self):
+        scores, labeled = label_scores(mini_hin())
+        assert np.allclose(scores[0], [1.0, 0.0])
+        assert np.allclose(scores[1], [0.0, 1.0])
+        assert np.array_equal(labeled, [True, True, False])
+
+    def test_unlabeled_rows_get_prior(self):
+        scores, _ = label_scores(mini_hin())
+        assert np.allclose(scores[2], [0.5, 0.5])
+
+    def test_multilabel_rows_normalised(self):
+        scores, _ = label_scores(mini_hin(multilabel=True))
+        assert np.allclose(scores[0], [0.5, 0.5])
+
+    def test_no_labels_rejected(self):
+        hin = mini_hin().masked(np.zeros(3, dtype=bool))
+        with pytest.raises(ValidationError):
+            label_scores(hin)
+
+
+class TestClampLabeled:
+    def test_overwrites_labeled_rows_only(self):
+        hin = mini_hin()
+        raw = np.full((3, 2), 0.3)
+        clamped = clamp_labeled(raw, hin)
+        assert np.allclose(clamped[0], [1.0, 0.0])
+        assert np.allclose(clamped[2], 0.3)
+
+    def test_input_not_mutated(self):
+        hin = mini_hin()
+        raw = np.full((3, 2), 0.3)
+        clamp_labeled(raw, hin)
+        assert np.allclose(raw, 0.3)
+
+
+class TestTrainingPairs:
+    def test_single_label(self):
+        rows, classes = training_pairs(mini_hin())
+        assert set(zip(rows.tolist(), classes.tolist())) == {(0, 0), (1, 1)}
+
+    def test_multilabel_expansion(self):
+        rows, classes = training_pairs(mini_hin(multilabel=True))
+        assert set(zip(rows.tolist(), classes.tolist())) == {(0, 0), (0, 1), (1, 1)}
+
+    def test_empty_rejected(self):
+        hin = mini_hin().masked(np.zeros(3, dtype=bool))
+        with pytest.raises(ValidationError):
+            training_pairs(hin)
+
+
+class TestSymmetricAdjacency:
+    def test_merged_symmetric(self):
+        adj = symmetric_adjacency(mini_hin()).toarray()
+        assert np.allclose(adj, adj.T)
+        assert adj[0, 1] == 1.0 and adj[1, 0] == 1.0
+
+    def test_single_relation(self):
+        adj = symmetric_adjacency(mini_hin(), relation=0).toarray()
+        assert adj[1, 0] == 1.0 and adj[2, 1] == 0.0
+
+
+class TestNeighborLabelFeatures:
+    def test_averages_neighbors(self):
+        adjacency = sp.csr_matrix(np.array([[0, 1, 1], [0, 0, 0], [0, 0, 0]], dtype=float))
+        scores = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        feats = neighbor_label_features(adjacency, scores)
+        assert np.allclose(feats[0], [0.5, 0.5])
+
+    def test_isolated_nodes_zero(self):
+        adjacency = sp.csr_matrix((2, 2))
+        feats = neighbor_label_features(adjacency, np.eye(2))
+        assert np.allclose(feats, 0.0)
+
+    def test_weighted_neighbors(self):
+        adjacency = sp.csr_matrix(np.array([[0, 3, 1], [0, 0, 0], [0, 0, 0]], dtype=float))
+        scores = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        feats = neighbor_label_features(adjacency, scores)
+        assert np.allclose(feats[0], [0.75, 0.25])
+
+
+class TestStackFeatures:
+    def test_dense(self):
+        stacked = stack_features(np.ones((2, 2)), np.zeros((2, 3)))
+        assert stacked.shape == (2, 5)
+
+    def test_sparse(self):
+        stacked = stack_features(sp.eye(2, format="csr"), np.ones((2, 1)))
+        assert sp.issparse(stacked)
+        assert stacked.shape == (2, 3)

@@ -1,0 +1,204 @@
+"""Behavioural tests shared across all seven baseline classifiers.
+
+Each baseline must (a) respect the transductive interface, (b) beat
+chance on a homophilous HIN, and (c) keep labeled nodes at their given
+labels (where the method clamps).  Method-specific behaviours are tested
+in the dedicated classes below.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    EMR,
+    GraphInception,
+    Hcc,
+    HccSS,
+    HighwayNetwork,
+    ICA,
+    WvRNRL,
+)
+from repro.errors import ValidationError
+from tests.conftest import small_labeled_hin
+
+ALL_BASELINES = [
+    ("ICA", lambda: ICA(n_iterations=2)),
+    ("Hcc", lambda: Hcc(n_iterations=2)),
+    ("HccSS", lambda: HccSS(n_iterations=2)),
+    ("WvRNRL", lambda: WvRNRL(n_iterations=20)),
+    ("EMR", lambda: EMR(n_iterations=1)),
+    ("HighwayNetwork", lambda: HighwayNetwork(epochs=40)),
+    ("GraphInception", lambda: GraphInception(epochs=40)),
+]
+
+
+@pytest.fixture(scope="module")
+def hin():
+    return small_labeled_hin(seed=1, n=36, q=3)
+
+
+@pytest.fixture(scope="module")
+def train_mask(hin):
+    mask = np.zeros(hin.n_nodes, dtype=bool)
+    mask[::2] = True
+    return mask
+
+
+@pytest.mark.parametrize("name,factory", ALL_BASELINES)
+class TestCommonBehaviour:
+    def test_scores_shape_and_range(self, name, factory, hin, train_mask):
+        scores = factory().fit_predict(hin.masked(train_mask), rng=np.random.default_rng(0))
+        assert scores.shape == (hin.n_nodes, hin.n_labels)
+        assert np.isfinite(scores).all()
+        assert scores.min() >= -1e-9
+
+    def test_beats_chance_on_homophilous_hin(self, name, factory, hin, train_mask):
+        scores = factory().fit_predict(hin.masked(train_mask), rng=np.random.default_rng(0))
+        predictions = np.argmax(scores, axis=1)
+        y = hin.y
+        test = ~train_mask
+        acc = np.mean(predictions[test] == y[test])
+        assert acc > 1.2 / hin.n_labels, f"{name} at chance level ({acc:.2f})"
+
+    def test_no_labels_rejected(self, name, factory, hin):
+        empty = hin.masked(np.zeros(hin.n_nodes, dtype=bool))
+        with pytest.raises(ValidationError):
+            factory().fit_predict(empty, rng=np.random.default_rng(0))
+
+
+CLAMPING_BASELINES = [
+    ("ICA", lambda: ICA(n_iterations=2)),
+    ("Hcc", lambda: Hcc(n_iterations=2)),
+    ("HccSS", lambda: HccSS(n_iterations=2)),
+    ("WvRNRL", lambda: WvRNRL(n_iterations=20)),
+    ("EMR", lambda: EMR(n_iterations=1)),
+]
+
+
+@pytest.mark.parametrize("name,factory", CLAMPING_BASELINES)
+def test_labeled_nodes_clamped(name, factory, hin, train_mask):
+    scores = factory().fit_predict(hin.masked(train_mask), rng=np.random.default_rng(0))
+    predictions = np.argmax(scores, axis=1)
+    y = hin.y
+    assert np.all(predictions[train_mask] == y[train_mask])
+
+
+class TestICA:
+    def test_invalid_base_rejected(self):
+        with pytest.raises(ValidationError):
+            ICA(base="forest")
+
+    def test_invalid_iterations_rejected(self):
+        with pytest.raises(ValidationError):
+            ICA(n_iterations=0)
+
+    def test_svm_base_runs(self, hin, train_mask):
+        scores = ICA(n_iterations=1, base="svm").fit_predict(hin.masked(train_mask))
+        assert scores.shape == (hin.n_nodes, hin.n_labels)
+
+
+class TestHcc:
+    def test_uses_per_relation_features(self, hin, train_mask):
+        """Hcc and ICA differ because Hcc separates link types."""
+        train = hin.masked(train_mask)
+        hcc_scores = Hcc(n_iterations=2).fit_predict(train)
+        ica_scores = ICA(n_iterations=2).fit_predict(train)
+        assert not np.allclose(hcc_scores, ica_scores)
+
+
+class TestHccSS:
+    def test_confidence_fraction_validated(self):
+        with pytest.raises(ValidationError):
+            HccSS(confidence_fraction=0.0)
+        with pytest.raises(ValidationError):
+            HccSS(confidence_fraction=1.5)
+
+    def test_promotion_changes_result(self, hin, train_mask):
+        train = hin.masked(train_mask)
+        plain = Hcc(n_iterations=3).fit_predict(train)
+        semi = HccSS(n_iterations=3, confidence_fraction=0.5).fit_predict(train)
+        assert not np.allclose(plain, semi)
+
+
+class TestWvRNRL:
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            WvRNRL(n_iterations=0)
+        with pytest.raises(ValidationError):
+            WvRNRL(decay=1.5)
+        with pytest.raises(ValidationError):
+            WvRNRL(content_top_k=-1)
+
+    def test_content_graph_optional(self, hin, train_mask):
+        train = hin.masked(train_mask)
+        with_content = WvRNRL(n_iterations=20, content_top_k=5).fit_predict(train)
+        without = WvRNRL(n_iterations=20, content_top_k=0).fit_predict(train)
+        assert not np.allclose(with_content, without)
+
+    def test_rows_remain_distributions(self, hin, train_mask):
+        scores = WvRNRL(n_iterations=30).fit_predict(hin.masked(train_mask))
+        assert np.allclose(scores.sum(axis=1), 1.0, atol=1e-6)
+
+
+class TestEMR:
+    def test_vote_modes(self, hin, train_mask):
+        train = hin.masked(train_mask)
+        soft = EMR(n_iterations=1, vote="soft").fit_predict(train)
+        hard = EMR(n_iterations=1, vote="hard").fit_predict(train)
+        assert soft.shape == hard.shape
+        assert not np.allclose(soft, hard)
+
+    def test_invalid_vote_rejected(self):
+        with pytest.raises(ValidationError):
+            EMR(vote="plurality")
+
+    def test_invalid_svm_c_rejected(self):
+        with pytest.raises(ValidationError):
+            EMR(svm_c=0.0)
+
+    def test_no_links_rejected(self):
+        from repro.hin.builder import HINBuilder
+
+        builder = HINBuilder(["a", "b"])
+        builder.add_node("u", features=[1.0], labels=["a"])
+        builder.add_node("v", features=[0.0], labels=["b"])
+        builder.add_relation("empty")
+        with pytest.raises(ValidationError):
+            EMR().fit_predict(builder.build())
+
+
+class TestHighwayNetwork:
+    def test_uses_rng(self, hin, train_mask):
+        """Different seeds give different (but both sane) results."""
+        train = hin.masked(train_mask)
+        a = HighwayNetwork(epochs=20).fit_predict(train, rng=np.random.default_rng(0))
+        b = HighwayNetwork(epochs=20).fit_predict(train, rng=np.random.default_rng(1))
+        assert not np.allclose(a, b)
+
+    def test_deterministic_given_seed(self, hin, train_mask):
+        train = hin.masked(train_mask)
+        a = HighwayNetwork(epochs=20).fit_predict(train, rng=np.random.default_rng(7))
+        b = HighwayNetwork(epochs=20).fit_predict(train, rng=np.random.default_rng(7))
+        assert np.allclose(a, b)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            HighwayNetwork(hidden_size=0)
+
+
+class TestGraphInception:
+    def test_hops_increase_feature_use(self, hin, train_mask):
+        train = hin.masked(train_mask)
+        one_hop = GraphInception(n_hops=1, epochs=20).fit_predict(
+            train, rng=np.random.default_rng(3)
+        )
+        two_hop = GraphInception(n_hops=2, epochs=20).fit_predict(
+            train, rng=np.random.default_rng(3)
+        )
+        assert not np.allclose(one_hop, two_hop)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            GraphInception(n_components=0)
+        with pytest.raises(ValidationError):
+            GraphInception(n_hops=0)

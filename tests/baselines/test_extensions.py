@@ -1,0 +1,166 @@
+"""Tests for the ZooBP and WeightedWvRN extension baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import WeightedWvRN, WvRNRL, ZooBP, estimate_relation_weights
+from repro.errors import ValidationError
+from tests.conftest import small_labeled_hin
+
+
+@pytest.fixture(scope="module")
+def hin():
+    return small_labeled_hin(seed=9, n=36, q=3)
+
+
+@pytest.fixture(scope="module")
+def train(hin):
+    mask = np.zeros(hin.n_nodes, dtype=bool)
+    mask[::2] = True
+    return hin.masked(mask)
+
+
+class TestZooBP:
+    def test_scores_shape_and_rows(self, hin, train):
+        scores = ZooBP().fit_predict(train)
+        assert scores.shape == (hin.n_nodes, hin.n_labels)
+        assert np.allclose(scores.sum(axis=1), 1.0)
+        assert scores.min() >= 0
+
+    def test_beats_chance(self, hin, train):
+        scores = ZooBP().fit_predict(train)
+        y = hin.y
+        test = ~train.labeled_mask
+        acc = np.mean(np.argmax(scores, 1)[test] == y[test])
+        assert acc > 1.2 / hin.n_labels
+
+    def test_deterministic(self, train):
+        a = ZooBP().fit_predict(train)
+        b = ZooBP().fit_predict(train)
+        assert np.allclose(a, b)
+
+    def test_labeled_nodes_lean_toward_their_class(self, hin, train):
+        scores = ZooBP().fit_predict(train)
+        y = hin.y
+        labeled = train.labeled_mask
+        acc = np.mean(np.argmax(scores, 1)[labeled] == y[labeled])
+        assert acc > 0.9
+
+    def test_relation_strengths(self, train):
+        uniform = ZooBP().fit_predict(train)
+        weighted = ZooBP(relation_strengths=[1.0, 0.0]).fit_predict(train)
+        assert not np.allclose(uniform, weighted)
+
+    def test_all_zero_strengths_rejected(self, train):
+        with pytest.raises(ValidationError):
+            ZooBP(relation_strengths=[0.0, 0.0]).fit_predict(train)
+
+    def test_wrong_strength_length_rejected(self, train):
+        with pytest.raises(ValidationError):
+            ZooBP(relation_strengths=[1.0]).fit_predict(train)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            ZooBP(interaction_strength=0.0)
+        with pytest.raises(ValidationError):
+            ZooBP(interaction_strength=1.5)
+        with pytest.raises(ValidationError):
+            ZooBP(relation_strengths=[2.0])
+
+    def test_no_labels_rejected(self, hin):
+        empty = hin.masked(np.zeros(hin.n_nodes, dtype=bool))
+        with pytest.raises(ValidationError):
+            ZooBP().fit_predict(empty)
+
+
+class TestEstimateRelationWeights:
+    def test_clean_relation_outranks_noisy(self):
+        """On DBLP the pure venues must earn higher weights."""
+        from repro.datasets import make_dblp
+        from repro.ml.splits import stratified_fraction_split
+
+        hin = make_dblp(n_authors=200, attendees_per_conference=25, seed=0)
+        mask = stratified_fraction_split(hin.y, 0.4, rng=np.random.default_rng(0))
+        weights = estimate_relation_weights(hin.masked(mask))
+        purity = hin.metadata["conference_purity"]
+        pure = np.mean(
+            [weights[hin.relation_index(c)] for c, p in purity.items() if p > 0.9]
+        )
+        noisy = np.mean(
+            [weights[hin.relation_index(c)] for c, p in purity.items() if p < 0.6]
+        )
+        assert pure > noisy
+
+    def test_range(self, train):
+        weights = estimate_relation_weights(train)
+        assert np.all((weights >= 0) & (weights <= 1))
+
+    def test_unlabeled_relation_gets_zero(self):
+        from repro.hin.builder import HINBuilder
+
+        builder = HINBuilder(["a", "b"])
+        builder.add_node("u", features=[1.0], labels=["a"])
+        builder.add_node("v", features=[1.0], labels=["b"])
+        builder.add_node("x", features=[1.0])
+        builder.add_node("z", features=[1.0])
+        builder.add_link("u", "v", "seen")
+        builder.add_link("x", "z", "unseen")  # both endpoints unlabeled
+        weights = estimate_relation_weights(builder.build())
+        assert weights[1] == 0.0
+
+
+class TestWeightedWvRN:
+    def test_interface(self, hin, train):
+        scores = WeightedWvRN().fit_predict(train)
+        assert scores.shape == (hin.n_nodes, hin.n_labels)
+
+    def test_differs_from_plain_wvrn(self, train):
+        plain = WvRNRL().fit_predict(train)
+        weighted = WeightedWvRN().fit_predict(train)
+        assert not np.allclose(plain, weighted)
+
+    def test_beats_chance(self, hin, train):
+        scores = WeightedWvRN().fit_predict(train)
+        y = hin.y
+        test = ~train.labeled_mask
+        acc = np.mean(np.argmax(scores, 1)[test] == y[test])
+        assert acc > 1.2 / hin.n_labels
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            WeightedWvRN(prior_strength=-1.0)
+        with pytest.raises(ValueError):
+            WeightedWvRN(floor=2.0)
+
+    def test_weighting_helps_on_noisy_relations(self):
+        """With one clean and one adversarially dense noisy relation,
+        weighting must not do worse than equal weighting."""
+        from repro.datasets.synthetic import RelationSpec, make_synthetic_hin
+        from repro.ml.splits import stratified_fraction_split
+
+        hin = make_synthetic_hin(
+            120,
+            ["a", "b", "c"],
+            [
+                RelationSpec(name="clean", n_links=200, homophily=0.95),
+                RelationSpec(name="noise", n_links=600, homophily=0.0),
+            ],
+            vocab_size=30,
+            words_per_node=10,
+            feature_noise=0.9,
+            seed=0,
+        )
+        y = hin.y
+        accs = {"plain": [], "weighted": []}
+        for seed in range(3):
+            mask = stratified_fraction_split(y, 0.3, rng=np.random.default_rng(seed))
+            train = hin.masked(mask)
+            for name, method in (
+                ("plain", WvRNRL(content_top_k=0)),
+                ("weighted", WeightedWvRN(content_top_k=0)),
+            ):
+                scores = method.fit_predict(train)
+                accs[name].append(
+                    np.mean(np.argmax(scores, 1)[~mask] == y[~mask])
+                )
+        assert np.mean(accs["weighted"]) >= np.mean(accs["plain"]) - 0.02

@@ -1,0 +1,94 @@
+"""Tests for the GNetMine graph-regularised baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GNetMine
+from repro.errors import ValidationError
+from tests.conftest import small_labeled_hin
+
+
+@pytest.fixture(scope="module")
+def hin():
+    return small_labeled_hin(seed=11, n=36, q=3)
+
+
+@pytest.fixture(scope="module")
+def train(hin):
+    mask = np.zeros(hin.n_nodes, dtype=bool)
+    mask[::2] = True
+    return hin.masked(mask)
+
+
+class TestGNetMine:
+    def test_scores_shape(self, hin, train):
+        scores = GNetMine().fit_predict(train)
+        assert scores.shape == (hin.n_nodes, hin.n_labels)
+        assert np.isfinite(scores).all()
+        assert scores.min() >= 0
+
+    def test_beats_chance(self, hin, train):
+        scores = GNetMine().fit_predict(train)
+        y = hin.y
+        test = ~train.labeled_mask
+        acc = np.mean(np.argmax(scores, 1)[test] == y[test])
+        assert acc > 1.2 / hin.n_labels
+
+    def test_labeled_nodes_recovered(self, hin, train):
+        scores = GNetMine(mu=0.5).fit_predict(train)
+        y = hin.y
+        labeled = train.labeled_mask
+        acc = np.mean(np.argmax(scores, 1)[labeled] == y[labeled])
+        assert acc > 0.9
+
+    def test_deterministic(self, train):
+        a = GNetMine().fit_predict(train)
+        b = GNetMine().fit_predict(train)
+        assert np.allclose(a, b)
+
+    def test_mu_controls_seed_adherence(self, hin, train):
+        """Large mu keeps predictions closer to the seeds."""
+        y = hin.y
+        labeled = train.labeled_mask
+        tight = GNetMine(mu=0.9).fit_predict(train)
+        loose = GNetMine(mu=0.05).fit_predict(train)
+        tight_acc = np.mean(np.argmax(tight, 1)[labeled] == y[labeled])
+        loose_acc = np.mean(np.argmax(loose, 1)[labeled] == y[labeled])
+        assert tight_acc >= loose_acc
+
+    def test_relation_weights_change_result(self, train):
+        uniform = GNetMine().fit_predict(train)
+        skewed = GNetMine(relation_weights=[1.0, 0.0]).fit_predict(train)
+        assert not np.allclose(uniform, skewed)
+
+    def test_zero_total_weight_rejected(self, train):
+        with pytest.raises(ValidationError):
+            GNetMine(relation_weights=[0.0, 0.0]).fit_predict(train)
+
+    def test_wrong_weight_length_rejected(self, train):
+        with pytest.raises(ValidationError):
+            GNetMine(relation_weights=[1.0]).fit_predict(train)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            GNetMine(mu=0.0)
+        with pytest.raises(ValidationError):
+            GNetMine(mu=1.0)
+        with pytest.raises(ValidationError):
+            GNetMine(relation_weights=[-1.0])
+
+    def test_no_labels_rejected(self, hin):
+        empty = hin.masked(np.zeros(hin.n_nodes, dtype=bool))
+        with pytest.raises(ValidationError):
+            GNetMine().fit_predict(empty)
+
+    def test_isolated_nodes_get_prior(self):
+        from repro.hin.builder import HINBuilder
+
+        builder = HINBuilder(["a", "b"])
+        builder.add_node("u", features=[1.0], labels=["a"])
+        builder.add_node("v", features=[1.0], labels=["b"])
+        builder.add_node("island", features=[1.0])
+        builder.add_link("u", "v", "r")
+        scores = GNetMine().fit_predict(builder.build())
+        assert np.allclose(scores[2].sum(), 1.0)

@@ -1,0 +1,87 @@
+"""Tests for the RankClass baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RankClass
+from repro.errors import ValidationError
+from tests.conftest import small_labeled_hin
+
+
+@pytest.fixture(scope="module")
+def hin():
+    return small_labeled_hin(seed=13, n=36, q=3)
+
+
+@pytest.fixture(scope="module")
+def train(hin):
+    mask = np.zeros(hin.n_nodes, dtype=bool)
+    mask[::2] = True
+    return hin.masked(mask)
+
+
+class TestRankClass:
+    def test_scores_shape(self, hin, train):
+        scores = RankClass().fit_predict(train)
+        assert scores.shape == (hin.n_nodes, hin.n_labels)
+        assert np.isfinite(scores).all()
+        assert scores.min() >= 0
+
+    def test_per_class_columns_are_rankings(self, train):
+        scores = RankClass().fit_predict(train)
+        assert np.allclose(scores.sum(axis=0), 1.0, atol=1e-6)
+
+    def test_beats_chance(self, hin, train):
+        scores = RankClass().fit_predict(train)
+        y = hin.y
+        test = ~train.labeled_mask
+        acc = np.mean(np.argmax(scores, 1)[test] == y[test])
+        assert acc > 1.2 / hin.n_labels
+
+    def test_deterministic(self, train):
+        a = RankClass().fit_predict(train)
+        b = RankClass().fit_predict(train)
+        assert np.allclose(a, b)
+
+    def test_class_without_seeds_gets_uniform(self, hin):
+        labels = hin.label_matrix.copy()
+        labels[:, 2] = False
+        masked = hin.with_labels(labels)
+        scores = RankClass().fit_predict(masked)
+        assert np.allclose(scores[:, 2], 1.0 / hin.n_nodes)
+
+    def test_rounds_refine_weights(self, train):
+        one_round = RankClass(n_rounds=1).fit_predict(train)
+        three_rounds = RankClass(n_rounds=3).fit_predict(train)
+        assert not np.allclose(one_round, three_rounds)
+
+    def test_learns_relation_relevance_on_dblp(self):
+        """RankClass's weight update should help on heterogeneous-purity
+        venues — but stay behind T-Mark (the paper's point)."""
+        from repro.core import TMark
+        from repro.datasets import get_dataset
+        from repro.ml.splits import stratified_fraction_split
+
+        hin = get_dataset("dblp", scale=0.4, seed=0)
+        y = hin.y
+        mask = stratified_fraction_split(y, 0.2, rng=np.random.default_rng(0))
+        train = hin.masked(mask)
+        rankclass_scores = RankClass().fit_predict(train)
+        rankclass_acc = np.mean(np.argmax(rankclass_scores, 1)[~mask] == y[~mask])
+        assert rankclass_acc > 0.6
+        tmark = TMark(alpha=0.8, gamma=0.6, label_threshold=0.8).fit(train)
+        tmark_acc = np.mean(tmark.predict()[~mask] == y[~mask])
+        assert tmark_acc >= rankclass_acc - 0.05
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            RankClass(restart=0.0)
+        with pytest.raises(ValidationError):
+            RankClass(n_rounds=0)
+        with pytest.raises(ValidationError):
+            RankClass(smoothing=0.0)
+
+    def test_no_labels_rejected(self, hin):
+        empty = hin.masked(np.zeros(hin.n_nodes, dtype=bool))
+        with pytest.raises(ValidationError):
+            RankClass().fit_predict(empty)

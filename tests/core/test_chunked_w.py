@@ -1,0 +1,68 @@
+"""Tests for the chunked top-k cosine transition matrix."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.features import (
+    feature_transition_matrix,
+    topk_cosine_transition_matrix,
+)
+from repro.errors import ValidationError
+
+
+@pytest.fixture
+def count_features(rng):
+    feats = rng.poisson(1.0, size=(40, 6)).astype(float)
+    feats[5] = 0.0  # a featureless node
+    return feats
+
+
+class TestChunkedTopkW:
+    @pytest.mark.parametrize("chunk_size", [1, 7, 16, 100])
+    def test_matches_dense_path(self, count_features, chunk_size):
+        dense = feature_transition_matrix(count_features, top_k=4)
+        chunked = topk_cosine_transition_matrix(
+            count_features, 4, chunk_size=chunk_size
+        )
+        assert np.allclose(chunked.toarray(), dense.toarray())
+
+    def test_columns_are_distributions(self, count_features):
+        matrix = topk_cosine_transition_matrix(count_features, 3)
+        cols = np.asarray(matrix.sum(axis=0)).ravel()
+        assert np.allclose(cols, 1.0)
+        assert matrix.min() >= 0
+
+    def test_featureless_column_uniform(self, count_features):
+        matrix = topk_cosine_transition_matrix(count_features, 3).toarray()
+        n = count_features.shape[0]
+        assert np.allclose(matrix[:, 5], 1.0 / n)
+
+    def test_sparse_features_match(self, rng):
+        # Continuous features: no exact similarity ties, so the top-k
+        # selection is unambiguous across the dense and sparse paths.
+        feats = rng.uniform(0.1, 1.0, size=(40, 6))
+        dense = topk_cosine_transition_matrix(feats, 4)
+        sparse = topk_cosine_transition_matrix(sp.csr_matrix(feats), 4)
+        assert np.allclose(dense.toarray(), sparse.toarray())
+
+    def test_k_larger_than_n(self, count_features):
+        full = feature_transition_matrix(count_features)
+        chunked = topk_cosine_transition_matrix(count_features, 1000)
+        assert np.allclose(chunked.toarray(), np.asarray(full), atol=1e-12)
+
+    def test_sparsity_bound(self, count_features):
+        matrix = topk_cosine_transition_matrix(count_features, 3)
+        max_col = max(np.diff(matrix.tocsc().indptr))
+        # top-3 plus possibly the forced diagonal.
+        assert max_col <= 4 or max_col == count_features.shape[0]  # uniform col
+
+    def test_bad_parameters_rejected(self, count_features):
+        with pytest.raises(Exception):
+            topk_cosine_transition_matrix(count_features, 0)
+        with pytest.raises(ValidationError):
+            topk_cosine_transition_matrix(count_features, 3, chunk_size=0)
+
+    def test_1d_features_rejected(self):
+        with pytest.raises(ValidationError):
+            topk_cosine_transition_matrix(np.ones(5), 2)

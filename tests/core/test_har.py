@@ -1,0 +1,82 @@
+"""Tests for the HAR hub/authority/relevance co-ranking."""
+
+import numpy as np
+import pytest
+
+from repro.core.har import HAR
+from repro.errors import ValidationError
+from repro.tensor.sptensor import SparseTensor3
+from repro.utils.simplex import is_distribution
+
+
+def star_tensor():
+    """Node 0 is pointed at by 1..4 (authority); node 5 points at all."""
+    i = [0, 0, 0, 0, 0, 1, 2, 3, 4]
+    j = [1, 2, 3, 4, 5, 5, 5, 5, 5]
+    return SparseTensor3(i, j, [0] * 9, shape=(6, 6, 1))
+
+
+class TestHAR:
+    def test_outputs_are_distributions(self, tiny_tensor):
+        result = HAR().rank(tiny_tensor)
+        assert is_distribution(result.authority)
+        assert is_distribution(result.hub)
+        assert is_distribution(result.relevance)
+
+    def test_converges(self, tiny_tensor):
+        result = HAR().rank(tiny_tensor)
+        assert result.history.converged
+
+    def test_authority_vs_hub_roles(self):
+        result = HAR(damping=0.1).rank(star_tensor())
+        # Node 0 is the sink: top authority.  Node 5 is the source: top hub.
+        assert result.top_authorities(1)[0] == 0
+        assert result.top_hubs(1)[0] == 5
+
+    def test_accepts_hin(self, worked_example):
+        result = HAR().rank(worked_example)
+        assert result.authority.shape == (4,)
+        assert result.relevance.shape == (3,)
+
+    def test_rejects_other_types(self):
+        with pytest.raises(ValidationError):
+            HAR().rank([[1, 2], [3, 4]])
+
+    def test_personalization_shifts_ranking(self):
+        tensor = star_tensor()
+        uniform = HAR(damping=0.5).rank(tensor)
+        personal = np.zeros(6)
+        personal[3] = 1.0
+        biased = HAR(damping=0.5).rank(tensor, node_personalization=personal)
+        assert biased.authority[3] > uniform.authority[3]
+
+    def test_bad_personalization_rejected(self, tiny_tensor):
+        with pytest.raises(ValidationError):
+            HAR().rank(tiny_tensor, node_personalization=np.ones(4))
+
+    def test_relation_personalization(self, tiny_tensor):
+        vec = np.array([1.0, 0.0, 0.0])
+        result = HAR(relation_damping=0.5).rank(
+            tiny_tensor, relation_personalization=vec
+        )
+        assert result.relevance[0] > result.relevance[2]
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            HAR(damping=1.5)
+        with pytest.raises(ValidationError):
+            HAR(tol=0.0)
+        with pytest.raises(ValidationError):
+            HAR(max_iter=0)
+
+    def test_deterministic(self, tiny_tensor):
+        a = HAR().rank(tiny_tensor)
+        b = HAR().rank(tiny_tensor)
+        assert np.allclose(a.authority, b.authority)
+        assert np.allclose(a.relevance, b.relevance)
+
+    def test_zero_damping_runs(self, tiny_tensor):
+        result = HAR(damping=0.0, relation_damping=0.0, max_iter=2000).rank(
+            tiny_tensor
+        )
+        assert is_distribution(result.authority)

@@ -1,0 +1,92 @@
+"""Tests for the restart label vectors (Eq. 11 / Eq. 12)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.core.labels import initial_label_vector, updated_label_vector
+from repro.utils.simplex import is_distribution
+
+
+class TestInitialLabelVector:
+    def test_uniform_over_labeled(self):
+        mask = np.array([True, False, True, False])
+        vec = initial_label_vector(mask)
+        assert np.allclose(vec, [0.5, 0.0, 0.5, 0.0])
+
+    def test_is_distribution(self):
+        assert is_distribution(initial_label_vector(np.array([True, False])))
+
+    def test_no_labeled_nodes_falls_back_to_uniform(self):
+        vec = initial_label_vector(np.zeros(4, dtype=bool))
+        assert np.allclose(vec, 0.25)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            initial_label_vector(np.array([], dtype=bool))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            initial_label_vector(np.zeros((2, 2), dtype=bool))
+
+
+class TestUpdatedLabelVector:
+    def test_relative_mode_accepts_top_unlabeled(self):
+        mask = np.array([True, False, False, False])
+        x = np.array([0.8, 0.15, 0.04, 0.01])
+        vec = updated_label_vector(mask, x, 0.5, mode="relative")
+        # Cutoff = 0.5 * max over unlabeled (0.15) = 0.075: node 1 accepted.
+        assert np.allclose(vec, [0.5, 0.5, 0.0, 0.0])
+
+    def test_relative_mode_ignores_anchor_mass(self):
+        # Even with anchors holding most of the mass, the best unlabeled
+        # node sets the acceptance bar (the paper's restart term makes a
+        # global-max reading accept nobody; see module docstring).
+        mask = np.array([True, False, False])
+        x = np.array([0.98, 0.015, 0.005])
+        vec = updated_label_vector(mask, x, 0.9, mode="relative")
+        assert vec[1] > 0 and vec[2] == 0.0
+
+    def test_absolute_mode(self):
+        mask = np.array([True, False, False])
+        x = np.array([0.5, 0.4, 0.1])
+        vec = updated_label_vector(mask, x, 0.3, mode="absolute")
+        assert np.allclose(vec, [0.5, 0.5, 0.0])
+
+    def test_labeled_nodes_always_kept(self):
+        mask = np.array([True, False])
+        x = np.array([0.0, 1.0])
+        vec = updated_label_vector(mask, x, 0.99)
+        assert vec[0] > 0
+
+    def test_output_is_distribution(self):
+        mask = np.array([True, False, False, False, True])
+        x = np.array([0.3, 0.25, 0.2, 0.15, 0.1])
+        assert is_distribution(updated_label_vector(mask, x, 0.5))
+
+    def test_threshold_one_accepts_nothing_extra(self):
+        mask = np.array([True, False, False])
+        x = np.array([0.5, 0.3, 0.2])
+        vec = updated_label_vector(mask, x, 1.0, mode="relative")
+        # Cutoff equals the unlabeled max, strict inequality accepts none.
+        assert np.allclose(vec, [1.0, 0.0, 0.0])
+
+    def test_degenerate_empty_acceptance(self):
+        mask = np.zeros(3, dtype=bool)
+        x = np.zeros(3)
+        vec = updated_label_vector(mask, x, 0.5, mode="absolute")
+        assert np.allclose(vec, 1 / 3)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValidationError):
+            updated_label_vector(np.array([True]), np.array([1.0]), 0.5, mode="fuzzy")
+
+    def test_threshold_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            updated_label_vector(np.array([True]), np.array([1.0]), 1.5)
+
+    def test_all_labeled_relative_mode(self):
+        mask = np.ones(3, dtype=bool)
+        x = np.array([0.5, 0.3, 0.2])
+        vec = updated_label_vector(mask, x, 0.5, mode="relative")
+        assert np.allclose(vec, 1 / 3)

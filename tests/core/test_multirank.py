@@ -1,0 +1,88 @@
+"""Tests for the MultiRank co-ranking substrate."""
+
+import numpy as np
+import pytest
+
+from repro.core.multirank import MultiRank
+from repro.errors import ValidationError
+from repro.tensor.sptensor import SparseTensor3
+from repro.utils.simplex import is_distribution
+from tests.conftest import random_sparse_tensor
+
+
+class TestMultiRank:
+    def test_outputs_are_distributions(self, tiny_tensor):
+        result = MultiRank().rank(tiny_tensor)
+        assert is_distribution(result.x)
+        assert is_distribution(result.z)
+
+    def test_fixed_point_property(self, tiny_tensor):
+        from repro.tensor.transition import build_transition_tensors
+
+        result = MultiRank(tol=1e-12).rank(tiny_tensor)
+        o_tensor, r_tensor = build_transition_tensors(tiny_tensor)
+        assert np.allclose(o_tensor.propagate(result.x, result.z), result.x, atol=1e-8)
+        assert np.allclose(r_tensor.propagate(result.x, result.x), result.z, atol=1e-8)
+
+    def test_accepts_hin(self, worked_example):
+        result = MultiRank().rank(worked_example)
+        assert result.x.shape == (4,)
+        assert result.z.shape == (3,)
+
+    def test_rejects_other_types(self):
+        with pytest.raises(ValidationError):
+            MultiRank().rank(np.zeros((3, 3, 1)))
+
+    def test_convergence_history_recorded(self, tiny_tensor):
+        result = MultiRank().rank(tiny_tensor)
+        assert result.history.n_iterations >= 1
+        assert result.history.converged
+
+    def test_positive_on_irreducible(self):
+        # A directed 3-cycle with one relation: strongly connected.
+        tensor = SparseTensor3([1, 2, 0], [0, 1, 2], [0, 0, 0], shape=(3, 3, 1))
+        result = MultiRank().rank(tensor)
+        assert np.all(result.x > 0)
+        assert np.all(result.z > 0)
+
+    def test_hub_node_ranks_highest(self):
+        # Node 0 receives links from everyone; it should dominate x.
+        i = [0, 0, 0, 1, 2, 3]
+        j = [1, 2, 3, 0, 0, 0]
+        tensor = SparseTensor3(i, j, [0] * 6, shape=(4, 4, 1))
+        result = MultiRank().rank(tensor)
+        assert result.top_objects(1)[0] == 0
+
+    def test_dense_relation_ranks_higher(self):
+        # Relation 0 carries all the structure; relation 1 one link.
+        rng = np.random.default_rng(0)
+        i = rng.integers(0, 6, size=20)
+        j = rng.integers(0, 6, size=20)
+        keep = i != j
+        tensor = SparseTensor3(
+            np.concatenate([i[keep], [0]]),
+            np.concatenate([j[keep], [1]]),
+            np.concatenate([np.zeros(keep.sum(), int), [1]]),
+            shape=(6, 6, 2),
+        )
+        result = MultiRank().rank(tensor)
+        assert result.z[0] > result.z[1]
+
+    def test_deterministic(self, rng):
+        tensor = random_sparse_tensor(rng)
+        a = MultiRank().rank(tensor)
+        b = MultiRank().rank(tensor)
+        assert np.allclose(a.x, b.x) and np.allclose(a.z, b.z)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            MultiRank(tol=0.0)
+        with pytest.raises(ValidationError):
+            MultiRank(max_iter=0)
+
+    def test_top_helpers(self, tiny_tensor):
+        result = MultiRank().rank(tiny_tensor)
+        top = result.top_objects(2)
+        assert len(top) == 2
+        assert result.x[top[0]] >= result.x[top[1]]
+        assert len(result.top_relations(3)) == 3

@@ -1,0 +1,87 @@
+"""Tests for precomputed TMark operators."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import TMark, build_operators
+from repro.errors import ValidationError
+from tests.conftest import small_labeled_hin
+
+
+@pytest.fixture(scope="module")
+def hin():
+    return small_labeled_hin(seed=8, n=36, q=3)
+
+
+@pytest.fixture(scope="module")
+def train(hin):
+    mask = np.zeros(hin.n_nodes, dtype=bool)
+    mask[::3] = True
+    return hin.masked(mask)
+
+
+class TestBuildOperators:
+    def test_identical_results(self, train):
+        operators = build_operators(train)
+        direct = TMark(max_iter=100).fit(train)
+        cached = TMark(max_iter=100).fit(train, operators=operators)
+        assert np.allclose(
+            direct.result_.node_scores, cached.result_.node_scores
+        )
+        assert np.allclose(
+            direct.result_.relation_scores, cached.result_.relation_scores
+        )
+
+    def test_operators_independent_of_labels(self, hin, train):
+        """Operators from the fully-labeled HIN are valid for any mask."""
+        operators = build_operators(hin)
+        direct = TMark(max_iter=100).fit(train)
+        cached = TMark(max_iter=100).fit(train, operators=operators)
+        assert np.allclose(
+            direct.result_.node_scores, cached.result_.node_scores
+        )
+
+    def test_shape_mismatch_rejected(self, train):
+        other = small_labeled_hin(seed=1, n=24, q=3)
+        operators = build_operators(other)
+        with pytest.raises(ValidationError, match="shape"):
+            TMark().fit(train, operators=operators)
+
+    def test_similarity_settings_mismatch_rejected(self, train):
+        operators = build_operators(train, similarity_top_k=5)
+        with pytest.raises(ValidationError, match="similarity"):
+            TMark().fit(train, operators=operators)
+        operators_rbf = build_operators(train, similarity_metric="rbf")
+        with pytest.raises(ValidationError, match="similarity"):
+            TMark().fit(train, operators=operators_rbf)
+
+    def test_matching_settings_accepted(self, train):
+        operators = build_operators(train, similarity_top_k=5, similarity_metric="rbf")
+        model = TMark(
+            similarity_top_k=5, similarity_metric="rbf", max_iter=50
+        ).fit(train, operators=operators)
+        assert np.isfinite(model.result_.node_scores).all()
+
+    def test_reuse_saves_time_on_sweeps(self):
+        from repro.datasets import make_dblp
+
+        hin = make_dblp(n_authors=300, attendees_per_conference=30, seed=0)
+        mask = np.zeros(hin.n_nodes, dtype=bool)
+        mask[::5] = True
+        train = hin.masked(mask)
+        sweeps = [0.3, 0.5, 0.8]
+
+        started = time.perf_counter()
+        for alpha in sweeps:
+            TMark(alpha=alpha, max_iter=60).fit(train)
+        cold = time.perf_counter() - started
+
+        operators = build_operators(train)
+        started = time.perf_counter()
+        for alpha in sweeps:
+            TMark(alpha=alpha, max_iter=60).fit(train, operators=operators)
+        warm = time.perf_counter() - started
+        # Generous bound: caching must not be slower (usually ~2x faster).
+        assert warm < cold * 1.2

@@ -1,0 +1,66 @@
+"""Tests for fitted-result persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import TMark
+from repro.core.persistence import load_result, save_result
+from repro.errors import ValidationError
+from tests.conftest import small_labeled_hin
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    hin = small_labeled_hin(seed=12, n=24, q=3)
+    mask = np.zeros(hin.n_nodes, dtype=bool)
+    mask[::2] = True
+    return TMark(max_iter=100).fit(hin.masked(mask))
+
+
+class TestResultPersistence:
+    def test_round_trip_scores(self, fitted, tmp_path):
+        path = save_result(fitted.result_, tmp_path / "model.npz")
+        loaded = load_result(path)
+        assert np.allclose(loaded.node_scores, fitted.result_.node_scores)
+        assert np.allclose(
+            loaded.relation_scores, fitted.result_.relation_scores
+        )
+        assert loaded.label_names == fitted.result_.label_names
+        assert loaded.relation_names == fitted.result_.relation_names
+
+    def test_round_trip_histories(self, fitted, tmp_path):
+        loaded = load_result(save_result(fitted.result_, tmp_path / "m.npz"))
+        for original, restored in zip(fitted.result_.histories, loaded.histories):
+            assert restored.converged == original.converged
+            assert restored.n_iterations == original.n_iterations
+            assert restored.n_anchors == original.n_anchors
+            assert np.allclose(restored.residuals, original.residuals)
+            assert restored.accepted_history == original.accepted_history
+
+    def test_rankings_usable_after_reload(self, fitted, tmp_path):
+        loaded = load_result(save_result(fitted.result_, tmp_path / "m.npz"))
+        original = fitted.result_.top_relations(0, count=2)
+        assert loaded.top_relations(0, count=2) == original
+
+    def test_suffix_added(self, fitted, tmp_path):
+        path = save_result(fitted.result_, tmp_path / "model")
+        assert path.suffix == ".npz" and path.exists()
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            load_result(tmp_path / "absent.npz")
+
+    def test_version_check(self, fitted, tmp_path):
+        import json
+
+        path = save_result(fitted.result_, tmp_path / "m.npz")
+        with np.load(path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        header = json.loads(bytes(arrays["header"]).decode())
+        header["format_version"] = 42
+        arrays["header"] = np.frombuffer(
+            json.dumps(header).encode(), dtype=np.uint8
+        )
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValidationError, match="version"):
+            load_result(path)

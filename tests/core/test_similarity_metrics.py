@@ -1,0 +1,133 @@
+"""Tests for the alternative node-similarity metrics (section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import (
+    SIMILARITY_METRICS,
+    feature_transition_matrix,
+    jaccard_similarity_matrix,
+    rbf_similarity_matrix,
+)
+from repro.errors import ValidationError
+
+
+class TestRbfSimilarity:
+    def test_self_similarity_is_one(self, rng):
+        feats = rng.normal(size=(6, 3))
+        sims = rbf_similarity_matrix(feats)
+        assert np.allclose(np.diag(sims), 1.0)
+
+    def test_symmetric(self, rng):
+        feats = rng.normal(size=(5, 4))
+        sims = rbf_similarity_matrix(feats)
+        assert np.allclose(sims, sims.T)
+
+    def test_range(self, rng):
+        feats = rng.normal(size=(7, 3))
+        sims = rbf_similarity_matrix(feats)
+        assert sims.min() >= 0 and sims.max() <= 1 + 1e-12
+
+    def test_closer_means_more_similar(self):
+        feats = np.array([[0.0], [0.1], [5.0]])
+        sims = rbf_similarity_matrix(feats, bandwidth=1.0)
+        assert sims[0, 1] > sims[0, 2]
+
+    def test_explicit_bandwidth(self):
+        feats = np.array([[0.0], [1.0]])
+        sims = rbf_similarity_matrix(feats, bandwidth=1.0)
+        assert sims[0, 1] == pytest.approx(np.exp(-0.5))
+
+    def test_bad_bandwidth_rejected(self):
+        with pytest.raises(ValidationError):
+            rbf_similarity_matrix(np.eye(2), bandwidth=0.0)
+
+    def test_handles_identical_rows(self):
+        feats = np.ones((4, 2))
+        sims = rbf_similarity_matrix(feats)
+        assert np.allclose(sims, 1.0)
+
+
+class TestJaccardSimilarity:
+    def test_identical_rows(self):
+        feats = np.array([[1.0, 2.0], [1.0, 2.0]])
+        assert jaccard_similarity_matrix(feats)[0, 1] == pytest.approx(1.0)
+
+    def test_disjoint_rows(self):
+        feats = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert jaccard_similarity_matrix(feats)[0, 1] == 0.0
+
+    def test_hand_computed(self):
+        feats = np.array([[2.0, 1.0], [1.0, 1.0]])
+        # min = [1, 1] -> 2; max = [2, 1] -> 3.
+        assert jaccard_similarity_matrix(feats)[0, 1] == pytest.approx(2 / 3)
+
+    def test_zero_rows(self):
+        feats = np.array([[0.0, 0.0], [1.0, 0.0]])
+        sims = jaccard_similarity_matrix(feats)
+        assert sims[0, 0] == 0.0 and sims[0, 1] == 0.0
+
+    def test_negative_features_rejected(self):
+        with pytest.raises(ValidationError):
+            jaccard_similarity_matrix(np.array([[-1.0, 2.0]]))
+
+    def test_symmetric(self, rng):
+        feats = rng.poisson(1.0, size=(6, 4)).astype(float)
+        sims = jaccard_similarity_matrix(feats)
+        assert np.allclose(sims, sims.T)
+
+
+class TestMetricSelection:
+    @pytest.mark.parametrize("metric", SIMILARITY_METRICS)
+    def test_all_metrics_give_stochastic_w(self, rng, metric):
+        feats = rng.poisson(1.0, size=(8, 5)).astype(float)
+        w = feature_transition_matrix(feats, metric=metric)
+        assert np.allclose(np.asarray(w).sum(axis=0), 1.0)
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValidationError):
+            feature_transition_matrix(np.eye(3), metric="hamming")
+
+    @pytest.mark.parametrize("metric", SIMILARITY_METRICS)
+    def test_top_k_composes_with_metrics(self, rng, metric):
+        feats = rng.poisson(1.0, size=(10, 5)).astype(float)
+        w = feature_transition_matrix(feats, metric=metric, top_k=3)
+        cols = np.asarray(w.sum(axis=0)).ravel()
+        assert np.allclose(cols, 1.0)
+
+    def test_tmark_accepts_metric(self, partially_labeled_hin):
+        from repro.core import TMark
+        from repro.hin.graph import HIN
+
+        # Jaccard needs non-negative features; rebuild the fixture HIN
+        # with absolute-valued features so all metrics apply.
+        hin = HIN(
+            partially_labeled_hin.tensor,
+            partially_labeled_hin.relation_names,
+            np.abs(partially_labeled_hin.features_dense()),
+            partially_labeled_hin.label_matrix,
+            partially_labeled_hin.label_names,
+            node_names=partially_labeled_hin.node_names,
+        )
+        for metric in SIMILARITY_METRICS:
+            model = TMark(similarity_metric=metric, max_iter=50).fit(hin)
+            assert np.isfinite(model.result_.node_scores).all()
+
+    def test_tmark_rejects_unknown_metric(self):
+        from repro.core import TMark
+
+        with pytest.raises(ValidationError):
+            TMark(similarity_metric="mystery")
+
+    def test_metrics_differ_on_real_data(self, partially_labeled_hin):
+        from repro.core import TMark
+
+        cosine = TMark(similarity_metric="cosine", gamma=0.8, max_iter=80).fit(
+            partially_labeled_hin
+        )
+        rbf = TMark(similarity_metric="rbf", gamma=0.8, max_iter=80).fit(
+            partially_labeled_hin
+        )
+        assert not np.allclose(
+            cosine.result_.node_scores, rbf.result_.node_scores
+        )

@@ -1,0 +1,38 @@
+"""Tests for the TensorRrCc predecessor model."""
+
+import numpy as np
+
+from repro.core.tensorrrcc import TensorRrCc
+from repro.core.tmark import TMark
+
+
+class TestTensorRrCc:
+    def test_update_labels_forced_off(self):
+        assert TensorRrCc().update_labels is False
+
+    def test_is_a_tmark(self):
+        assert isinstance(TensorRrCc(), TMark)
+
+    def test_differs_from_tmark_with_updates(self, partially_labeled_hin):
+        """The ICA update must actually change the stationary solution."""
+        rrcc = TensorRrCc(alpha=0.5, gamma=0.3).fit(partially_labeled_hin)
+        tmark = TMark(alpha=0.5, gamma=0.3, label_threshold=0.5).fit(
+            partially_labeled_hin
+        )
+        assert not np.allclose(
+            rrcc.result_.node_scores, tmark.result_.node_scores
+        )
+
+    def test_parameters_forwarded(self):
+        model = TensorRrCc(alpha=0.7, gamma=0.2, tol=1e-6, max_iter=77)
+        assert model.alpha == 0.7
+        assert model.gamma == 0.2
+        assert model.tol == 1e-6
+        assert model.max_iter == 77
+
+    def test_fit_predict_shape(self, partially_labeled_hin):
+        scores = TensorRrCc().fit_predict(partially_labeled_hin)
+        assert scores.shape == (
+            partially_labeled_hin.n_nodes,
+            partially_labeled_hin.n_labels,
+        )

@@ -1,0 +1,200 @@
+"""Tests for the T-Mark classifier."""
+
+import numpy as np
+import pytest
+
+from repro.core.tmark import TMark
+from repro.errors import NotFittedError, ValidationError
+from repro.utils.simplex import is_distribution
+
+
+class TestParameters:
+    def test_beta_formula(self):
+        model = TMark(alpha=0.8, gamma=0.5)
+        assert model.beta == pytest.approx(0.5 * 0.2)
+
+    def test_gamma_zero_disables_features(self):
+        assert TMark(alpha=0.5, gamma=0.0).beta == 0.0
+
+    def test_gamma_one_disables_relations(self):
+        model = TMark(alpha=0.5, gamma=1.0)
+        assert 1.0 - model.alpha - model.beta == pytest.approx(0.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alpha": 0.0},
+            {"alpha": 1.0},
+            {"gamma": -0.1},
+            {"gamma": 1.1},
+            {"tol": 0.0},
+            {"max_iter": 0},
+            {"label_threshold": 2.0},
+            {"threshold_mode": "weird"},
+            {"similarity_top_k": 0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            TMark(**kwargs)
+
+
+class TestFit:
+    def test_result_shapes(self, partially_labeled_hin):
+        model = TMark().fit(partially_labeled_hin)
+        n, q, m = (
+            partially_labeled_hin.n_nodes,
+            partially_labeled_hin.n_labels,
+            partially_labeled_hin.n_relations,
+        )
+        assert model.result_.node_scores.shape == (n, q)
+        assert model.result_.relation_scores.shape == (m, q)
+        assert len(model.result_.histories) == q
+
+    def test_columns_are_distributions(self, partially_labeled_hin):
+        model = TMark().fit(partially_labeled_hin)
+        for c in range(partially_labeled_hin.n_labels):
+            assert is_distribution(model.result_.node_scores[:, c])
+            assert is_distribution(model.result_.relation_scores[:, c])
+
+    def test_chains_converge(self, partially_labeled_hin):
+        model = TMark(tol=1e-8, max_iter=300).fit(partially_labeled_hin)
+        for history in model.result_.histories:
+            assert history.converged
+
+    def test_fit_rejects_non_hin(self):
+        with pytest.raises(ValidationError):
+            TMark().fit(np.zeros((3, 3)))
+
+    def test_deterministic(self, partially_labeled_hin):
+        a = TMark().fit(partially_labeled_hin).result_.node_scores
+        b = TMark().fit(partially_labeled_hin).result_.node_scores
+        assert np.allclose(a, b)
+
+    def test_labeled_nodes_recovered(self, partially_labeled_hin):
+        """Training nodes must be classified as their own label."""
+        model = TMark().fit(partially_labeled_hin)
+        predictions = model.predict()
+        y = partially_labeled_hin.y
+        labeled = y >= 0
+        assert np.mean(predictions[labeled] == y[labeled]) > 0.9
+
+    def test_propagation_beats_chance(self, labeled_hin):
+        """On a homophilous HIN, held-out accuracy must beat chance."""
+        y = labeled_hin.y
+        mask = np.zeros(labeled_hin.n_nodes, dtype=bool)
+        mask[::3] = True
+        model = TMark().fit(labeled_hin.masked(mask))
+        acc = np.mean(model.predict()[~mask] == y[~mask])
+        assert acc > 1.5 / labeled_hin.n_labels
+
+    def test_update_labels_off_matches_tensorrrcc(self, partially_labeled_hin):
+        from repro.core.tensorrrcc import TensorRrCc
+
+        frozen = TMark(update_labels=False).fit(partially_labeled_hin)
+        rrcc = TensorRrCc().fit(partially_labeled_hin)
+        assert np.allclose(frozen.result_.node_scores, rrcc.result_.node_scores)
+
+    def test_similarity_top_k_path(self, partially_labeled_hin):
+        model = TMark(similarity_top_k=5).fit(partially_labeled_hin)
+        assert model.result_.node_scores.shape[0] == partially_labeled_hin.n_nodes
+
+    def test_gamma_extremes_run(self, partially_labeled_hin):
+        for gamma in (0.0, 1.0):
+            model = TMark(gamma=gamma).fit(partially_labeled_hin)
+            assert np.isfinite(model.result_.node_scores).all()
+
+
+class TestPredict:
+    def test_requires_fit(self):
+        model = TMark()
+        with pytest.raises(NotFittedError):
+            model.predict()
+        with pytest.raises(NotFittedError):
+            model.predict_proba()
+        with pytest.raises(NotFittedError):
+            model.predict_scores()
+
+    def test_predict_proba_rows_sum_to_one(self, partially_labeled_hin):
+        model = TMark().fit(partially_labeled_hin)
+        proba = model.predict_proba()
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_predict_scores_is_copy(self, partially_labeled_hin):
+        model = TMark().fit(partially_labeled_hin)
+        scores = model.predict_scores()
+        scores[:] = 0
+        assert model.result_.node_scores.sum() > 0
+
+    def test_fit_predict_interface(self, partially_labeled_hin):
+        scores = TMark().fit_predict(partially_labeled_hin)
+        assert scores.shape == (
+            partially_labeled_hin.n_nodes,
+            partially_labeled_hin.n_labels,
+        )
+
+
+class TestPredictMultilabel:
+    def _multilabel_hin(self):
+        from repro.datasets import make_acm
+
+        return make_acm(n_papers=80, link_scale=0.3, seed=0)
+
+    def test_every_node_gets_a_label(self):
+        hin = self._multilabel_hin()
+        mask = np.zeros(hin.n_nodes, dtype=bool)
+        mask[::2] = True
+        model = TMark().fit(hin.masked(mask))
+        predictions = model.predict_multilabel()
+        assert predictions.any(axis=1).all()
+
+    def test_rates_roughly_match_priors(self):
+        hin = self._multilabel_hin()
+        mask = np.zeros(hin.n_nodes, dtype=bool)
+        mask[::2] = True
+        train = hin.masked(mask)
+        model = TMark().fit(train)
+        predictions = model.predict_multilabel()
+        labeled = train.labeled_mask
+        train_rates = train.label_matrix[labeled].mean(axis=0)
+        pred_rates = predictions.mean(axis=0)
+        assert np.all(np.abs(pred_rates - train_rates) < 0.25)
+
+    def test_explicit_rates(self):
+        hin = self._multilabel_hin()
+        mask = np.zeros(hin.n_nodes, dtype=bool)
+        mask[::2] = True
+        model = TMark().fit(hin.masked(mask))
+        rates = np.full(hin.n_labels, 0.5)
+        predictions = model.predict_multilabel(positive_rates=rates)
+        assert predictions.mean(axis=0).min() >= 0.4
+
+    def test_bad_rates_shape_rejected(self):
+        hin = self._multilabel_hin()
+        mask = np.zeros(hin.n_nodes, dtype=bool)
+        mask[::2] = True
+        model = TMark().fit(hin.masked(mask))
+        with pytest.raises(ValidationError):
+            model.predict_multilabel(positive_rates=np.ones(2))
+
+
+class TestTMarkResult:
+    def test_ranked_relations_sorted(self, partially_labeled_hin):
+        result = TMark().fit(partially_labeled_hin).result_
+        ranked = result.ranked_relations(0)
+        scores = [s for _, s in ranked]
+        assert scores == sorted(scores, reverse=True)
+        assert len(ranked) == partially_labeled_hin.n_relations
+
+    def test_label_lookup_by_name(self, partially_labeled_hin):
+        result = TMark().fit(partially_labeled_hin).result_
+        by_name = result.top_relations(partially_labeled_hin.label_names[0])
+        by_index = result.top_relations(0)
+        assert by_name == by_index
+
+    def test_unknown_label_rejected(self, partially_labeled_hin):
+        result = TMark().fit(partially_labeled_hin).result_
+        with pytest.raises(ValidationError):
+            result.ranked_relations("nope")
+        with pytest.raises(ValidationError):
+            result.ranked_relations(99)

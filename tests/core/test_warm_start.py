@@ -1,0 +1,64 @@
+"""Tests for T-Mark's warm-start (incremental labeling) support."""
+
+import numpy as np
+import pytest
+
+from repro.core.tmark import TMark
+from tests.conftest import small_labeled_hin
+
+
+@pytest.fixture(scope="module")
+def hin():
+    return small_labeled_hin(seed=4, n=40, q=3)
+
+
+def masks(hin):
+    first = np.zeros(hin.n_nodes, dtype=bool)
+    first[::4] = True
+    second = first.copy()
+    second[1::4] = True  # more labels arrive
+    return first, second
+
+
+class TestWarmStart:
+    def test_same_fixed_point_as_cold(self, hin):
+        """Warm and cold starts converge to the same stationary pair."""
+        first, second = masks(hin)
+        model = TMark(tol=1e-12, max_iter=1000).fit(hin.masked(first))
+        model.fit(hin.masked(second), warm_start=True)
+        warm_scores = model.result_.node_scores.copy()
+
+        cold = TMark(tol=1e-12, max_iter=1000).fit(hin.masked(second))
+        assert np.allclose(warm_scores, cold.result_.node_scores, atol=1e-6)
+
+    def test_fewer_iterations_than_cold(self, hin):
+        first, second = masks(hin)
+        model = TMark(tol=1e-10, max_iter=1000).fit(hin.masked(first))
+        model.fit(hin.masked(second), warm_start=True)
+        warm_iters = sum(h.n_iterations for h in model.result_.histories)
+
+        cold = TMark(tol=1e-10, max_iter=1000).fit(hin.masked(second))
+        cold_iters = sum(h.n_iterations for h in cold.result_.histories)
+        assert warm_iters <= cold_iters
+
+    def test_warm_start_without_previous_fit_is_cold(self, hin):
+        first, _ = masks(hin)
+        warm = TMark(tol=1e-10).fit(hin.masked(first), warm_start=True)
+        cold = TMark(tol=1e-10).fit(hin.masked(first))
+        assert np.allclose(warm.result_.node_scores, cold.result_.node_scores)
+
+    def test_shape_mismatch_falls_back_to_cold(self, hin):
+        first, _ = masks(hin)
+        model = TMark(tol=1e-10).fit(hin.masked(first))
+        other = small_labeled_hin(seed=5, n=24, q=3)
+        model.fit(other, warm_start=True)  # different n: silent cold start
+        assert model.result_.node_scores.shape == (24, 3)
+
+    def test_incremental_labels_improve_accuracy(self, hin):
+        first, second = masks(hin)
+        y = hin.y
+        model = TMark(tol=1e-10).fit(hin.masked(first))
+        acc_first = np.mean(model.predict()[~second] == y[~second])
+        model.fit(hin.masked(second), warm_start=True)
+        acc_second = np.mean(model.predict()[~second] == y[~second])
+        assert acc_second >= acc_first - 0.05

@@ -1,0 +1,122 @@
+"""Golden tests against the paper's section 3.2 / 4.3 worked example."""
+
+import numpy as np
+import pytest
+
+from repro.core.tmark import TMark
+from repro.datasets import make_worked_example
+from repro.tensor.transition import (
+    NodeTransitionTensor,
+    RelationTransitionTensor,
+    is_irreducible,
+)
+
+
+@pytest.fixture(scope="module")
+def example():
+    return make_worked_example()
+
+
+class TestStructure:
+    def test_tensor_size(self, example):
+        # "We construct a tensor A of size (4 x 4 x 3)".
+        assert example.tensor.shape == (4, 4, 3)
+
+    def test_matricization_sizes(self, example):
+        # "The size of matrix A_(1) is 4 x 12, and ... A_(3) is 3 x 16."
+        assert example.tensor.unfold(1).shape == (4, 12)
+        assert example.tensor.unfold(3).shape == (3, 16)
+
+    def test_link_inventory(self, example):
+        dense = example.tensor.to_dense()
+        co = example.relation_index("co-author")
+        cit = example.relation_index("citation")
+        conf = example.relation_index("same-conference")
+        p1, p2, p3, p4 = (example.node_index(f"p{i}") for i in (1, 2, 3, 4))
+        # co-author p1 -- p2 (undirected).
+        assert dense[p2, p1, co] == 1 and dense[p1, p2, co] == 1
+        # citations p3 -> p2, p3 -> p4, p4 -> p1 (directed).
+        assert dense[p2, p3, cit] == 1
+        assert dense[p4, p3, cit] == 1
+        assert dense[p1, p4, cit] == 1
+        assert dense[p3, p2, cit] == 0  # not the converse
+        # same conference p2 -- p3 (undirected).
+        assert dense[p3, p2, conf] == 1 and dense[p2, p3, conf] == 1
+        # Exactly 7 stored entries: 2 + 3 + 2.
+        assert example.tensor.nnz == 7
+
+    def test_labels(self, example):
+        assert example.y[example.node_index("p1")] == example.label_index("DM")
+        assert example.y[example.node_index("p2")] == example.label_index("CV")
+        assert example.y[example.node_index("p3")] == -1
+        assert example.y[example.node_index("p4")] == -1
+
+    def test_aggregated_graph_is_irreducible(self, example):
+        assert is_irreducible(example.tensor)
+
+
+class TestTransitionTensors:
+    def test_o_nondangling_columns_match_normalisation(self, example):
+        dense_o = NodeTransitionTensor(example.tensor).to_dense()
+        dense_a = example.tensor.to_dense()
+        sums = dense_a.sum(axis=0)
+        for j in range(4):
+            for k in range(3):
+                if sums[j, k] > 0:
+                    assert np.allclose(
+                        dense_o[:, j, k], dense_a[:, j, k] / sums[j, k]
+                    )
+                else:
+                    assert np.allclose(dense_o[:, j, k], 0.25)
+
+    def test_r_fibres_match_normalisation(self, example):
+        dense_r = RelationTransitionTensor(example.tensor).to_dense()
+        dense_a = example.tensor.to_dense()
+        sums = dense_a.sum(axis=2)
+        for i in range(4):
+            for j in range(4):
+                if sums[i, j] > 0:
+                    assert np.allclose(
+                        dense_r[i, j, :], dense_a[i, j, :] / sums[i, j]
+                    )
+                else:
+                    assert np.allclose(dense_r[i, j, :], 1 / 3)
+
+
+class TestSection43Outcome:
+    """The qualitative results the paper reports for the example."""
+
+    @pytest.fixture(scope="class")
+    def fitted(self, ):
+        example = make_worked_example()
+        return example, TMark(alpha=0.8, gamma=0.5).fit(example)
+
+    def test_unlabeled_nodes_classified_correctly(self, fitted):
+        example, model = fitted
+        predictions = model.predict()
+        truth = example.metadata["ground_truth"]
+        for node, label in truth.items():
+            assert predictions[example.node_index(node)] == example.label_index(label)
+
+    def test_labeled_nodes_kept(self, fitted):
+        example, model = fitted
+        predictions = model.predict()
+        assert predictions[example.node_index("p1")] == example.label_index("DM")
+        assert predictions[example.node_index("p2")] == example.label_index("CV")
+
+    def test_dm_ranking_prefers_coauthor_and_citation(self, fitted):
+        """Paper: for DM, co-author and citation outrank same-conference."""
+        example, model = fitted
+        dm = example.label_index("DM")
+        z = model.result_.relation_scores[:, dm]
+        conf = example.relation_index("same-conference")
+        co = example.relation_index("co-author")
+        cit = example.relation_index("citation")
+        assert z[co] > z[conf]
+        assert z[cit] > z[conf]
+
+    def test_chains_converge_quickly(self, fitted):
+        _, model = fitted
+        for history in model.result_.histories:
+            assert history.converged
+            assert history.n_iterations < 100

@@ -1,0 +1,165 @@
+"""Tests for the four calibrated dataset generators.
+
+These check the *structural properties the paper's results depend on*
+(documented in DESIGN.md): homophily orderings, sparsity contrasts,
+shared bases across tag sets, and metadata ground truth.
+Small sizes keep them fast; the full-scale behaviour is exercised by the
+benchmark suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_acm, make_dblp, make_movies, make_nus
+from repro.datasets.acm import ACM_RELATION_HOMOPHILY
+from repro.datasets.dblp import DBLP_AREAS, DBLP_CONFERENCES
+from repro.datasets.movies import MOVIE_GENRES
+from repro.datasets.nus import TAGSET1, TAGSET2
+from repro.errors import DatasetError
+from repro.hin.stats import relation_homophily
+
+
+class TestDBLP:
+    @pytest.fixture(scope="class")
+    def hin(self):
+        return make_dblp(n_authors=150, attendees_per_conference=20, seed=0)
+
+    def test_twenty_conferences_four_areas(self, hin):
+        assert hin.n_relations == 20
+        assert hin.label_names == DBLP_AREAS
+        assert set(hin.relation_names) == {
+            c for confs in DBLP_CONFERENCES.values() for c in confs
+        }
+
+    def test_all_nodes_labeled(self, hin):
+        assert hin.labeled_mask.all()
+
+    def test_metadata_ground_truth(self, hin):
+        areas = hin.metadata["conference_areas"]
+        assert areas["VLDB"] == "DB" and areas["KDD"] == "DM"
+        assert set(hin.metadata["conference_purity"]) == set(hin.relation_names)
+
+    def test_purity_tiers_drive_homophily(self, hin):
+        purity = hin.metadata["conference_purity"]
+        top = [c for c, p in purity.items() if p >= 0.9]
+        bottom = [c for c, p in purity.items() if p <= 0.6]
+        top_h = np.nanmean([relation_homophily(hin, c) for c in top])
+        bottom_h = np.nanmean([relation_homophily(hin, c) for c in bottom])
+        assert top_h > bottom_h + 0.1
+
+    def test_conference_links_are_cliques(self, hin):
+        """Every conference relation is a clique over its attendees."""
+        adjacency = hin.tensor.relation_slice(0)
+        sym = adjacency + adjacency.T
+        degrees = np.asarray((sym > 0).sum(axis=1)).ravel()
+        attendees = np.flatnonzero(degrees)
+        # In a clique each attendee links to all the others.
+        assert np.all(degrees[attendees] == attendees.size - 1)
+
+    def test_purity_length_validated(self):
+        with pytest.raises(ValueError):
+            make_dblp(conference_purity=(0.9, 0.8), seed=0)
+
+
+class TestMovies:
+    @pytest.fixture(scope="class")
+    def hin(self):
+        return make_movies(n_movies=150, n_directors=40, seed=0)
+
+    def test_genres_and_directors(self, hin):
+        assert hin.label_names == MOVIE_GENRES
+        assert hin.n_relations == 40
+
+    def test_director_links_are_sparse(self, hin):
+        """Each director link type covers only a handful of movies."""
+        i, j, k = hin.tensor.coords
+        for rel in range(hin.n_relations):
+            mask = k == rel
+            active = np.union1d(i[mask], j[mask]).size
+            assert active <= 6
+
+    def test_metadata_genres(self, hin):
+        genres = hin.metadata["director_genres"]
+        assert set(genres) == set(hin.relation_names)
+        assert set(genres.values()) <= set(MOVIE_GENRES)
+
+    def test_real_names_first(self, hin):
+        assert "Alfred Hitchcock" in hin.relation_names
+
+    def test_loyalty_shows_in_homophily(self):
+        loyal = make_movies(
+            n_movies=200, n_directors=50, director_genre_loyalty=0.95, seed=1
+        )
+        disloyal = make_movies(
+            n_movies=200, n_directors=50, director_genre_loyalty=0.05, seed=1
+        )
+        mean_h = lambda h: np.nanmean(
+            [relation_homophily(h, r) for r in h.relation_names]
+        )
+        assert mean_h(loyal) > mean_h(disloyal) + 0.2
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            make_movies(movies_per_director=(5, 2))
+
+
+class TestNUS:
+    def test_tagsets_have_41_tags(self):
+        assert len(TAGSET1) == 41 and len(TAGSET2) == 41
+
+    def test_same_seed_shares_base(self):
+        h1 = make_nus(tagset="tagset1", n_images=120, seed=5)
+        h2 = make_nus(tagset="tagset2", n_images=120, seed=5)
+        assert np.array_equal(h1.label_matrix, h2.label_matrix)
+        assert np.allclose(h1.features_dense(), h2.features_dense())
+
+    def test_tagset1_more_homophilous(self):
+        h1 = make_nus(tagset="tagset1", n_images=200, seed=2)
+        h2 = make_nus(tagset="tagset2", n_images=200, seed=2)
+        mean_h = lambda h: np.nanmean(
+            [relation_homophily(h, r) for r in h.relation_names]
+        )
+        assert mean_h(h1) > mean_h(h2) + 0.2
+
+    def test_tagset2_more_frequent(self):
+        h1 = make_nus(tagset="tagset1", n_images=200, seed=2)
+        h2 = make_nus(tagset="tagset2", n_images=200, seed=2)
+        assert h2.tensor.nnz > h1.tensor.nnz
+
+    def test_tag_classes_metadata(self):
+        hin = make_nus(tagset="tagset1", n_images=120, seed=0)
+        tag_classes = hin.metadata["tag_classes"]
+        assert tag_classes["sky"] == "Scene"
+        assert tag_classes["dog"] == "Object"
+
+    def test_unknown_tagset_rejected(self):
+        with pytest.raises(DatasetError):
+            make_nus(tagset="tagset3")
+
+
+class TestACM:
+    @pytest.fixture(scope="class")
+    def hin(self):
+        return make_acm(n_papers=150, link_scale=0.5, seed=0)
+
+    def test_six_relations_multilabel(self, hin):
+        assert set(hin.relation_names) == set(ACM_RELATION_HOMOPHILY)
+        assert hin.multilabel
+
+    def test_some_nodes_have_multiple_labels(self, hin):
+        assert (hin.label_matrix.sum(axis=1) > 1).any()
+
+    def test_citation_is_directed(self, hin):
+        cite = hin.tensor.relation_slice(hin.relation_index("citation")).toarray()
+        assert not np.allclose(cite, cite.T)
+
+    def test_concept_most_homophilous(self, hin):
+        values = {r: relation_homophily(hin, r) for r in hin.relation_names}
+        assert values["concept"] > values["year"] + 0.1
+
+    def test_metadata_records_calibration(self, hin):
+        assert hin.metadata["relation_homophily"]["concept"] == pytest.approx(0.95)
+
+    def test_bad_link_scale_rejected(self):
+        with pytest.raises(ValueError):
+            make_acm(link_scale=0.0)

@@ -1,0 +1,26 @@
+"""Tests for the worked-example dataset factory."""
+
+import numpy as np
+
+from repro.datasets import make_worked_example
+
+
+class TestWorkedExample:
+    def test_deterministic(self):
+        a = make_worked_example()
+        b = make_worked_example()
+        assert a.tensor == b.tensor
+        assert np.allclose(a.features_dense(), b.features_dense())
+
+    def test_node_and_relation_names(self):
+        hin = make_worked_example()
+        assert hin.node_names == ("p1", "p2", "p3", "p4")
+        assert hin.relation_names == ("co-author", "citation", "same-conference")
+
+    def test_ground_truth_metadata(self):
+        truth = make_worked_example().metadata["ground_truth"]
+        assert truth == {"p3": "CV", "p4": "DM"}
+
+    def test_two_labeled_two_unlabeled(self):
+        hin = make_worked_example()
+        assert hin.labeled_mask.sum() == 2

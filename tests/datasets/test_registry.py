@@ -1,0 +1,47 @@
+"""Tests for the named dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import dataset_names, get_dataset
+from repro.errors import ValidationError
+
+
+class TestRegistry:
+    def test_names(self):
+        assert dataset_names() == ["dblp", "movies", "nus", "acm"]
+
+    @pytest.mark.parametrize("name", ["dblp", "movies", "nus", "acm"])
+    def test_every_dataset_builds(self, name):
+        hin = get_dataset(name, scale=0.3, seed=0)
+        assert hin.n_nodes > 0
+        assert hin.tensor.nnz > 0
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValidationError):
+            get_dataset("imagenet")
+
+    def test_scale_changes_size(self):
+        small = get_dataset("dblp", scale=0.3, seed=0)
+        large = get_dataset("dblp", scale=1.0, seed=0)
+        assert large.n_nodes > small.n_nodes
+
+    def test_deterministic_given_seed(self):
+        a = get_dataset("movies", scale=0.3, seed=5)
+        b = get_dataset("movies", scale=0.3, seed=5)
+        assert a.tensor == b.tensor
+
+    def test_nus_tagset_kwarg(self):
+        t1 = get_dataset("nus", scale=0.3, seed=0, tagset="tagset1")
+        t2 = get_dataset("nus", scale=0.3, seed=0, tagset="tagset2")
+        assert t1.metadata["tagset"] == "tagset1"
+        assert t2.metadata["tagset"] == "tagset2"
+        assert np.array_equal(t1.label_matrix, t2.label_matrix)
+
+    def test_matches_runner_datasets(self):
+        """The experiment runners must build the registry's networks."""
+        from repro.experiments.runners import _scaled_dblp
+
+        a = _scaled_dblp(0.4, 7)
+        b = get_dataset("dblp", scale=0.4, seed=7)
+        assert a.tensor == b.tensor

@@ -1,0 +1,217 @@
+"""Tests for the shared synthetic HIN engine."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    RelationSpec,
+    class_topics,
+    make_synthetic_hin,
+    sample_labels,
+    sample_relation_links,
+    sample_topic_features,
+    sample_topic_features_from_membership,
+)
+from repro.errors import DatasetError
+from repro.hin.stats import relation_homophily
+
+
+class TestRelationSpec:
+    def test_valid(self):
+        spec = RelationSpec(name="r", n_links=10, homophily=0.5)
+        assert spec.name == "r"
+
+    def test_negative_links_rejected(self):
+        with pytest.raises(DatasetError):
+            RelationSpec(name="r", n_links=-1)
+
+    def test_bad_homophily_rejected(self):
+        with pytest.raises(Exception):
+            RelationSpec(name="r", n_links=1, homophily=1.5)
+
+
+class TestSampleLabels:
+    def test_every_class_covered(self, rng):
+        labels = sample_labels(10, 4, None, rng)
+        assert set(labels) == {0, 1, 2, 3}
+
+    def test_priors_respected(self, rng):
+        labels = sample_labels(2000, 2, [0.9, 0.1], rng)
+        assert abs((labels == 0).mean() - 0.9) < 0.05
+
+    def test_too_few_nodes_rejected(self, rng):
+        with pytest.raises(DatasetError):
+            sample_labels(2, 4, None, rng)
+
+    def test_bad_priors_rejected(self, rng):
+        with pytest.raises(DatasetError):
+            sample_labels(10, 2, [1.0, -0.5], rng)
+        with pytest.raises(DatasetError):
+            sample_labels(10, 2, [0.0, 0.0], rng)
+
+
+class TestTopicFeatures:
+    def test_class_topics_are_distributions(self):
+        topics = class_topics(3, 30)
+        assert np.allclose(topics.sum(axis=1), 1.0)
+
+    def test_topics_are_disjoint(self):
+        topics = class_topics(3, 30)
+        overlap = (topics[0] > 0) & (topics[1] > 0)
+        assert not overlap.any()
+
+    def test_vocab_too_small_rejected(self):
+        with pytest.raises(DatasetError):
+            class_topics(5, 8)
+
+    def test_word_budget_respected(self, rng):
+        labels = np.array([0, 1, 0, 1])
+        features = sample_topic_features(
+            labels, 2, vocab_size=20, words_per_node=15, feature_noise=0.3, rng=rng
+        )
+        assert np.allclose(features.sum(axis=1), 15)
+
+    def test_zero_noise_stays_in_topic_block(self, rng):
+        labels = np.array([0, 1])
+        features = sample_topic_features(
+            labels, 2, vocab_size=30, words_per_node=20, feature_noise=0.0, rng=rng
+        )
+        block = 30 // 3
+        assert features[0, block:].sum() == 0
+        assert features[1, :block].sum() == 0
+
+    def test_full_noise_is_uninformative(self, rng):
+        labels = np.array([0] * 200 + [1] * 200)
+        features = sample_topic_features(
+            labels, 2, vocab_size=20, words_per_node=30, feature_noise=1.0, rng=rng
+        )
+        mean0 = features[:200].mean(axis=0)
+        mean1 = features[200:].mean(axis=0)
+        assert np.abs(mean0 - mean1).max() < 0.5
+
+    def test_multilabel_mixture(self, rng):
+        membership = np.array([[True, True], [True, False]])
+        features = sample_topic_features_from_membership(
+            membership, vocab_size=30, words_per_node=300, feature_noise=0.0, rng=rng
+        )
+        block = 30 // 3
+        # The dual-labeled node spends mass in both blocks.
+        assert features[0, :block].sum() > 0
+        assert features[0, block:2 * block].sum() > 0
+        assert features[1, block:2 * block].sum() == 0
+
+
+class TestSampleRelationLinks:
+    def test_link_count(self, rng):
+        spec = RelationSpec(name="r", n_links=25, homophily=0.5)
+        labels = rng.integers(0, 2, size=20)
+        links = sample_relation_links(spec, labels, 2, rng)
+        assert len(links) == 25
+
+    def test_full_homophily_links_same_class(self, rng):
+        spec = RelationSpec(name="r", n_links=50, homophily=1.0)
+        labels = np.array([0] * 10 + [1] * 10)
+        links = sample_relation_links(spec, labels, 2, rng)
+        assert all(labels[u] == labels[v] for u, v in links)
+
+    def test_affinity_restricts_class(self, rng):
+        spec = RelationSpec(name="r", n_links=50, homophily=1.0, affinity=(1.0, 0.0))
+        labels = np.array([0] * 10 + [1] * 10)
+        links = sample_relation_links(spec, labels, 2, rng)
+        assert all(labels[u] == 0 and labels[v] == 0 for u, v in links)
+
+    def test_node_pool_respected(self, rng):
+        pool = tuple(range(5))
+        spec = RelationSpec(name="r", n_links=30, homophily=0.0, node_pool=pool)
+        labels = rng.integers(0, 2, size=20)
+        links = sample_relation_links(spec, labels, 2, rng)
+        assert all(u < 5 and v < 5 for u, v in links)
+
+    def test_tiny_pool_gives_no_links(self, rng):
+        spec = RelationSpec(name="r", n_links=5, homophily=0.5, node_pool=(3,))
+        assert sample_relation_links(spec, np.zeros(10, int), 2, rng) == []
+
+    def test_no_self_links(self, rng):
+        spec = RelationSpec(name="r", n_links=100, homophily=0.5)
+        labels = rng.integers(0, 3, size=15)
+        links = sample_relation_links(spec, labels, 3, rng)
+        assert all(u != v for u, v in links)
+
+    def test_membership_matrix_accepted(self, rng):
+        membership = np.zeros((10, 2), dtype=bool)
+        membership[:6, 0] = True
+        membership[4:, 1] = True  # nodes 4,5 carry both labels
+        spec = RelationSpec(name="r", n_links=30, homophily=1.0, affinity=(0.0, 1.0))
+        links = sample_relation_links(spec, membership, 2, rng)
+        assert all(membership[u, 1] and membership[v, 1] for u, v in links)
+
+    def test_bad_affinity_rejected(self, rng):
+        spec = RelationSpec(name="r", n_links=5, homophily=0.5, affinity=(1.0,))
+        with pytest.raises(DatasetError):
+            sample_relation_links(spec, np.zeros(10, int), 2, rng)
+
+
+class TestMakeSyntheticHin:
+    def _specs(self):
+        return [
+            RelationSpec(name="good", n_links=80, homophily=0.95),
+            RelationSpec(name="noisy", n_links=80, homophily=0.0),
+        ]
+
+    def test_basic_shape(self):
+        hin = make_synthetic_hin(40, ["a", "b"], self._specs(), seed=0)
+        assert hin.n_nodes == 40
+        assert hin.n_relations == 2
+        assert hin.n_labels == 2
+        assert not hin.multilabel
+
+    def test_homophily_shows_in_stats(self):
+        hin = make_synthetic_hin(60, ["a", "b"], self._specs(), seed=1)
+        assert relation_homophily(hin, "good") > relation_homophily(hin, "noisy") + 0.2
+
+    def test_deterministic_given_seed(self):
+        a = make_synthetic_hin(30, ["a", "b"], self._specs(), seed=7)
+        b = make_synthetic_hin(30, ["a", "b"], self._specs(), seed=7)
+        assert a.tensor == b.tensor
+        assert np.allclose(a.features_dense(), b.features_dense())
+
+    def test_different_seeds_differ(self):
+        a = make_synthetic_hin(30, ["a", "b"], self._specs(), seed=1)
+        b = make_synthetic_hin(30, ["a", "b"], self._specs(), seed=2)
+        assert a.tensor != b.tensor
+
+    def test_multilabel_mode(self):
+        hin = make_synthetic_hin(
+            50, ["a", "b", "c"], self._specs(), multilabel=True,
+            extra_labels_rate=0.9, seed=3,
+        )
+        assert hin.multilabel
+        assert hin.label_matrix.sum() > 50  # some nodes got extras
+
+    def test_directed_spec(self):
+        specs = [RelationSpec(name="cite", n_links=40, homophily=0.5, directed=True)]
+        hin = make_synthetic_hin(30, ["a", "b"], specs, seed=4)
+        dense = hin.tensor.to_dense()[:, :, 0]
+        assert not np.allclose(dense, dense.T)
+
+    def test_metadata_attached(self):
+        hin = make_synthetic_hin(
+            20, ["a", "b"], self._specs(), seed=0, metadata={"tag": "x"}
+        )
+        assert hin.metadata["tag"] == "x"
+
+    def test_duplicate_relation_names_rejected(self):
+        specs = [
+            RelationSpec(name="r", n_links=1),
+            RelationSpec(name="r", n_links=1),
+        ]
+        with pytest.raises(DatasetError):
+            make_synthetic_hin(20, ["a", "b"], specs, seed=0)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(DatasetError):
+            make_synthetic_hin(20, ["only"], self._specs(), seed=0)
+
+    def test_no_specs_rejected(self):
+        with pytest.raises(DatasetError):
+            make_synthetic_hin(20, ["a", "b"], [], seed=0)

@@ -1,0 +1,84 @@
+"""Tests for the python -m repro.experiments CLI."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out and "fig10" in out
+
+    def test_run_single(self, capsys):
+        assert main(["run", "table2", "--scale", "0.3", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "finished in" in out
+
+    def test_run_grid_with_trials(self, capsys):
+        # Not a grid runner -> trials ignored gracefully; grid runner path
+        # exercised at minimum size.
+        assert main(
+            ["run", "table8", "--scale", "0.3", "--trials", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Tagset1" in out
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(Exception):
+            main(["run", "table999"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestCompareCommand:
+    def test_compare_grid_experiment(self, capsys):
+        from repro.experiments.__main__ import main
+
+        code = main(
+            ["compare", "table8", "--scale", "0.3", "--trials", "1"]
+        )
+        out = capsys.readouterr().out
+        assert "paper comparison" in out
+        assert code in (0, 2)  # shapes may be noisy at tiny scale
+
+    def test_compare_unknown_grid(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["compare", "fig10"]) == 1
+        assert "no paper reference grid" in capsys.readouterr().out
+
+
+class TestTuneCommand:
+    def test_tune_dblp(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["tune", "dblp", "--scale", "0.3", "--trials", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "best parameters" in out and "alpha" in out
+
+    def test_tune_rejects_multilabel(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["tune", "acm", "--scale", "0.3", "--trials", "1"]) == 1
+        assert "multi-label" in capsys.readouterr().out
+
+
+class TestStdFlag:
+    def test_run_grid_with_std(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(
+            ["run", "table3", "--scale", "0.3", "--trials", "2", "--std"]
+        ) == 0
+        assert "±" in capsys.readouterr().out
+
+    def test_run_grid_without_std(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["run", "table8", "--scale", "0.3", "--trials", "1"]) == 0
+        assert "±" not in capsys.readouterr().out

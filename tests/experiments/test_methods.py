@@ -1,0 +1,40 @@
+"""Tests for the paper method roster details."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.methods import method_roster
+from tests.conftest import small_labeled_hin
+
+
+class TestRosterModes:
+    def test_full_mode_uses_bigger_budgets(self):
+        fast = dict(method_roster("dblp", fast=True))
+        full = dict(method_roster("dblp", fast=False))
+        assert fast["HN"]().epochs < full["HN"]().epochs
+        assert fast["GI"]().epochs < full["GI"]().epochs
+        assert fast["EMR"]().n_iterations < full["EMR"]().n_iterations
+
+    def test_tmark_entry_uses_dataset_params(self):
+        tmark = dict(method_roster("dblp"))["T-Mark"]()
+        assert tmark.alpha == 0.8 and tmark.gamma == 0.6
+        tmark_nus = dict(method_roster("nus"))["T-Mark"]()
+        assert tmark_nus.alpha == 0.9
+
+    def test_tensorrrcc_entry_has_update_off(self):
+        rrcc = dict(method_roster("dblp"))["TensorRrCc"]()
+        assert rrcc.update_labels is False
+
+    @pytest.mark.parametrize("dataset", ["dblp", "movies", "nus", "acm"])
+    def test_every_roster_method_runs(self, dataset):
+        """Every factory must produce a working classifier (smoke, tiny HIN)."""
+        hin = small_labeled_hin(seed=7, n=24, q=3)
+        mask = np.zeros(hin.n_nodes, dtype=bool)
+        mask[::2] = True
+        train = hin.masked(mask)
+        for name, factory in method_roster(dataset, fast=True):
+            method = factory()
+            if name in ("HN", "GI"):
+                method.epochs = 5  # keep the smoke test fast
+            scores = method.fit_predict(train, rng=np.random.default_rng(0))
+            assert scores.shape == (hin.n_nodes, hin.n_labels), name

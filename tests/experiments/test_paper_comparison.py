@@ -1,0 +1,109 @@
+"""Tests for the paper-reference grids and the comparison tool."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.experiments.harness import CellResult, GridResult
+from repro.experiments.paper import (
+    PAPER_FRACTIONS,
+    PAPER_GRIDS,
+    PAPER_TABLE3,
+    compare_with_paper,
+)
+
+
+class TestPaperData:
+    def test_every_grid_has_nine_fractions(self):
+        for table in PAPER_GRIDS.values():
+            for method, values in table.items():
+                assert len(values) == 9, method
+
+    def test_values_are_probabilities(self):
+        for table in PAPER_GRIDS.values():
+            for values in table.values():
+                assert all(0.0 <= v <= 1.0 for v in values)
+
+    def test_known_cells(self):
+        # Spot-check transcription against the paper text.
+        assert PAPER_TABLE3["T-Mark"][0] == 0.928
+        assert PAPER_TABLE3["GI"][0] == 0.277
+        assert PAPER_GRIDS["table8"]["Tagset2"][-1] == 0.692
+        assert PAPER_GRIDS["table11"]["ICA"][0] == 0.049
+
+    def test_tmark_wins_table3_low_fraction(self):
+        scores = {m: v[0] for m, v in PAPER_TABLE3.items()}
+        assert max(scores, key=scores.get) == "T-Mark"
+
+
+def grid_like_paper(table, noise=0.0, fractions=PAPER_FRACTIONS):
+    grid = GridResult(fractions=tuple(fractions), metric="accuracy")
+    for method, values in table.items():
+        grid.cells[method] = [
+            CellResult(min(max(v + noise, 0.0), 1.0), 0.0, 1)
+            for f, v in zip(PAPER_FRACTIONS, values)
+            if f in fractions
+        ]
+    return grid
+
+
+class TestCompareWithPaper:
+    def test_perfect_reproduction(self):
+        grid = grid_like_paper(PAPER_TABLE3)
+        comparison = compare_with_paper("table3", grid)
+        assert comparison.all_shapes_hold
+        assert comparison.mean_absolute_delta("T-Mark") == 0.0
+
+    def test_uniform_shift_keeps_shapes(self):
+        grid = grid_like_paper(PAPER_TABLE3, noise=-0.05)
+        comparison = compare_with_paper("table3", grid)
+        assert comparison.all_shapes_hold
+        assert comparison.mean_absolute_delta("T-Mark") == pytest.approx(0.05)
+
+    def test_shape_violation_detected(self):
+        grid = grid_like_paper(PAPER_TABLE3)
+        # Sabotage: T-Mark collapses at the lowest fraction.
+        grid.cells["T-Mark"][0] = CellResult(0.1, 0.0, 1)
+        comparison = compare_with_paper("table3", grid)
+        assert not comparison.all_shapes_hold
+
+    def test_subset_of_fractions(self):
+        grid = grid_like_paper(PAPER_TABLE3, fractions=(0.1, 0.5, 0.9))
+        comparison = compare_with_paper("table3", grid)
+        assert len(comparison.deltas["T-Mark"]) == 3
+
+    def test_subset_of_methods(self):
+        grid = GridResult(fractions=(0.1,), metric="accuracy")
+        grid.cells["T-Mark"] = [CellResult(0.9, 0.0, 1)]
+        comparison = compare_with_paper("table3", grid)
+        assert list(comparison.deltas) == ["T-Mark"]
+
+    def test_unknown_experiment_rejected(self):
+        grid = grid_like_paper(PAPER_TABLE3)
+        with pytest.raises(ValidationError):
+            compare_with_paper("table99", grid)
+
+    def test_disjoint_methods_rejected(self):
+        grid = GridResult(fractions=(0.1,), metric="accuracy")
+        grid.cells["MysteryNet"] = [CellResult(0.9, 0.0, 1)]
+        with pytest.raises(ValidationError):
+            compare_with_paper("table3", grid)
+
+    def test_disjoint_fractions_rejected(self):
+        grid = GridResult(fractions=(0.15,), metric="accuracy")
+        grid.cells["T-Mark"] = [CellResult(0.9, 0.0, 1)]
+        with pytest.raises(ValidationError):
+            compare_with_paper("table3", grid)
+
+    def test_str_rendering(self):
+        comparison = compare_with_paper("table3", grid_like_paper(PAPER_TABLE3))
+        text = str(comparison)
+        assert "table3" in text and "T-Mark" in text and "ok" in text
+
+    def test_against_measured_grid(self):
+        """The real table3 runner at small scale must keep the shapes."""
+        from repro.experiments.runners import run_table3
+
+        report = run_table3(scale=0.4, seed=0, n_trials=1, fractions=(0.1, 0.9))
+        comparison = compare_with_paper("table3", report.data["grid"])
+        assert comparison.all_shapes_hold

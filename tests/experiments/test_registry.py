@@ -1,0 +1,65 @@
+"""Tests for the experiment registry and method roster."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.experiments.methods import method_roster, tmark_params
+from repro.experiments.registry import (
+    experiment_ids,
+    get_experiment,
+    run_experiment,
+)
+
+PAPER_ARTEFACTS = [
+    "table2", "table3", "table4", "table5", "table6_7", "table8",
+    "table9_10", "table11", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+]
+
+
+class TestRegistry:
+    def test_every_paper_artefact_registered(self):
+        assert experiment_ids()[: len(PAPER_ARTEFACTS)] == PAPER_ARTEFACTS
+
+    def test_auxiliary_experiments_registered(self):
+        assert "extensions" in experiment_ids()
+        assert "summary" in experiment_ids()
+
+    def test_lookup(self):
+        experiment = get_experiment("table3")
+        assert experiment.experiment_id == "table3"
+        assert callable(experiment.runner)
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ValidationError):
+            get_experiment("table99")
+        with pytest.raises(ValidationError):
+            run_experiment("table99")
+
+
+class TestMethodRoster:
+    def test_nine_methods_in_paper_order(self):
+        names = [name for name, _ in method_roster("dblp")]
+        assert names == [
+            "T-Mark", "TensorRrCc", "GI", "HN", "Hcc", "Hcc-ss",
+            "wvRN+RL", "EMR", "ICA",
+        ]
+
+    def test_factories_return_fresh_instances(self):
+        _, factory = method_roster("dblp")[0]
+        assert factory() is not factory()
+
+    def test_tmark_params_per_dataset(self):
+        assert tmark_params("dblp")["alpha"] == 0.8
+        assert tmark_params("nus")["alpha"] == 0.9
+        assert tmark_params("dblp")["gamma"] == 0.6
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValidationError):
+            tmark_params("imagenet")
+        with pytest.raises(ValidationError):
+            method_roster("imagenet")
+
+    def test_tmark_params_are_copies(self):
+        params = tmark_params("dblp")
+        params["alpha"] = 0.1
+        assert tmark_params("dblp")["alpha"] == 0.8

@@ -1,0 +1,153 @@
+"""Tests for the sensitivity / noise-robustness auxiliary experiments."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.robustness import (
+    NOISE_LEVELS,
+    SENSITIVITY_ALPHAS,
+    SENSITIVITY_GAMMAS,
+    inject_noise_relation,
+    run_noise_robustness,
+    run_sensitivity,
+)
+
+
+class TestInjectNoiseRelation:
+    @pytest.fixture(scope="class")
+    def hin(self):
+        from tests.conftest import small_labeled_hin
+
+        return small_labeled_hin(seed=14, n=20, q=2)
+
+    def test_adds_one_relation(self, hin):
+        noisy = inject_noise_relation(hin, 30, seed=0)
+        assert noisy.n_relations == hin.n_relations + 1
+        assert noisy.relation_names[-1] == "noise"
+
+    def test_link_volume(self, hin):
+        noisy = inject_noise_relation(hin, 30, seed=0)
+        i, j, k = noisy.tensor.coords
+        # 30 undirected links -> up to 60 entries (duplicates coalesce).
+        added = int((k == hin.n_relations).sum())
+        assert 30 <= added <= 60
+
+    def test_no_self_links(self, hin):
+        noisy = inject_noise_relation(hin, 50, seed=1)
+        i, j, k = noisy.tensor.coords
+        mask = k == hin.n_relations
+        assert np.all(i[mask] != j[mask])
+
+    def test_original_untouched(self, hin):
+        nnz_before = hin.tensor.nnz
+        inject_noise_relation(hin, 30, seed=0)
+        assert hin.tensor.nnz == nnz_before
+
+    def test_noise_is_near_chance_homophily(self):
+        from repro.datasets import get_dataset
+        from repro.hin.stats import relation_homophily
+
+        hin = get_dataset("dblp", scale=0.3, seed=0)
+        noisy = inject_noise_relation(hin, 800, seed=0)
+        homophily = relation_homophily(noisy, "noise")
+        # Four balanced classes: chance ~ 0.25.
+        assert abs(homophily - 0.25) < 0.08
+
+    def test_name_collision_rejected(self, hin):
+        noisy = inject_noise_relation(hin, 10, seed=0)
+        with pytest.raises(ValueError):
+            inject_noise_relation(noisy, 10, seed=0)
+
+    def test_deterministic(self, hin):
+        a = inject_noise_relation(hin, 25, seed=3)
+        b = inject_noise_relation(hin, 25, seed=3)
+        assert a.tensor == b.tensor
+
+
+class TestRunners:
+    def test_sensitivity_shapes(self):
+        report = run_sensitivity(scale=0.3, seed=0, n_trials=1)
+        surface = np.asarray(report.data["surface"])
+        assert surface.shape == (
+            len(SENSITIVITY_ALPHAS),
+            len(SENSITIVITY_GAMMAS),
+        )
+        assert np.all((surface >= 0) & (surface <= 1))
+        best = report.data["best"]
+        assert best["alpha"] in SENSITIVITY_ALPHAS
+        assert best["gamma"] in SENSITIVITY_GAMMAS
+
+    def test_noise_robustness_shapes(self):
+        report = run_noise_robustness(scale=0.3, seed=0, n_trials=1)
+        assert len(report.data["tmark"]) == len(NOISE_LEVELS)
+        assert len(report.data["wvrn"]) == len(NOISE_LEVELS)
+        assert all(0 <= a <= 1 for a in report.data["tmark"])
+
+    def test_registered(self):
+        from repro.experiments import experiment_ids
+
+        assert "sensitivity" in experiment_ids()
+        assert "noise" in experiment_ids()
+
+
+class TestFlipLabels:
+    @pytest.fixture(scope="class")
+    def hin(self):
+        from tests.conftest import small_labeled_hin
+
+        return small_labeled_hin(seed=15, n=30, q=3)
+
+    def test_zero_rate_is_identity(self, hin):
+        from repro.experiments.robustness import flip_labels
+
+        flipped = flip_labels(hin, 0.0, seed=0)
+        assert np.array_equal(flipped.label_matrix, hin.label_matrix)
+
+    def test_rate_respected(self, hin):
+        from repro.experiments.robustness import flip_labels
+
+        flipped = flip_labels(hin, 0.3, seed=0)
+        changed = (flipped.label_matrix != hin.label_matrix).any(axis=1).sum()
+        expected = round(0.3 * hin.labeled_mask.sum())
+        assert changed == expected
+
+    def test_flipped_nodes_change_class(self, hin):
+        from repro.experiments.robustness import flip_labels
+
+        flipped = flip_labels(hin, 1.0, seed=1)
+        # Every labeled node moved to a different class and stayed
+        # single-labeled.
+        assert flipped.label_matrix.sum() == hin.label_matrix.sum()
+        assert not (flipped.y == hin.y).any()
+
+    def test_original_untouched(self, hin):
+        from repro.experiments.robustness import flip_labels
+
+        before = hin.label_matrix.copy()
+        flip_labels(hin, 0.5, seed=2)
+        assert np.array_equal(hin.label_matrix, before)
+
+    def test_bad_rate_rejected(self, hin):
+        from repro.experiments.robustness import flip_labels
+
+        with pytest.raises(ValueError):
+            flip_labels(hin, 1.5)
+
+    def test_multilabel_rejected(self):
+        from repro.datasets import make_acm
+        from repro.experiments.robustness import flip_labels
+
+        with pytest.raises(ValueError):
+            flip_labels(make_acm(n_papers=80, link_scale=0.3, seed=0), 0.1)
+
+    def test_runner_shapes(self):
+        from repro.experiments.robustness import LABEL_NOISE_LEVELS, run_label_noise
+
+        report = run_label_noise(scale=0.3, seed=0, n_trials=1)
+        assert len(report.data["tmark"]) == len(LABEL_NOISE_LEVELS)
+        assert len(report.data["tensorrrcc"]) == len(LABEL_NOISE_LEVELS)
+
+    def test_registered(self):
+        from repro.experiments import experiment_ids
+
+        assert "label_noise" in experiment_ids()

@@ -1,0 +1,94 @@
+"""Tests for the ASCII table rendering."""
+
+from repro.experiments.harness import CellResult, GridResult
+from repro.experiments.tables import format_grid, format_ranking_table, format_series
+
+
+def sample_grid():
+    grid = GridResult(fractions=(0.1, 0.5), metric="accuracy")
+    grid.cells["alpha"] = [CellResult(0.91, 0.01, 3), CellResult(0.95, 0.01, 3)]
+    grid.cells["beta"] = [CellResult(0.80, 0.02, 3), CellResult(0.97, 0.01, 3)]
+    return grid
+
+
+class TestFormatGrid:
+    def test_contains_methods_and_fractions(self):
+        text = format_grid(sample_grid(), title="T")
+        assert "alpha" in text and "beta" in text
+        assert "0.1" in text and "0.5" in text
+        assert text.startswith("T")
+
+    def test_winner_starred_per_row(self):
+        lines = format_grid(sample_grid()).splitlines()
+        row_01 = next(line for line in lines if line.startswith("0.1"))
+        row_05 = next(line for line in lines if line.startswith("0.5"))
+        assert "0.910*" in row_01
+        assert "0.970*" in row_05
+
+    def test_with_std(self):
+        text = format_grid(sample_grid(), with_std=True)
+        assert "±" in text
+
+
+class TestFormatRankingTable:
+    def test_columns_and_ranks(self):
+        rankings = {"DB": ["VLDB", "SIGMOD"], "DM": ["KDD", "ICDM"]}
+        text = format_ranking_table(rankings, title="Top")
+        assert "VLDB" in text and "ICDM" in text
+        assert text.splitlines()[1].startswith("rank")
+
+    def test_top_truncation(self):
+        rankings = {"A": ["x", "y", "z"]}
+        text = format_ranking_table(rankings, top=2)
+        assert "z" not in text
+
+    def test_uneven_columns_padded(self):
+        rankings = {"A": ["x", "y"], "B": ["u"]}
+        text = format_ranking_table(rankings)
+        assert "y" in text  # longer column fully rendered
+
+
+class TestFormatSeries:
+    def test_values_rendered(self):
+        text = format_series({"acc": [0.5, 0.75]}, [0.1, 0.2], x_name="alpha")
+        assert "0.5000" in text and "0.7500" in text
+        assert text.splitlines()[0].startswith("alpha")
+
+    def test_short_series_padded(self):
+        text = format_series({"a": [1.0], "b": [1.0, 2.0]}, [0, 1])
+        assert "2.0000" in text
+
+
+class TestFormatSparkline:
+    def test_monotone_series(self):
+        from repro.experiments.tables import format_sparkline
+
+        spark = format_sparkline([0.0, 0.5, 1.0])
+        assert spark[0] == "▁" and spark[-1] == "█"
+        assert len(spark) == 3
+
+    def test_nan_renders_space(self):
+        from repro.experiments.tables import format_sparkline
+
+        assert format_sparkline([0.0, float("nan"), 1.0])[1] == " "
+
+    def test_constant_series_mid_height(self):
+        from repro.experiments.tables import format_sparkline
+
+        spark = format_sparkline([0.5, 0.5])
+        assert len(set(spark)) == 1
+
+    def test_all_nan(self):
+        from repro.experiments.tables import format_sparkline
+
+        assert format_sparkline([float("nan")] * 3) == "   "
+
+    def test_explicit_bounds(self):
+        from repro.experiments.tables import format_sparkline
+
+        spark = format_sparkline([0.5], minimum=0.0, maximum=1.0)
+        assert spark in "▃▄▅"
+
+    def test_series_rendering_includes_sparkline(self):
+        text = format_series({"acc": [0.1, 0.9]}, [0, 1])
+        assert "▁" in text and "█" in text

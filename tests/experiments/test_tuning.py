@@ -1,0 +1,112 @@
+"""Tests for the T-Mark hyper-parameter tuner."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.experiments.tuning import tune_tmark
+from tests.conftest import small_labeled_hin
+
+
+@pytest.fixture(scope="module")
+def hin():
+    full = small_labeled_hin(seed=6, n=40, q=2)
+    mask = np.zeros(full.n_nodes, dtype=bool)
+    mask[::2] = True
+    return full.masked(mask)
+
+
+class TestTuneTmark:
+    def test_grid_enumerated(self, hin):
+        result = tune_tmark(
+            hin,
+            {"alpha": [0.5, 0.8], "gamma": [0.2, 0.6]},
+            n_trials=2,
+            seed=0,
+        )
+        assert len(result.candidates) == 4
+        params = [tuple(sorted(c.params.items())) for c in result.candidates]
+        assert len(set(params)) == 4
+
+    def test_best_params_usable(self, hin):
+        from repro.core import TMark
+
+        result = tune_tmark(hin, {"alpha": [0.5, 0.8]}, n_trials=2, seed=0)
+        model = TMark(**result.best_params).fit(hin)
+        assert model.result_.node_scores.shape[0] == hin.n_nodes
+
+    def test_scores_in_range(self, hin):
+        result = tune_tmark(hin, {"alpha": [0.5]}, n_trials=2, seed=0)
+        for cand in result.candidates:
+            assert 0.0 <= cand.mean_score <= 1.0
+            assert cand.std_score >= 0.0
+
+    def test_deterministic_given_seed(self, hin):
+        a = tune_tmark(hin, {"alpha": [0.5, 0.9]}, n_trials=2, seed=3)
+        b = tune_tmark(hin, {"alpha": [0.5, 0.9]}, n_trials=2, seed=3)
+        assert [c.mean_score for c in a.candidates] == [
+            c.mean_score for c in b.candidates
+        ]
+
+    def test_validation_never_sees_test_nodes(self, hin):
+        """Tuning must use labeled nodes only — drop all labels and it
+        has nothing to work with."""
+        unlabeled = hin.masked(np.zeros(hin.n_nodes, dtype=bool))
+        with pytest.raises(ValidationError):
+            tune_tmark(unlabeled, {"alpha": [0.5]}, seed=0)
+
+    def test_obviously_bad_parameter_loses(self, hin):
+        """gamma=1 (features only, noisy) should not beat a mixed walk
+        on this homophilous HIN."""
+        result = tune_tmark(
+            hin,
+            {"alpha": [0.5], "gamma": [0.2, 1.0]},
+            n_trials=3,
+            seed=1,
+        )
+        by_gamma = {c.params["gamma"]: c.mean_score for c in result.candidates}
+        assert by_gamma[0.2] >= by_gamma[1.0] - 0.05
+
+    def test_empty_grid_rejected(self, hin):
+        with pytest.raises(ValidationError):
+            tune_tmark(hin, {}, seed=0)
+
+    def test_multilabel_rejected(self):
+        from repro.datasets import make_acm
+
+        hin = make_acm(n_papers=80, link_scale=0.3, seed=0)
+        with pytest.raises(ValidationError):
+            tune_tmark(hin, {"alpha": [0.5]}, seed=0)
+
+    def test_str_rendering(self, hin):
+        result = tune_tmark(hin, {"alpha": [0.5, 0.8]}, n_trials=1, seed=0)
+        text = str(result)
+        assert "best" in text and "alpha" in text
+
+
+class TestDiagnostics:
+    def test_diagnostics_shape(self, hin):
+        from repro.core import TMark
+
+        model = TMark(max_iter=100).fit(hin)
+        report = model.diagnostics()
+        assert set(report) == set(hin.label_names)
+        for stats in report.values():
+            assert stats["iterations"] >= 1
+            assert isinstance(stats["converged"], bool)
+            assert stats["n_anchors"] >= 1
+            assert stats["final_accepted"] >= -1
+
+    def test_update_disabled_reports_minus_one(self, hin):
+        from repro.core import TensorRrCc
+
+        model = TensorRrCc(max_iter=100).fit(hin)
+        for stats in model.diagnostics().values():
+            assert stats["final_accepted"] == -1
+
+    def test_requires_fit(self):
+        from repro.core import TMark
+        from repro.errors import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            TMark().diagnostics()

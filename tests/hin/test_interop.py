@@ -1,0 +1,136 @@
+"""Tests for HIN <-> networkx conversion."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.datasets import make_worked_example
+from repro.errors import ValidationError
+from repro.hin.interop import from_networkx, to_networkx
+
+
+class TestToNetworkx:
+    def test_structure(self, worked_example):
+        graph = to_networkx(worked_example)
+        assert graph.number_of_nodes() == 4
+        # 7 tensor entries -> 7 directed edges.
+        assert graph.number_of_edges() == 7
+        assert graph.graph["label_names"] == ["DM", "CV"]
+
+    def test_node_attributes(self, worked_example):
+        graph = to_networkx(worked_example)
+        assert graph.nodes["p1"]["labels"] == ("DM",)
+        assert graph.nodes["p3"]["labels"] == ()
+        assert np.allclose(graph.nodes["p1"]["features"], [1.0, 0.0])
+
+    def test_edge_attributes(self, worked_example):
+        graph = to_networkx(worked_example)
+        relations = {
+            data["relation"] for _, _, data in graph.edges(data=True)
+        }
+        assert relations == {"co-author", "citation", "same-conference"}
+
+    def test_edge_direction_is_walk_direction(self, worked_example):
+        graph = to_networkx(worked_example)
+        # p4 cites p1: tensor entry A[p1, p4] -> edge p4 -> p1.
+        assert graph.has_edge("p4", "p1")
+
+    def test_metadata_carried(self, worked_example):
+        graph = to_networkx(worked_example)
+        assert graph.graph["ground_truth"] == {"p3": "CV", "p4": "DM"}
+
+
+class TestFromNetworkx:
+    def test_round_trip(self, worked_example):
+        back = from_networkx(to_networkx(worked_example))
+        assert back.tensor == worked_example.tensor
+        assert back.relation_names == worked_example.relation_names
+        assert np.array_equal(back.label_matrix, worked_example.label_matrix)
+        assert np.allclose(
+            back.features_dense(), worked_example.features_dense()
+        )
+
+    def test_round_trip_generator(self):
+        from repro.datasets import make_nus
+
+        hin = make_nus(tagset="tagset1", n_images=80, seed=0)
+        back = from_networkx(to_networkx(hin))
+        assert back.tensor == hin.tensor
+
+    def test_undirected_graph_symmetrised(self):
+        graph = nx.Graph()
+        graph.add_node("a", features=[1.0], labels="x")
+        graph.add_node("b", features=[0.0], labels="y")
+        graph.add_edge("a", "b", relation="r")
+        hin = from_networkx(graph)
+        dense = hin.tensor.to_dense()
+        assert dense[0, 1, 0] == 1.0 and dense[1, 0, 0] == 1.0
+
+    def test_label_space_inferred_sorted(self):
+        graph = nx.DiGraph()
+        graph.add_node("a", features=[1.0], labels="zeta")
+        graph.add_node("b", features=[0.0], labels="alpha")
+        graph.add_edge("a", "b", relation="r")
+        hin = from_networkx(graph)
+        assert hin.label_names == ("alpha", "zeta")
+
+    def test_string_label_accepted(self):
+        graph = nx.DiGraph()
+        graph.add_node("a", features=[1.0], labels="x")
+        graph.add_node("b", features=[1.0])
+        graph.add_edge("a", "b", relation="r")
+        hin = from_networkx(graph, label_names=["x"])
+        assert hin.labeled_mask.sum() == 1
+
+    def test_weights_preserved(self):
+        graph = nx.DiGraph()
+        graph.add_node("a", features=[1.0], labels="x")
+        graph.add_node("b", features=[1.0], labels="y")
+        graph.add_edge("a", "b", relation="r", weight=2.5)
+        hin = from_networkx(graph)
+        assert hin.tensor.to_dense()[1, 0, 0] == 2.5
+
+    def test_missing_relation_rejected(self):
+        graph = nx.DiGraph()
+        graph.add_node("a", features=[1.0], labels="x")
+        graph.add_node("b", features=[1.0], labels="y")
+        graph.add_edge("a", "b")
+        with pytest.raises(ValidationError):
+            from_networkx(graph)
+
+    def test_missing_features_rejected(self):
+        graph = nx.DiGraph()
+        graph.add_node("a", labels="x")
+        graph.add_node("b", features=[1.0], labels="y")
+        graph.add_edge("a", "b", relation="r")
+        with pytest.raises(ValidationError):
+            from_networkx(graph)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValidationError):
+            from_networkx(nx.DiGraph())
+
+    def test_no_labels_anywhere_rejected(self):
+        graph = nx.DiGraph()
+        graph.add_node("a", features=[1.0])
+        with pytest.raises(ValidationError):
+            from_networkx(graph)
+
+    def test_tmark_runs_on_converted_graph(self):
+        """A user's networkx graph should flow straight into T-Mark."""
+        from repro.core import TMark
+
+        rng = np.random.default_rng(0)
+        graph = nx.Graph()
+        for idx in range(20):
+            label = "x" if idx < 10 else "y"
+            feats = [1.0, 0.0] if idx < 10 else [0.0, 1.0]
+            graph.add_node(f"n{idx}", features=feats + list(rng.normal(0, 0.1, 2)),
+                           labels=label)
+        for idx in range(0, 18, 2):
+            graph.add_edge(f"n{idx}", f"n{idx + 1}", relation="pair")
+        hin = from_networkx(graph)
+        mask = np.zeros(20, dtype=bool)
+        mask[::4] = True
+        model = TMark(max_iter=100).fit(hin.masked(mask))
+        assert model.result_.node_scores.shape == (20, 2)

@@ -1,0 +1,100 @@
+"""Tests for HIN persistence (save_hin / load_hin)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import ValidationError
+from repro.hin.builder import HINBuilder
+from repro.hin.graph import HIN
+from repro.hin.io import load_hin, save_hin
+from repro.tensor.sptensor import SparseTensor3
+
+
+def sample_hin(sparse_features=False, multilabel=False):
+    tensor = SparseTensor3([0, 1, 2], [1, 2, 0], [0, 1, 1], [1.0, 2.0, 0.5], shape=(3, 3, 2))
+    features = np.arange(6, dtype=float).reshape(3, 2)
+    if sparse_features:
+        features = sp.csr_matrix(features)
+    labels = np.array([[1, 0], [0, 1], [0, 0]], dtype=bool)
+    if multilabel:
+        labels[0] = [True, True]
+    return HIN(
+        tensor,
+        ["co-author", "citation"],
+        features,
+        labels,
+        ["DM", "CV"],
+        node_names=["p1", "p2", "p3"],
+        multilabel=multilabel,
+        metadata={"dataset": "test", "numbers": [1, 2], "nested": {"a": 1.5}},
+    )
+
+
+class TestRoundTrip:
+    def test_dense_features(self, tmp_path):
+        hin = sample_hin()
+        path = save_hin(hin, tmp_path / "net.npz")
+        loaded = load_hin(path)
+        assert loaded.tensor == hin.tensor
+        assert np.allclose(loaded.features_dense(), hin.features_dense())
+        assert np.array_equal(loaded.label_matrix, hin.label_matrix)
+        assert loaded.relation_names == hin.relation_names
+        assert loaded.node_names == hin.node_names
+        assert loaded.label_names == hin.label_names
+        assert loaded.metadata == hin.metadata
+
+    def test_sparse_features(self, tmp_path):
+        hin = sample_hin(sparse_features=True)
+        loaded = load_hin(save_hin(hin, tmp_path / "net.npz"))
+        assert sp.issparse(loaded.features)
+        assert np.allclose(loaded.features_dense(), hin.features_dense())
+
+    def test_multilabel_flag(self, tmp_path):
+        hin = sample_hin(multilabel=True)
+        loaded = load_hin(save_hin(hin, tmp_path / "net.npz"))
+        assert loaded.multilabel
+        assert np.array_equal(loaded.label_matrix, hin.label_matrix)
+
+    def test_suffix_is_added(self, tmp_path):
+        path = save_hin(sample_hin(), tmp_path / "net")
+        assert path.suffix == ".npz" and path.exists()
+
+    def test_generator_round_trip(self, tmp_path):
+        from repro.datasets import make_worked_example
+
+        hin = make_worked_example()
+        loaded = load_hin(save_hin(hin, tmp_path / "example"))
+        assert loaded.tensor == hin.tensor
+        assert loaded.metadata["ground_truth"] == {"p3": "CV", "p4": "DM"}
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError):
+            load_hin(tmp_path / "absent.npz")
+
+    def test_unserialisable_metadata(self, tmp_path):
+        builder = HINBuilder(["a", "b"])
+        builder.add_node("u", features=[1.0], labels=["a"])
+        builder.add_node("v", features=[1.0], labels=["b"])
+        builder.add_relation("r")
+        hin = builder.build(metadata={"bad": object()})
+        with pytest.raises(ValidationError):
+            save_hin(hin, tmp_path / "bad.npz")
+
+    def test_numpy_metadata_values_are_converted(self, tmp_path):
+        builder = HINBuilder(["a", "b"])
+        builder.add_node("u", features=[1.0], labels=["a"])
+        builder.add_node("v", features=[1.0], labels=["b"])
+        builder.add_relation("r")
+        hin = builder.build(
+            metadata={
+                "i": np.int64(3),
+                "f": np.float64(1.5),
+                "b": np.bool_(True),
+                "arr": np.arange(3),
+            }
+        )
+        loaded = load_hin(save_hin(hin, tmp_path / "meta.npz"))
+        assert loaded.metadata == {"i": 3, "f": 1.5, "b": True, "arr": [0, 1, 2]}

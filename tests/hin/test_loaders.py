@@ -1,0 +1,160 @@
+"""Tests for the flat-file HIN loaders."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.hin.loaders import (
+    load_hin_from_files,
+    parse_labels_file,
+    parse_links_file,
+    parse_sparse_features_file,
+)
+
+
+@pytest.fixture
+def files(tmp_path):
+    links = tmp_path / "links.tsv"
+    links.write_text(
+        "# source\ttarget\trelation\tweight\n"
+        "a\tb\tco-author\n"
+        "b\tc\tcitation\t2.0\n"
+        "a\tc\tco-author\t1.5\n",
+        encoding="utf-8",
+    )
+    labels = tmp_path / "labels.tsv"
+    labels.write_text(
+        "a\tDM\n"
+        "b\tCV\n",
+        encoding="utf-8",
+    )
+    features = tmp_path / "features.tsv"
+    features.write_text(
+        "a\t0\t1.0\n"
+        "a\t2\t3.0\n"
+        "b\t1\t2.0\n"
+        "c\t2\t1.0\n",
+        encoding="utf-8",
+    )
+    return links, labels, features
+
+
+class TestParsers:
+    def test_parse_links(self, files):
+        links, _, _ = files
+        parsed = parse_links_file(links)
+        assert parsed[0] == ("a", "b", "co-author", 1.0)
+        assert parsed[1] == ("b", "c", "citation", 2.0)
+        assert parsed[2][3] == 1.5
+
+    def test_parse_links_csv(self, tmp_path):
+        path = tmp_path / "links.csv"
+        path.write_text("a,b,r\n", encoding="utf-8")
+        assert parse_links_file(path) == [("a", "b", "r", 1.0)]
+
+    def test_parse_links_too_few_fields(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("a\tb\n", encoding="utf-8")
+        with pytest.raises(DatasetError, match="expected"):
+            parse_links_file(path)
+
+    def test_parse_links_bad_weight(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("a\tb\tr\theavy\n", encoding="utf-8")
+        with pytest.raises(DatasetError, match="weight"):
+            parse_links_file(path)
+
+    def test_parse_links_empty(self, tmp_path):
+        path = tmp_path / "empty.tsv"
+        path.write_text("# only a comment\t\t\n", encoding="utf-8")
+        with pytest.raises(DatasetError):
+            parse_links_file(path)
+
+    def test_parse_labels(self, files):
+        _, labels, _ = files
+        assert parse_labels_file(labels) == {"a": ["DM"], "b": ["CV"]}
+
+    def test_parse_labels_multilabel(self, tmp_path):
+        path = tmp_path / "labels.tsv"
+        path.write_text("a\tDM,CV\n", encoding="utf-8")
+        assert parse_labels_file(path) == {"a": ["DM", "CV"]}
+
+    def test_parse_labels_duplicate_node(self, tmp_path):
+        path = tmp_path / "labels.tsv"
+        path.write_text("a\tDM\na\tCV\n", encoding="utf-8")
+        with pytest.raises(DatasetError, match="duplicate"):
+            parse_labels_file(path)
+
+    def test_parse_sparse_features(self, files):
+        _, _, features = files
+        parsed = parse_sparse_features_file(features)
+        assert parsed["a"] == {0: 1.0, 2: 3.0}
+        assert parsed["c"] == {2: 1.0}
+
+    def test_parse_sparse_features_bad_dim(self, tmp_path):
+        path = tmp_path / "f.tsv"
+        path.write_text("a\t-1\t1.0\n", encoding="utf-8")
+        with pytest.raises(DatasetError, match="negative"):
+            parse_sparse_features_file(path)
+
+
+class TestLoadHinFromFiles:
+    def test_full_assembly(self, files):
+        links, labels, features = files
+        hin = load_hin_from_files(links, labels, features)
+        assert hin.n_nodes == 3
+        assert set(hin.relation_names) == {"co-author", "citation"}
+        assert hin.label_names == ("CV", "DM")  # sorted inference
+        # Node order is sorted: a, b, c.
+        assert hin.node_names == ("a", "b", "c")
+        assert np.allclose(hin.features_dense()[0], [1.0, 0.0, 3.0])
+        # c is unlabeled.
+        assert not hin.labeled_mask[2]
+
+    def test_undirected_by_default(self, files):
+        links, labels, features = files
+        hin = load_hin_from_files(links, labels, features)
+        k = hin.relation_index("co-author")
+        dense = hin.tensor.to_dense()[:, :, k]
+        assert np.allclose(dense, dense.T)
+
+    def test_directed_relations(self, files):
+        links, labels, features = files
+        hin = load_hin_from_files(
+            links, labels, features, directed_relations={"citation"}
+        )
+        k = hin.relation_index("citation")
+        dense = hin.tensor.to_dense()[:, :, k]
+        # b -> c stored one-way: entry [c, b] only.
+        assert dense[2, 1] == 2.0 and dense[1, 2] == 0.0
+
+    def test_without_features(self, files):
+        links, labels, _ = files
+        hin = load_hin_from_files(links, labels)
+        assert hin.n_features == 1
+        assert np.allclose(hin.features_dense(), 1.0)
+
+    def test_explicit_label_space(self, files):
+        links, labels, features = files
+        hin = load_hin_from_files(
+            links, labels, features, label_names=["DM", "CV", "IR"]
+        )
+        assert hin.label_names == ("DM", "CV", "IR")
+
+    def test_n_features_override(self, files):
+        links, labels, features = files
+        hin = load_hin_from_files(links, labels, features, n_features=10)
+        assert hin.n_features == 10
+
+    def test_n_features_too_small_rejected(self, files):
+        links, labels, features = files
+        with pytest.raises(DatasetError, match="exceeds"):
+            load_hin_from_files(links, labels, features, n_features=2)
+
+    def test_loaded_hin_runs_tmark(self, files):
+        from repro.core import TMark
+
+        links, labels, features = files
+        hin = load_hin_from_files(links, labels, features)
+        model = TMark(max_iter=100).fit(hin)
+        assert model.result_.node_scores.shape == (3, 2)

@@ -1,0 +1,96 @@
+"""Tests for meta-path composition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.hin.builder import HINBuilder
+from repro.hin.metapath import compose_relations, with_metapath_relations
+
+
+def chain_hin():
+    """u -r0-> v -r1-> w (directed) so r0∘r1 links u -> w."""
+    builder = HINBuilder(["a", "b"])
+    builder.add_node("u", features=[1.0], labels=["a"])
+    builder.add_node("v", features=[1.0], labels=["b"])
+    builder.add_node("w", features=[1.0], labels=["a"])
+    builder.add_link("u", "v", "r0", directed=True)
+    builder.add_link("v", "w", "r1", directed=True)
+    return builder.build()
+
+
+class TestComposeRelations:
+    def test_single_relation_is_slice(self):
+        hin = chain_hin()
+        composed = compose_relations(hin, ["r0"]).toarray()
+        assert composed[1, 0] == 1.0
+
+    def test_two_hop_composition(self):
+        hin = chain_hin()
+        composed = compose_relations(hin, ["r0", "r1"]).toarray()
+        # Hops apply left to right on the walk: step r0 then r1 means
+        # matrix product A_r1 @ A_r0; u -> w.
+        assert composed[2, 0] == 1.0
+        assert composed.sum() == 1.0
+
+    def test_names_and_indices_equivalent(self):
+        hin = chain_hin()
+        by_name = compose_relations(hin, ["r0", "r1"]).toarray()
+        by_index = compose_relations(hin, [0, 1]).toarray()
+        assert np.array_equal(by_name, by_index)
+
+    def test_binary_clipping(self):
+        builder = HINBuilder(["a", "b"])
+        for name in "uvw":
+            builder.add_node(name, features=[1.0], labels=["a"])
+        # Two parallel 2-hop paths u->v->w and u->w'... use weights.
+        builder.add_link("u", "v", "r", weight=2.0, directed=True)
+        builder.add_link("v", "w", "r", weight=3.0, directed=True)
+        hin = builder.build()
+        weighted = compose_relations(hin, ["r", "r"], binary=False).toarray()
+        binary = compose_relations(hin, ["r", "r"], binary=True).toarray()
+        assert weighted[2, 0] == 6.0
+        assert binary[2, 0] == 1.0
+
+    def test_self_loops_dropped(self):
+        builder = HINBuilder(["a", "b"])
+        builder.add_node("u", features=[1.0], labels=["a"])
+        builder.add_node("v", features=[1.0], labels=["b"])
+        builder.add_link("u", "v", "r")  # undirected: r∘r gives self loops
+        hin = builder.build()
+        composed = compose_relations(hin, ["r", "r"]).toarray()
+        assert np.trace(composed) == 0
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValidationError):
+            compose_relations(chain_hin(), [])
+
+    def test_bad_index_rejected(self):
+        with pytest.raises(ValidationError):
+            compose_relations(chain_hin(), [9])
+
+
+class TestWithMetapathRelations:
+    def test_appends_derived_relation(self):
+        hin = chain_hin()
+        extended = with_metapath_relations(hin, {"r0.r1": ["r0", "r1"]})
+        assert extended.n_relations == 3
+        assert extended.relation_names == ("r0", "r1", "r0.r1")
+        assert extended.tensor.relation_slice(2).toarray()[2, 0] == 1.0
+
+    def test_replace_mode(self):
+        hin = chain_hin()
+        only = with_metapath_relations(
+            hin, {"two-hop": ["r0", "r1"]}, keep_original=False
+        )
+        assert only.relation_names == ("two-hop",)
+
+    def test_name_collision_rejected(self):
+        with pytest.raises(ValidationError):
+            with_metapath_relations(chain_hin(), {"r0": ["r0", "r1"]})
+
+    def test_labels_and_features_preserved(self):
+        hin = chain_hin()
+        extended = with_metapath_relations(hin, {"m": ["r0"]})
+        assert np.array_equal(extended.label_matrix, hin.label_matrix)
+        assert np.allclose(extended.features_dense(), hin.features_dense())

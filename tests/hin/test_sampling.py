@@ -1,0 +1,112 @@
+"""Tests for subnetwork extraction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.hin.sampling import induced_subgraph, sample_nodes
+
+
+class TestInducedSubgraph:
+    def test_by_names(self, worked_example):
+        sub = induced_subgraph(worked_example, ["p1", "p2"])
+        assert sub.n_nodes == 2
+        assert sub.node_names == ("p1", "p2")
+        # The co-author link survives; citations to p3/p4 do not.
+        dense = sub.tensor.to_dense()
+        assert dense[:, :, sub.relation_index("co-author")].sum() == 2
+        assert dense[:, :, sub.relation_index("citation")].sum() == 0
+
+    def test_by_indices(self, worked_example):
+        by_name = induced_subgraph(worked_example, ["p1", "p3"])
+        by_index = induced_subgraph(worked_example, [0, 2])
+        assert by_name.tensor == by_index.tensor
+
+    def test_features_and_labels_aligned(self, worked_example):
+        sub = induced_subgraph(worked_example, ["p2", "p4"])
+        assert np.allclose(sub.features_dense()[0], [0.0, 1.0])
+        assert sub.y[0] == sub.label_index("CV")
+        assert sub.y[1] == -1
+
+    def test_order_follows_input(self, worked_example):
+        sub = induced_subgraph(worked_example, ["p4", "p1"])
+        assert sub.node_names == ("p4", "p1")
+        # Citation p4 -> p1: entry A[p1, p4] = A[1, 0] in new order.
+        dense = sub.tensor.to_dense()
+        assert dense[1, 0, sub.relation_index("citation")] == 1.0
+
+    def test_relation_set_preserved(self, worked_example):
+        sub = induced_subgraph(worked_example, ["p1"])
+        assert sub.relation_names == worked_example.relation_names
+        assert sub.tensor.nnz == 0
+
+    def test_empty_rejected(self, worked_example):
+        with pytest.raises(ValidationError):
+            induced_subgraph(worked_example, [])
+
+    def test_duplicates_rejected(self, worked_example):
+        with pytest.raises(ValidationError):
+            induced_subgraph(worked_example, ["p1", "p1"])
+
+    def test_out_of_range_rejected(self, worked_example):
+        with pytest.raises(ValidationError):
+            induced_subgraph(worked_example, [99])
+
+    def test_metadata_shared(self, worked_example):
+        sub = induced_subgraph(worked_example, ["p1", "p2"])
+        assert sub.metadata["ground_truth"] == {"p3": "CV", "p4": "DM"}
+
+
+class TestSampleNodes:
+    def test_size(self):
+        from repro.datasets import make_dblp
+
+        hin = make_dblp(n_authors=120, attendees_per_conference=15, seed=0)
+        sub = sample_nodes(hin, 40, rng=np.random.default_rng(0))
+        assert sub.n_nodes == 40
+
+    def test_stratified_covers_classes(self):
+        from repro.datasets import make_dblp
+
+        hin = make_dblp(n_authors=120, attendees_per_conference=15, seed=0)
+        sub = sample_nodes(hin, 20, rng=np.random.default_rng(1))
+        assert len(np.unique(sub.y)) == hin.n_labels
+
+    def test_class_proportions_roughly_kept(self):
+        from repro.datasets import make_movies
+
+        hin = make_movies(n_movies=300, n_directors=30, seed=0)
+        sub = sample_nodes(hin, 100, rng=np.random.default_rng(2))
+        original = np.bincount(hin.y, minlength=5) / hin.n_nodes
+        sampled = np.bincount(sub.y, minlength=5) / sub.n_nodes
+        assert np.abs(original - sampled).max() < 0.15
+
+    def test_unstratified_path(self, worked_example):
+        sub = sample_nodes(
+            worked_example, 2, stratified=False, rng=np.random.default_rng(0)
+        )
+        assert sub.n_nodes == 2
+
+    def test_too_many_rejected(self, worked_example):
+        with pytest.raises(ValidationError):
+            sample_nodes(worked_example, 10)
+
+    def test_deterministic(self):
+        from repro.datasets import make_dblp
+
+        hin = make_dblp(n_authors=100, attendees_per_conference=12, seed=0)
+        a = sample_nodes(hin, 30, rng=np.random.default_rng(5))
+        b = sample_nodes(hin, 30, rng=np.random.default_rng(5))
+        assert a.node_names == b.node_names
+
+    def test_subsample_still_classifiable(self):
+        from repro.core import TMark
+        from repro.datasets import make_dblp
+        from repro.ml.splits import stratified_fraction_split
+
+        hin = make_dblp(n_authors=200, attendees_per_conference=22, seed=0)
+        sub = sample_nodes(hin, 100, rng=np.random.default_rng(3))
+        mask = stratified_fraction_split(sub.y, 0.3, rng=np.random.default_rng(4))
+        model = TMark(alpha=0.8, gamma=0.6, label_threshold=0.8).fit(sub.masked(mask))
+        acc = np.mean(model.predict()[~mask] == sub.y[~mask])
+        assert acc > 0.5

@@ -1,0 +1,82 @@
+"""Tests for HIN summary statistics."""
+
+import math
+
+import numpy as np
+
+from repro.hin.builder import HINBuilder
+from repro.hin.stats import hin_summary, relation_homophily
+
+
+def stats_hin():
+    builder = HINBuilder(["a", "b"])
+    builder.add_node("u1", features=[1.0], labels=["a"])
+    builder.add_node("u2", features=[1.0], labels=["a"])
+    builder.add_node("v1", features=[1.0], labels=["b"])
+    builder.add_node("x", features=[1.0])  # unlabeled
+    builder.add_link("u1", "u2", "homo")       # same class
+    builder.add_link("u1", "v1", "hetero")     # different classes
+    builder.add_link("u1", "x", "tolabeled")   # one endpoint unlabeled
+    builder.add_relation("empty")
+    return builder.build()
+
+
+class TestRelationHomophily:
+    def test_same_class_link(self):
+        assert relation_homophily(stats_hin(), "homo") == 1.0
+
+    def test_cross_class_link(self):
+        assert relation_homophily(stats_hin(), "hetero") == 0.0
+
+    def test_unlabeled_endpoints_excluded(self):
+        assert math.isnan(relation_homophily(stats_hin(), "tolabeled"))
+
+    def test_empty_relation_is_nan(self):
+        assert math.isnan(relation_homophily(stats_hin(), "empty"))
+
+    def test_by_index(self):
+        hin = stats_hin()
+        assert relation_homophily(hin, hin.relation_index("homo")) == 1.0
+
+    def test_multilabel_intersection(self):
+        builder = HINBuilder(["a", "b"], multilabel=True)
+        builder.add_node("u", features=[1.0], labels=["a", "b"])
+        builder.add_node("v", features=[1.0], labels=["b"])
+        builder.add_link("u", "v", "r")
+        assert relation_homophily(builder.build(), "r") == 1.0
+
+
+class TestHinSummary:
+    def test_counts(self):
+        summary = hin_summary(stats_hin())
+        assert summary.n_nodes == 4
+        assert summary.n_relations == 4
+        assert summary.n_labels == 2
+        assert summary.n_labeled == 3
+        assert summary.n_links == 6  # three undirected links
+
+    def test_per_relation_stats(self):
+        summary = hin_summary(stats_hin())
+        by_name = {r.name: r for r in summary.relations}
+        assert by_name["homo"].n_links == 2
+        assert by_name["homo"].n_active_nodes == 2
+        assert by_name["empty"].n_links == 0
+        assert by_name["homo"].density == 2 / (4 * 3)
+
+    def test_str_renders_all_relations(self):
+        text = str(hin_summary(stats_hin()))
+        for name in ("homo", "hetero", "tolabeled", "empty"):
+            assert name in text
+
+    def test_generator_homophily_ordering(self):
+        """The DBLP generator's purity tiers must show up in homophily."""
+        from repro.datasets import make_dblp
+
+        hin = make_dblp(seed=3, n_authors=200, attendees_per_conference=25)
+        purity = hin.metadata["conference_purity"]
+        values = {
+            name: relation_homophily(hin, name) for name in hin.relation_names
+        }
+        pure = np.mean([values[c] for c, p in purity.items() if p > 0.9])
+        noisy = np.mean([values[c] for c, p in purity.items() if p < 0.6])
+        assert pure > noisy + 0.1

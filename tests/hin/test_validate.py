@@ -1,0 +1,98 @@
+"""Tests for the HIN linting diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.hin.builder import HINBuilder
+from repro.hin.validate import check_hin
+
+
+def codes(warnings):
+    return {w.code for w in warnings}
+
+
+class TestCheckHin:
+    def test_clean_hin_has_no_warnings(self):
+        builder = HINBuilder(["a", "b"])
+        builder.add_node("u", features=[1.0], labels=["a"])
+        builder.add_node("v", features=[1.0], labels=["b"])
+        builder.add_link("u", "v", "r")
+        assert check_hin(builder.build()) == []
+
+    def test_isolated_node_flagged(self):
+        builder = HINBuilder(["a", "b"])
+        builder.add_node("u", features=[1.0], labels=["a"])
+        builder.add_node("v", features=[1.0], labels=["b"])
+        builder.add_node("island", features=[1.0], labels=["a"])
+        builder.add_link("u", "v", "r")
+        warnings = check_hin(builder.build())
+        assert "isolated-nodes" in codes(warnings)
+
+    def test_empty_relation_flagged(self):
+        builder = HINBuilder(["a", "b"])
+        builder.add_node("u", features=[1.0], labels=["a"])
+        builder.add_node("v", features=[1.0], labels=["b"])
+        builder.add_link("u", "v", "r")
+        builder.add_relation("ghost")
+        warnings = check_hin(builder.build())
+        flagged = [w for w in warnings if w.code == "empty-relations"]
+        assert flagged and "ghost" in flagged[0].message
+
+    def test_class_without_labels_flagged(self):
+        builder = HINBuilder(["a", "b", "orphan"])
+        builder.add_node("u", features=[1.0], labels=["a"])
+        builder.add_node("v", features=[1.0], labels=["b"])
+        builder.add_link("u", "v", "r")
+        warnings = check_hin(builder.build())
+        flagged = [w for w in warnings if w.code == "classes-without-labels"]
+        assert flagged and "orphan" in flagged[0].message
+
+    def test_no_labels_is_error(self):
+        builder = HINBuilder(["a", "b"])
+        builder.add_node("u", features=[1.0])
+        builder.add_node("v", features=[1.0])
+        builder.add_link("u", "v", "r")
+        warnings = check_hin(builder.build())
+        errors = [w for w in warnings if w.severity == "error"]
+        assert codes(errors) == {"no-labels"}
+
+    def test_reducible_graph_is_info(self):
+        builder = HINBuilder(["a", "b"])
+        builder.add_node("u", features=[1.0], labels=["a"])
+        builder.add_node("v", features=[1.0], labels=["b"])
+        builder.add_node("w", features=[1.0], labels=["a"])
+        builder.add_link("u", "v", "r", directed=True)
+        builder.add_link("v", "w", "r", directed=True)
+        warnings = check_hin(builder.build())
+        flagged = [w for w in warnings if w.code == "not-irreducible"]
+        assert flagged and flagged[0].severity == "info"
+
+    def test_featureless_node_flagged(self):
+        builder = HINBuilder(["a", "b"])
+        builder.add_node("u", features=[0.0], labels=["a"])
+        builder.add_node("v", features=[1.0], labels=["b"])
+        builder.add_link("u", "v", "r")
+        assert "featureless-nodes" in codes(check_hin(builder.build()))
+
+    def test_generators_are_clean(self):
+        """The calibrated datasets lint clean of errors and structural
+        defects (a few isolated nodes are expected at reduced scales)."""
+        from repro.datasets import get_dataset
+
+        acceptable = {"isolated-nodes", "not-irreducible", "featureless-nodes"}
+        for name in ("dblp", "nus"):
+            hin = get_dataset(name, scale=0.3, seed=0)
+            warnings = check_hin(hin)
+            assert not [w for w in warnings if w.severity == "error"], name
+            assert codes(warnings) <= acceptable, f"{name}: {warnings}"
+
+    def test_masked_hin_reports_missing_class(self):
+        from repro.datasets import get_dataset
+        from repro.ml.splits import stratified_fraction_split
+
+        hin = get_dataset("dblp", scale=0.3, seed=0)
+        mask = np.zeros(hin.n_nodes, dtype=bool)
+        y = hin.y
+        mask[np.flatnonzero(y == 0)[:5]] = True  # only one class labeled
+        warnings = check_hin(hin.masked(mask))
+        assert "classes-without-labels" in codes(warnings)

@@ -1,0 +1,60 @@
+"""Quality gate: every public module / class / function is documented.
+
+Walks the installed ``repro`` package, imports every module, and asserts
+docstrings on the module itself and on every public (non-underscore)
+class, function and method defined in it.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+
+def _iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+def _public_members(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if getattr(obj, "__module__", None) == module.__name__:
+                yield name, obj
+
+
+def test_every_module_has_a_docstring():
+    missing = [
+        module.__name__ for module in _iter_modules() if not inspect.getdoc(module)
+    ]
+    assert not missing, f"modules without docstrings: {missing}"
+
+
+def test_every_public_class_and_function_documented():
+    missing = []
+    for module in _iter_modules():
+        for name, obj in _public_members(module):
+            if not inspect.getdoc(obj):
+                missing.append(f"{module.__name__}.{name}")
+    assert not missing, f"undocumented public objects: {missing}"
+
+
+def test_every_public_method_documented():
+    missing = []
+    for module in _iter_modules():
+        for class_name, cls in _public_members(module):
+            if not inspect.isclass(cls):
+                continue
+            for name, member in vars(cls).items():
+                if name.startswith("_"):
+                    continue
+                func = member.fget if isinstance(member, property) else member
+                if not inspect.isfunction(func):
+                    continue
+                if not inspect.getdoc(func):
+                    missing.append(f"{module.__name__}.{class_name}.{name}")
+    assert not missing, f"undocumented public methods: {missing}"

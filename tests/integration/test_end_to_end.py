@@ -1,0 +1,132 @@
+"""End-to-end integration tests across the full pipeline.
+
+Generator -> split -> T-Mark + baselines -> metrics -> rankings, plus
+save/load in the middle, exactly as a downstream user would wire it.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    HIN,
+    TMark,
+    TensorRrCc,
+    load_hin,
+    make_dblp,
+    make_nus,
+    make_worked_example,
+    save_hin,
+)
+from repro.baselines import ICA, WvRNRL
+from repro.ml.metrics import accuracy
+from repro.ml.splits import stratified_fraction_split
+
+
+class TestDblpPipeline:
+    @pytest.fixture(scope="class")
+    def hin(self):
+        return make_dblp(n_authors=160, attendees_per_conference=20, seed=11)
+
+    def test_tmark_beats_structureless_chance(self, hin):
+        y = hin.y
+        mask = stratified_fraction_split(y, 0.2, rng=np.random.default_rng(0))
+        model = TMark(alpha=0.8, gamma=0.6, label_threshold=0.8).fit(hin.masked(mask))
+        acc = accuracy(y[~mask], model.predict()[~mask])
+        assert acc > 0.6
+
+    def test_tmark_at_least_matches_tensorrrcc_at_low_labels(self, hin):
+        """The paper's extension claim, averaged over splits."""
+        y = hin.y
+        tmark_accs, rrcc_accs = [], []
+        for seed in range(3):
+            mask = stratified_fraction_split(y, 0.1, rng=np.random.default_rng(seed))
+            train = hin.masked(mask)
+            tm = TMark(alpha=0.8, gamma=0.6, label_threshold=0.8).fit(train)
+            rc = TensorRrCc(alpha=0.8, gamma=0.6).fit(train)
+            tmark_accs.append(accuracy(y[~mask], tm.predict()[~mask]))
+            rrcc_accs.append(accuracy(y[~mask], rc.predict()[~mask]))
+        assert np.mean(tmark_accs) >= np.mean(rrcc_accs) - 0.02
+
+    def test_relation_ranking_recovers_area_conferences(self, hin):
+        y = hin.y
+        mask = stratified_fraction_split(y, 0.3, rng=np.random.default_rng(1))
+        model = TMark(alpha=0.8, gamma=0.6, label_threshold=0.8).fit(hin.masked(mask))
+        areas = hin.metadata["conference_areas"]
+        hits = 0
+        for area in hin.label_names:
+            top5 = model.result_.top_relations(area, count=5)
+            hits += sum(1 for conf in top5 if areas[conf] == area)
+        assert hits / 20 >= 0.7
+
+    def test_save_load_mid_pipeline(self, hin, tmp_path):
+        y = hin.y
+        mask = stratified_fraction_split(y, 0.3, rng=np.random.default_rng(2))
+        train = hin.masked(mask)
+        loaded = load_hin(save_hin(train, tmp_path / "train.npz"))
+        direct = TMark(max_iter=100).fit(train).result_.node_scores
+        reloaded = TMark(max_iter=100).fit(loaded).result_.node_scores
+        assert np.allclose(direct, reloaded)
+
+    def test_baselines_compose_with_harness_interface(self, hin):
+        y = hin.y
+        mask = stratified_fraction_split(y, 0.3, rng=np.random.default_rng(3))
+        train = hin.masked(mask)
+        for method in (ICA(n_iterations=1), WvRNRL(n_iterations=15)):
+            scores = method.fit_predict(train, rng=np.random.default_rng(0))
+            acc = accuracy(y[~mask], np.argmax(scores, axis=1)[~mask])
+            assert acc > 0.4
+
+
+class TestNusLinkSelection:
+    def test_relevant_links_beat_frequent_links(self):
+        """Section 6.3's headline at reduced scale."""
+        accs = {}
+        for tagset in ("tagset1", "tagset2"):
+            hin = make_nus(tagset=tagset, n_images=200, seed=7)
+            y = hin.y
+            mask = stratified_fraction_split(y, 0.2, rng=np.random.default_rng(0))
+            model = TMark(alpha=0.9, gamma=0.4, label_threshold=0.95).fit(
+                hin.masked(mask)
+            )
+            accs[tagset] = accuracy(y[~mask], model.predict()[~mask])
+        assert accs["tagset1"] > accs["tagset2"] + 0.1
+
+    def test_link_subset_via_with_relations(self):
+        """Selecting a subset of relations changes the model's view."""
+        hin = make_nus(tagset="tagset1", n_images=150, seed=8)
+        subset = hin.with_relations(list(range(10)))
+        assert subset.n_relations == 10
+        y = hin.y
+        mask = stratified_fraction_split(y, 0.3, rng=np.random.default_rng(0))
+        full_scores = TMark(max_iter=100).fit(hin.masked(mask)).predict_scores()
+        sub_scores = TMark(max_iter=100).fit(subset.masked(mask)).predict_scores()
+        assert full_scores.shape[0] == sub_scores.shape[0]
+        assert not np.allclose(full_scores, sub_scores)
+
+
+class TestWorkedExampleEndToEnd:
+    def test_full_story(self):
+        hin = make_worked_example()
+        model = TMark(alpha=0.8, gamma=0.5).fit(hin)
+        predictions = model.predict()
+        assert predictions[hin.node_index("p3")] == hin.label_index("CV")
+        assert predictions[hin.node_index("p4")] == hin.label_index("DM")
+        ranked = model.result_.ranked_relations("DM")
+        assert ranked[-1][0] == "same-conference"
+
+
+class TestPublicApi:
+    def test_top_level_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_hin_type_round_trip(self):
+        hin = make_worked_example()
+        assert isinstance(hin, HIN)

@@ -1,0 +1,49 @@
+"""Smoke tests: every example script must run cleanly end to end.
+
+Each example is executed in a subprocess (fresh interpreter, no shared
+state) and must exit 0 with its expected landmark output.  These are the
+slowest tests in the suite (~1 min total) but they guard the deliverable
+a new user touches first.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+#: script -> a string its stdout must contain.
+EXAMPLES = {
+    "quickstart.py": "held-out accuracy",
+    "worked_example.py": "prediction for p3: CV",
+    "movie_genres.py": "top directors for",
+    "nus_link_selection.py": "Tagset1",
+    "acm_multilabel.py": "Macro-F1",
+    "custom_hin.py": "T-Mark accuracy",
+    "incremental_labels.py": "agreement",
+    "noisy_links.py": "equal-weight diffusion collapses",
+}
+
+
+@pytest.mark.parametrize("script,landmark", sorted(EXAMPLES.items()))
+def test_example_runs(script, landmark):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    completed = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert landmark in completed.stdout, (
+        f"{script} output missing {landmark!r}:\n{completed.stdout[-1500:]}"
+    )
+
+
+def test_every_example_is_listed():
+    """New example scripts must be added to the smoke map."""
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXAMPLES)

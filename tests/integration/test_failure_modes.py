@@ -1,0 +1,153 @@
+"""Failure-injection and degenerate-input tests across the stack.
+
+A production library must fail loudly and informatively on bad input,
+and behave sensibly on degenerate-but-legal networks (no links, one
+class absent from training, disconnected components, ...).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MultiRank, TMark
+from repro.errors import ReproError, ValidationError
+from repro.hin.builder import HINBuilder
+from repro.hin.io import load_hin, save_hin
+from repro.tensor.sptensor import SparseTensor3
+
+
+def tiny_hin(n_links=1):
+    builder = HINBuilder(["a", "b"])
+    builder.add_node("u", features=[1.0, 0.0], labels=["a"])
+    builder.add_node("v", features=[0.0, 1.0], labels=["b"])
+    builder.add_node("w", features=[0.5, 0.5])
+    if n_links:
+        builder.add_link("u", "v", "r")
+    else:
+        builder.add_relation("r")
+    return builder.build()
+
+
+class TestCorruptArchives:
+    def test_truncated_archive(self, tmp_path):
+        path = save_hin(tiny_hin(), tmp_path / "net.npz")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(Exception):
+            load_hin(path)
+
+    def test_non_npz_file(self, tmp_path):
+        path = tmp_path / "net.npz"
+        path.write_text("this is not an archive")
+        with pytest.raises(Exception):
+            load_hin(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        import json
+
+        path = save_hin(tiny_hin(), tmp_path / "net.npz")
+        with np.load(path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        header = json.loads(bytes(arrays["header"]).decode())
+        header["format_version"] = 999
+        arrays["header"] = np.frombuffer(
+            json.dumps(header).encode(), dtype=np.uint8
+        )
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValidationError, match="version"):
+            load_hin(path)
+
+
+class TestDegenerateNetworks:
+    def test_hin_with_no_links_still_classifies(self):
+        """Structure-free HIN: T-Mark falls back to features + restart."""
+        hin = tiny_hin(n_links=0)
+        model = TMark(max_iter=100).fit(hin)
+        assert np.isfinite(model.result_.node_scores).all()
+        # The labeled nodes keep their classes.
+        predictions = model.predict()
+        assert predictions[0] == 0 and predictions[1] == 1
+
+    def test_class_with_no_training_nodes(self):
+        """A class absent from the training set gets an uninformative
+        (uniform-restart) chain rather than a crash."""
+        hin = tiny_hin()
+        labels = hin.label_matrix.copy()
+        labels[1] = False  # class b loses its only labeled node
+        masked = hin.with_labels(labels)
+        model = TMark(max_iter=100).fit(masked)
+        assert np.isfinite(model.result_.node_scores).all()
+
+    def test_disconnected_components_converge(self):
+        builder = HINBuilder(["a", "b"])
+        for idx in range(6):
+            label = "a" if idx < 3 else "b"
+            feats = [1.0, 0.0] if idx < 3 else [0.0, 1.0]
+            builder.add_node(f"v{idx}", features=feats, labels=[label])
+        builder.add_link("v0", "v1", "r")
+        builder.add_link("v3", "v4", "r")  # two separate components
+        hin = builder.build()
+        mask = np.array([True, False, False, True, False, False])
+        model = TMark(max_iter=200).fit(hin.masked(mask))
+        for history in model.result_.histories:
+            assert history.converged
+
+    def test_single_node_per_class(self):
+        builder = HINBuilder(["a", "b"])
+        builder.add_node("u", features=[1.0], labels=["a"])
+        builder.add_node("v", features=[2.0], labels=["b"])
+        builder.add_link("u", "v", "r")
+        model = TMark(max_iter=100).fit(builder.build())
+        assert model.result_.node_scores.shape == (2, 2)
+
+    def test_self_loops_are_legal(self):
+        tensor = SparseTensor3([0, 1], [0, 0], [0, 0], shape=(2, 2, 1))
+        result = MultiRank().rank(tensor)
+        assert np.isfinite(result.x).all()
+
+    def test_empty_tensor_multirank(self):
+        """No links at all: everything dangles; uniform fixed point."""
+        tensor = SparseTensor3([], [], [], shape=(4, 4, 2))
+        result = MultiRank().rank(tensor)
+        assert np.allclose(result.x, 0.25)
+        assert np.allclose(result.z, 0.5)
+
+
+class TestHostileInputs:
+    def test_nan_features_rejected_at_build(self):
+        builder = HINBuilder(["a", "b"])
+        builder.add_node("u", features=[float("nan")], labels=["a"])
+        builder.add_node("v", features=[1.0], labels=["b"])
+        builder.add_relation("r")
+        with pytest.raises(ValidationError, match="non-finite"):
+            builder.build()
+
+    def test_inf_features_rejected_by_hin(self):
+        from repro.hin.graph import HIN
+
+        tensor = SparseTensor3([], [], [], shape=(2, 2, 1))
+        with pytest.raises(ValidationError, match="non-finite"):
+            HIN(
+                tensor,
+                ["r"],
+                np.array([[np.inf], [1.0]]),
+                np.zeros((2, 1), dtype=bool),
+                ["a"],
+            )
+
+    def test_error_hierarchy_catchable(self):
+        """All library errors share the ReproError base."""
+        with pytest.raises(ReproError):
+            SparseTensor3([0], [0], [0], [-1.0], shape=(1, 1, 1))
+        with pytest.raises(ReproError):
+            TMark(alpha=2.0)
+        with pytest.raises(ReproError):
+            HINBuilder([])
+
+    def test_masked_hin_does_not_leak_test_labels(self):
+        """The harness contract: masking must remove all information."""
+        hin = tiny_hin()
+        masked = hin.masked(np.array([True, False, False]))
+        assert not masked.label_matrix[1].any()
+        assert not masked.label_matrix[2].any()
+        # And the tensor/features are shared, not copied data with labels.
+        assert masked.tensor is hin.tensor

@@ -1,0 +1,49 @@
+"""Golden regression pins: exact outputs on a fixed seed.
+
+These values were recorded from the released implementation; any change
+to the algorithm, the generators or the RNG plumbing that alters them is
+either a bug or a deliberate behaviour change that must update this file
+(and be noted in EXPERIMENTS.md if it moves reproduced numbers).
+Tolerances are loose enough to survive BLAS summation-order differences
+but tight enough to catch real changes.
+"""
+
+import numpy as np
+import pytest
+
+from repro import TMark, make_dblp
+from repro.ml.metrics import accuracy
+from repro.ml.splits import stratified_fraction_split
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    hin = make_dblp(seed=0)
+    mask = stratified_fraction_split(hin.y, 0.1, rng=np.random.default_rng(42))
+    model = TMark(alpha=0.8, gamma=0.6, label_threshold=0.8).fit(hin.masked(mask))
+    return hin, mask, model
+
+
+class TestGoldenDblp:
+    def test_accuracy_pinned(self, fitted):
+        hin, mask, model = fitted
+        acc = accuracy(hin.y[~mask], model.predict()[~mask])
+        assert acc == pytest.approx(0.9027777777777778, abs=1e-6)
+
+    def test_stationary_values_pinned(self, fitted):
+        _, _, model = fitted
+        z_head = model.result_.relation_scores[:3, 0]
+        assert z_head == pytest.approx(
+            [0.2124773797, 0.0542855636, 0.1536231669], abs=1e-6
+        )
+
+    def test_top_db_relations_pinned(self, fitted):
+        _, _, model = fitted
+        assert model.result_.top_relations("DB", count=3) == [
+            "VLDB", "ICDE", "EDBT",
+        ]
+
+    def test_generator_structure_pinned(self):
+        hin = make_dblp(seed=0)
+        assert hin.n_nodes == 400
+        assert hin.tensor.nnz == 18372

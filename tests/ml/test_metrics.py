@@ -1,0 +1,101 @@
+"""Tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, ValidationError
+from repro.ml.metrics import (
+    accuracy,
+    confusion_matrix,
+    f1_per_class,
+    macro_f1,
+    micro_f1,
+    multilabel_macro_f1,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_half(self):
+        assert accuracy([0, 0, 1, 1], [0, 1, 1, 0]) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            accuracy([1, 2], [1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            accuracy([], [])
+
+
+class TestConfusionMatrix:
+    def test_hand_case(self):
+        matrix = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        assert np.array_equal(matrix, [[1, 1], [0, 2]])
+
+    def test_explicit_class_count(self):
+        matrix = confusion_matrix([0], [0], n_classes=3)
+        assert matrix.shape == (3, 3)
+
+    def test_rejects_negative_labels(self):
+        with pytest.raises(ValidationError):
+            confusion_matrix([-1], [0])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ShapeError):
+            confusion_matrix(np.zeros((2, 2), int), np.zeros((2, 2), int))
+
+
+class TestF1:
+    def test_perfect_f1(self):
+        assert macro_f1([0, 1, 2], [0, 1, 2]) == 1.0
+
+    def test_hand_computed_binary(self):
+        # Class 1: precision 2/3, recall 2/2 -> F1 = 0.8.
+        y_true = [0, 0, 0, 1, 1]
+        y_pred = [0, 1, 0, 1, 1]
+        per_class = f1_per_class(y_true, y_pred)
+        assert per_class[1] == pytest.approx(0.8)
+
+    def test_absent_class_scores_zero(self):
+        per_class = f1_per_class([0, 0], [0, 0], n_classes=2)
+        assert per_class[1] == 0.0
+
+    def test_micro_equals_accuracy_single_label(self):
+        y_true = [0, 1, 2, 1, 0]
+        y_pred = [0, 2, 2, 1, 1]
+        assert micro_f1(y_true, y_pred) == pytest.approx(accuracy(y_true, y_pred))
+
+    def test_macro_penalises_minority_errors(self):
+        # Majority class perfect, minority all wrong.
+        y_true = [0] * 9 + [1]
+        y_pred = [0] * 10
+        assert accuracy(y_true, y_pred) == 0.9
+        assert macro_f1(y_true, y_pred) < 0.6
+
+
+class TestMultilabelMacroF1:
+    def test_perfect(self):
+        labels = np.array([[1, 0], [0, 1]], dtype=bool)
+        assert multilabel_macro_f1(labels, labels) == 1.0
+
+    def test_hand_computed(self):
+        y_true = np.array([[1, 0], [1, 0], [0, 1]], dtype=bool)
+        y_pred = np.array([[1, 0], [0, 0], [0, 1]], dtype=bool)
+        # Label 0: tp=1, pred=1, actual=2 -> 2/3; label 1: perfect -> 1.
+        assert multilabel_macro_f1(y_true, y_pred) == pytest.approx((2 / 3 + 1.0) / 2)
+
+    def test_empty_label_counts_as_perfect(self):
+        y_true = np.array([[1, 0], [1, 0]], dtype=bool)
+        y_pred = np.array([[1, 0], [1, 0]], dtype=bool)
+        assert multilabel_macro_f1(y_true, y_pred) == 1.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            multilabel_macro_f1(np.zeros((2, 2), bool), np.zeros((2, 3), bool))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            multilabel_macro_f1(np.zeros((0, 2), bool), np.zeros((0, 2), bool))

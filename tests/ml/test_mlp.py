@@ -1,0 +1,195 @@
+"""Tests for the neural substrate: layers, backprop, Adam, classifier."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError, ValidationError
+from repro.ml.mlp import (
+    AdamOptimizer,
+    DenseLayer,
+    HighwayLayer,
+    MLPClassifier,
+    relu,
+    sigmoid,
+)
+from tests.ml.test_logistic import blobs
+
+
+def numeric_gradient(f, x, eps=1e-6):
+    """Central-difference gradient of a scalar function."""
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    grad_flat = grad.ravel()
+    for idx in range(flat.size):
+        orig = flat[idx]
+        flat[idx] = orig + eps
+        up = f()
+        flat[idx] = orig - eps
+        down = f()
+        flat[idx] = orig
+        grad_flat[idx] = (up - down) / (2 * eps)
+    return grad
+
+
+class TestActivations:
+    def test_relu(self):
+        assert np.allclose(relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0])
+
+    def test_sigmoid_range_and_symmetry(self):
+        x = np.linspace(-10, 10, 21)
+        s = sigmoid(x)
+        assert np.all((s > 0) & (s < 1))
+        assert np.allclose(s + sigmoid(-x), 1.0)
+
+    def test_sigmoid_stable_for_extremes(self):
+        assert np.isfinite(sigmoid(np.array([-1000.0, 1000.0]))).all()
+
+
+class TestDenseLayerGradients:
+    def test_weight_gradient_matches_numeric(self, rng):
+        layer = DenseLayer(3, 2, activation="relu", rng=rng)
+        x = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 2))
+
+        def loss():
+            return 0.5 * float(((layer.forward(x) - target) ** 2).sum())
+
+        out = layer.forward(x)
+        layer.backward(out - target)
+        numeric = numeric_gradient(loss, layer.weights)
+        assert np.allclose(layer.grad_weights, numeric, atol=1e-4)
+
+    def test_bias_gradient_matches_numeric(self, rng):
+        layer = DenseLayer(3, 2, activation="linear", rng=rng)
+        x = rng.normal(size=(5, 3))
+        target = rng.normal(size=(5, 2))
+
+        def loss():
+            return 0.5 * float(((layer.forward(x) - target) ** 2).sum())
+
+        out = layer.forward(x)
+        layer.backward(out - target)
+        numeric = numeric_gradient(loss, layer.bias)
+        assert np.allclose(layer.grad_bias, numeric, atol=1e-4)
+
+    def test_input_gradient_matches_numeric(self, rng):
+        layer = DenseLayer(3, 2, activation="linear", rng=rng)
+        x = rng.normal(size=(2, 3))
+        target = rng.normal(size=(2, 2))
+
+        def loss():
+            return 0.5 * float(((layer.forward(x) - target) ** 2).sum())
+
+        out = layer.forward(x)
+        grad_in = layer.backward(out - target)
+        numeric = numeric_gradient(loss, x)
+        assert np.allclose(grad_in, numeric, atol=1e-4)
+
+    def test_backward_before_forward_raises(self, rng):
+        layer = DenseLayer(2, 2, rng=rng)
+        with pytest.raises(NotFittedError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_invalid_activation_rejected(self):
+        with pytest.raises(ValidationError):
+            DenseLayer(2, 2, activation="tanh")
+
+
+class TestHighwayLayerGradients:
+    @pytest.mark.parametrize("param_name", ["w_h", "b_h", "w_g", "b_g"])
+    def test_parameter_gradients_match_numeric(self, rng, param_name):
+        layer = HighwayLayer(3, rng=rng)
+        x = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 3))
+
+        def loss():
+            return 0.5 * float(((layer.forward(x) - target) ** 2).sum())
+
+        out = layer.forward(x)
+        layer.backward(out - target)
+        numeric = numeric_gradient(loss, getattr(layer, param_name))
+        assert np.allclose(
+            getattr(layer, f"grad_{param_name}"), numeric, atol=1e-4
+        )
+
+    def test_input_gradient_matches_numeric(self, rng):
+        layer = HighwayLayer(3, rng=rng)
+        x = rng.normal(size=(2, 3))
+        target = rng.normal(size=(2, 3))
+
+        def loss():
+            return 0.5 * float(((layer.forward(x) - target) ** 2).sum())
+
+        out = layer.forward(x)
+        grad_in = layer.backward(out - target)
+        numeric = numeric_gradient(loss, x)
+        assert np.allclose(grad_in, numeric, atol=1e-4)
+
+    def test_negative_gate_bias_carries_input(self, rng):
+        layer = HighwayLayer(4, gate_bias=-20.0, rng=rng)
+        x = rng.normal(size=(3, 4))
+        assert np.allclose(layer.forward(x), x, atol=1e-6)
+
+
+class TestAdamOptimizer:
+    def test_minimises_quadratic(self):
+        param = np.array([5.0, -3.0])
+        optimizer = AdamOptimizer(lr=0.1)
+        for _ in range(500):
+            optimizer.step([(param, 2 * param)])  # grad of ||x||^2
+        assert np.allclose(param, 0.0, atol=1e-2)
+
+    def test_invalid_lr_rejected(self):
+        with pytest.raises(ValidationError):
+            AdamOptimizer(lr=0.0)
+
+
+class TestMLPClassifier:
+    def _model(self, d, q, rng, epochs=150):
+        layers = [
+            DenseLayer(d, 16, rng=rng),
+            HighwayLayer(16, rng=rng),
+            DenseLayer(16, q, activation="linear", rng=rng),
+        ]
+        return MLPClassifier(layers, q, epochs=epochs, lr=1e-2, rng=rng)
+
+    def test_learns_blobs(self, rng):
+        features, labels = blobs(rng)
+        model = self._model(features.shape[1], 3, rng)
+        model.fit(features, labels)
+        assert np.mean(model.predict(features) == labels) > 0.9
+
+    def test_loss_decreases(self, rng):
+        features, labels = blobs(rng)
+        model = self._model(features.shape[1], 3, rng)
+        model.fit(features, labels)
+        assert model.loss_history_[-1] < model.loss_history_[0]
+
+    def test_predict_proba_valid(self, rng):
+        features, labels = blobs(rng)
+        model = self._model(features.shape[1], 3, rng, epochs=20)
+        model.fit(features, labels)
+        proba = model.predict_proba(features)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_unfitted_raises(self, rng):
+        model = self._model(4, 3, rng)
+        with pytest.raises(NotFittedError):
+            model.predict(np.zeros((1, 4)))
+
+    def test_minibatch_training(self, rng):
+        features, labels = blobs(rng)
+        layers = [DenseLayer(features.shape[1], 3, activation="linear", rng=rng)]
+        model = MLPClassifier(layers, 3, epochs=100, batch_size=16, rng=rng)
+        model.fit(features, labels)
+        assert np.mean(model.predict(features) == labels) > 0.85
+
+    def test_bad_labels_rejected(self, rng):
+        features, labels = blobs(rng, q=2)
+        model = self._model(features.shape[1], 2, rng)
+        with pytest.raises(ValidationError):
+            model.fit(features, labels + 5)
+
+    def test_empty_layers_rejected(self):
+        with pytest.raises(ValidationError):
+            MLPClassifier([], 2)

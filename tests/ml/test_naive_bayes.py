@@ -1,0 +1,71 @@
+"""Tests for multinomial naive Bayes."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import NotFittedError, ValidationError
+from repro.ml.naive_bayes import MultinomialNaiveBayes
+
+
+def word_counts(rng, n_per_class=40, q=2, vocab=20):
+    """Topic-block count data that multinomial NB should nail."""
+    block = vocab // q
+    features = []
+    labels = []
+    for c in range(q):
+        mix = np.full(vocab, 0.2 / vocab)
+        mix[c * block:(c + 1) * block] += 0.8 / block
+        features.append(rng.multinomial(30, mix, size=n_per_class))
+        labels.extend([c] * n_per_class)
+    return np.vstack(features).astype(float), np.asarray(labels)
+
+
+class TestMultinomialNaiveBayes:
+    def test_topic_blocks_high_accuracy(self, rng):
+        features, labels = word_counts(rng)
+        model = MultinomialNaiveBayes().fit(features, labels)
+        assert np.mean(model.predict(features) == labels) > 0.95
+
+    def test_predict_proba_valid(self, rng):
+        features, labels = word_counts(rng)
+        proba = MultinomialNaiveBayes().fit(features, labels).predict_proba(features)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert proba.min() >= 0
+
+    def test_sparse_features(self, rng):
+        features, labels = word_counts(rng)
+        model = MultinomialNaiveBayes().fit(sp.csr_matrix(features), labels)
+        assert np.mean(model.predict(sp.csr_matrix(features)) == labels) > 0.95
+
+    def test_fixed_class_space_smoothing(self, rng):
+        """Absent classes keep finite (smoothed) priors."""
+        features, labels = word_counts(rng, q=2)
+        model = MultinomialNaiveBayes(n_classes=3).fit(features, labels)
+        assert np.isfinite(model.log_prior_).all()
+        assert model.decision_function(features).shape[1] == 3
+
+    def test_negative_features_rejected(self):
+        with pytest.raises(ValidationError):
+            MultinomialNaiveBayes().fit(np.array([[-1.0, 2.0]]), np.array([0]))
+
+    def test_invalid_smoothing_rejected(self):
+        with pytest.raises(ValidationError):
+            MultinomialNaiveBayes(smoothing=0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            MultinomialNaiveBayes().predict(np.ones((1, 3)))
+
+    def test_dimension_mismatch_raises(self, rng):
+        features, labels = word_counts(rng)
+        model = MultinomialNaiveBayes().fit(features, labels)
+        with pytest.raises(ValidationError):
+            model.predict(np.ones((2, features.shape[1] + 1)))
+
+    def test_prior_influences_prediction(self, rng):
+        """With no feature evidence, the larger class wins."""
+        features = np.zeros((10, 4))
+        labels = np.array([0] * 8 + [1] * 2)
+        model = MultinomialNaiveBayes().fit(features + 0.0, labels)
+        assert model.predict(np.zeros((1, 4)))[0] == 0

@@ -1,0 +1,92 @@
+"""Tests for feature preprocessing."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import ValidationError
+from repro.ml.preprocess import l2_normalize_rows, standardize, tfidf_transform
+
+
+class TestTfidf:
+    def test_rare_terms_upweighted(self):
+        counts = np.array([[1.0, 1.0], [1.0, 0.0], [1.0, 0.0]])
+        weighted = tfidf_transform(counts)
+        # Term 0 appears everywhere, term 1 once: idf_1 > idf_0.
+        assert weighted[0, 1] > weighted[0, 0]
+
+    def test_sparse_matches_dense(self):
+        rng = np.random.default_rng(0)
+        counts = rng.poisson(0.8, size=(6, 5)).astype(float)
+        dense = tfidf_transform(counts)
+        sparse = tfidf_transform(sp.csr_matrix(counts))
+        assert sp.issparse(sparse)
+        assert np.allclose(sparse.toarray(), dense)
+
+    def test_zero_counts_stay_zero(self):
+        counts = np.array([[0.0, 2.0]])
+        assert tfidf_transform(counts)[0, 0] == 0.0
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValidationError):
+            tfidf_transform(np.array([[-1.0]]))
+        with pytest.raises(ValidationError):
+            tfidf_transform(sp.csr_matrix(np.array([[-1.0]])))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            tfidf_transform(np.ones(3))
+
+
+class TestL2NormalizeRows:
+    def test_unit_norms(self):
+        rng = np.random.default_rng(1)
+        mat = rng.normal(size=(5, 3))
+        normalized = l2_normalize_rows(mat)
+        assert np.allclose(np.linalg.norm(normalized, axis=1), 1.0)
+
+    def test_zero_rows_stay_zero(self):
+        mat = np.array([[0.0, 0.0], [3.0, 4.0]])
+        normalized = l2_normalize_rows(mat)
+        assert np.allclose(normalized[0], 0.0)
+        assert np.allclose(normalized[1], [0.6, 0.8])
+
+    def test_sparse_matches_dense(self):
+        rng = np.random.default_rng(2)
+        mat = rng.poisson(0.5, size=(6, 4)).astype(float)
+        assert np.allclose(
+            l2_normalize_rows(sp.csr_matrix(mat)).toarray(), l2_normalize_rows(mat)
+        )
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            l2_normalize_rows(np.ones(3))
+
+
+class TestStandardize:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(3)
+        mat = rng.normal(5.0, 2.0, size=(100, 3))
+        scaled = standardize(mat)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_columns_zeroed(self):
+        mat = np.array([[1.0, 2.0], [1.0, 4.0]])
+        scaled = standardize(mat)
+        assert np.allclose(scaled[:, 0], 0.0)
+
+    def test_sparse_input_densified(self):
+        mat = sp.csr_matrix(np.array([[1.0, 0.0], [3.0, 2.0]]))
+        scaled = standardize(mat)
+        assert isinstance(scaled, np.ndarray)
+
+    def test_does_not_mutate_input(self):
+        mat = np.array([[1.0, 2.0], [3.0, 4.0]])
+        original = mat.copy()
+        standardize(mat)
+        assert np.array_equal(mat, original)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            standardize(np.ones(4))

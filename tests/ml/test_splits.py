@@ -1,0 +1,96 @@
+"""Tests for the stratified label-fraction splits."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.ml.splits import multilabel_fraction_split, stratified_fraction_split
+
+
+class TestStratifiedFractionSplit:
+    def test_fraction_respected(self, rng):
+        labels = rng.integers(0, 4, size=400)
+        mask = stratified_fraction_split(labels, 0.25, rng=rng)
+        assert abs(mask.mean() - 0.25) < 0.05
+
+    def test_every_class_covered_at_tiny_fraction(self, rng):
+        labels = np.repeat(np.arange(5), 40)
+        mask = stratified_fraction_split(labels, 0.01, rng=rng)
+        for c in range(5):
+            assert mask[labels == c].sum() >= 1
+
+    def test_stratification_balances_classes(self, rng):
+        labels = np.array([0] * 300 + [1] * 100)
+        mask = stratified_fraction_split(labels, 0.2, rng=rng)
+        rate0 = mask[labels == 0].mean()
+        rate1 = mask[labels == 1].mean()
+        assert abs(rate0 - rate1) < 0.05
+
+    def test_deterministic_given_rng(self):
+        labels = np.repeat(np.arange(3), 30)
+        a = stratified_fraction_split(labels, 0.3, rng=np.random.default_rng(5))
+        b = stratified_fraction_split(labels, 0.3, rng=np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+    def test_min_per_class_floor(self, rng):
+        labels = np.array([0] * 50 + [1] * 4)
+        mask = stratified_fraction_split(labels, 0.1, rng=rng, min_per_class=3)
+        assert mask[labels == 1].sum() >= 3
+
+    def test_small_class_contributes_everything(self, rng):
+        labels = np.array([0] * 50 + [1])
+        mask = stratified_fraction_split(labels, 0.5, rng=rng, min_per_class=5)
+        assert mask[labels == 1].sum() == 1
+
+    def test_rejects_negative_labels(self, rng):
+        with pytest.raises(ValidationError):
+            stratified_fraction_split(np.array([0, -1]), 0.5, rng=rng)
+
+    def test_rejects_bad_fraction(self, rng):
+        labels = np.array([0, 1])
+        with pytest.raises(ValidationError):
+            stratified_fraction_split(labels, 0.0, rng=rng)
+        with pytest.raises(ValidationError):
+            stratified_fraction_split(labels, 1.0, rng=rng)
+
+    def test_rejects_empty(self, rng):
+        with pytest.raises(ValidationError):
+            stratified_fraction_split(np.array([], dtype=int), 0.5, rng=rng)
+
+
+class TestMultilabelFractionSplit:
+    def _matrix(self, rng, n=200, q=4):
+        matrix = rng.random((n, q)) < 0.3
+        matrix[np.arange(n), rng.integers(0, q, size=n)] = True
+        return matrix
+
+    def test_fraction_respected(self, rng):
+        matrix = self._matrix(rng)
+        mask = multilabel_fraction_split(matrix, 0.3, rng=rng)
+        assert abs(mask.mean() - 0.3) < 0.1
+
+    def test_every_class_has_positive_training_node(self, rng):
+        matrix = self._matrix(rng)
+        mask = multilabel_fraction_split(matrix, 0.05, rng=rng)
+        assert np.all(matrix[mask].sum(axis=0) >= 1)
+
+    def test_rare_class_topped_up(self, rng):
+        matrix = np.zeros((100, 2), dtype=bool)
+        matrix[:, 0] = True
+        matrix[99, 1] = True
+        mask = multilabel_fraction_split(matrix, 0.1, rng=rng)
+        assert mask[99] or matrix[mask, 1].sum() >= 1
+
+    def test_deterministic_given_rng(self, rng):
+        matrix = self._matrix(rng)
+        a = multilabel_fraction_split(matrix, 0.2, rng=np.random.default_rng(9))
+        b = multilabel_fraction_split(matrix, 0.2, rng=np.random.default_rng(9))
+        assert np.array_equal(a, b)
+
+    def test_rejects_empty(self, rng):
+        with pytest.raises(ValidationError):
+            multilabel_fraction_split(np.zeros((0, 2), bool), 0.5, rng=rng)
+
+    def test_rejects_no_labeled_nodes(self, rng):
+        with pytest.raises(ValidationError):
+            multilabel_fraction_split(np.zeros((5, 2), bool), 0.5, rng=rng)

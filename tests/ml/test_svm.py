@@ -1,0 +1,71 @@
+"""Tests for the one-vs-rest linear SVM."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError, ValidationError
+from repro.ml.svm import LinearSVM
+from tests.ml.test_logistic import blobs
+
+
+class TestLinearSVM:
+    def test_separable_blobs_high_accuracy(self, rng):
+        features, labels = blobs(rng)
+        model = LinearSVM().fit(features, labels)
+        assert np.mean(model.predict(features) == labels) > 0.95
+
+    def test_binary_margin_sign(self, rng):
+        features, labels = blobs(rng, q=2)
+        model = LinearSVM().fit(features, labels)
+        margins = model.decision_function(features)
+        # Positive class margin larger on its own examples.
+        assert np.mean((margins[:, 1] > margins[:, 0]) == (labels == 1)) > 0.95
+
+    def test_predict_proba_valid(self, rng):
+        features, labels = blobs(rng)
+        proba = LinearSVM().fit(features, labels).predict_proba(features)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert proba.min() >= 0
+
+    def test_fixed_class_space(self, rng):
+        features, labels = blobs(rng, q=2)
+        model = LinearSVM(n_classes=4).fit(features, labels)
+        assert model.decision_function(features).shape[1] == 4
+
+    def test_harder_margin_fits_training_tighter(self, rng):
+        features, labels = blobs(rng, sep=1.0)
+        soft = LinearSVM(c=0.01).fit(features, labels)
+        hard = LinearSVM(c=100.0).fit(features, labels)
+        acc_soft = np.mean(soft.predict(features) == labels)
+        acc_hard = np.mean(hard.predict(features) == labels)
+        assert acc_hard >= acc_soft
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            LinearSVM().predict(np.zeros((2, 2)))
+
+    def test_dimension_mismatch_raises(self, rng):
+        features, labels = blobs(rng)
+        model = LinearSVM().fit(features, labels)
+        with pytest.raises(ValidationError):
+            model.predict(np.zeros((2, features.shape[1] + 2)))
+
+    def test_invalid_c_rejected(self):
+        with pytest.raises(ValidationError):
+            LinearSVM(c=0.0)
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ValidationError):
+            LinearSVM().fit(np.zeros((0, 2)), np.zeros(0, dtype=int))
+
+    def test_labels_out_of_range_rejected(self, rng):
+        features, labels = blobs(rng, q=2)
+        with pytest.raises(ValidationError):
+            LinearSVM(n_classes=2).fit(features, labels + 7)
+
+    def test_sparse_features(self, rng):
+        import scipy.sparse as sp
+
+        features, labels = blobs(rng)
+        model = LinearSVM().fit(sp.csr_matrix(features), labels)
+        assert np.mean(model.predict(sp.csr_matrix(features)) == labels) > 0.9

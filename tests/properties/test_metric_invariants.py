@@ -1,0 +1,107 @@
+"""Hypothesis property tests on the evaluation metrics."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.metrics import (
+    accuracy,
+    confusion_matrix,
+    f1_per_class,
+    macro_f1,
+    micro_f1,
+    multilabel_macro_f1,
+)
+
+label_pairs = st.integers(2, 6).flatmap(
+    lambda q: st.tuples(
+        st.just(q),
+        arrays(np.int64, st.integers(1, 40), elements=st.integers(0, q - 1)),
+    )
+).flatmap(
+    lambda bundle: st.tuples(
+        st.just(bundle[1]),
+        arrays(
+            np.int64,
+            st.just(bundle[1].shape),
+            elements=st.integers(0, bundle[0] - 1),
+        ),
+    )
+)
+
+
+class TestSingleLabelMetricInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(label_pairs)
+    def test_bounds(self, pair):
+        y_true, y_pred = pair
+        assert 0.0 <= accuracy(y_true, y_pred) <= 1.0
+        assert 0.0 <= macro_f1(y_true, y_pred) <= 1.0
+        assert 0.0 <= micro_f1(y_true, y_pred) <= 1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(label_pairs)
+    def test_perfect_prediction_scores_one(self, pair):
+        y_true, _ = pair
+        assert accuracy(y_true, y_true) == 1.0
+        assert micro_f1(y_true, y_true) == 1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(label_pairs)
+    def test_micro_f1_equals_accuracy(self, pair):
+        y_true, y_pred = pair
+        assert micro_f1(y_true, y_pred) == accuracy(y_true, y_pred)
+
+    @settings(max_examples=50, deadline=None)
+    @given(label_pairs)
+    def test_confusion_matrix_total(self, pair):
+        y_true, y_pred = pair
+        assert confusion_matrix(y_true, y_pred).sum() == y_true.size
+
+    @settings(max_examples=50, deadline=None)
+    @given(label_pairs)
+    def test_f1_per_class_bounds(self, pair):
+        y_true, y_pred = pair
+        per_class = f1_per_class(y_true, y_pred)
+        assert np.all((per_class >= 0) & (per_class <= 1))
+
+    @settings(max_examples=50, deadline=None)
+    @given(label_pairs, st.integers(0, 10**6))
+    def test_permutation_invariance(self, pair, seed):
+        """Reordering the examples never changes any metric."""
+        y_true, y_pred = pair
+        order = np.random.default_rng(seed).permutation(y_true.size)
+        assert accuracy(y_true, y_pred) == accuracy(y_true[order], y_pred[order])
+        assert macro_f1(y_true, y_pred) == macro_f1(y_true[order], y_pred[order])
+
+
+multilabel_pairs = st.tuples(st.integers(1, 25), st.integers(1, 5)).flatmap(
+    lambda shape: st.tuples(
+        arrays(np.bool_, shape, elements=st.booleans()),
+        arrays(np.bool_, shape, elements=st.booleans()),
+    )
+)
+
+
+class TestMultilabelMetricInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(multilabel_pairs)
+    def test_bounds(self, pair):
+        y_true, y_pred = pair
+        assert 0.0 <= multilabel_macro_f1(y_true, y_pred) <= 1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(multilabel_pairs)
+    def test_perfect_prediction(self, pair):
+        y_true, _ = pair
+        assert multilabel_macro_f1(y_true, y_true) == 1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(multilabel_pairs)
+    def test_symmetry_of_tp(self, pair):
+        """Swapping prediction and truth preserves F1 (it is symmetric
+        in precision/recall)."""
+        y_true, y_pred = pair
+        assert multilabel_macro_f1(y_true, y_pred) == multilabel_macro_f1(
+            y_pred, y_true
+        )

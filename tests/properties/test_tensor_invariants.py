@@ -1,0 +1,160 @@
+"""Hypothesis property tests on the tensor substrate."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.tensor.products import dense_mode12_product, dense_mode13_product
+from repro.tensor.sptensor import SparseTensor3
+from repro.tensor.transition import NodeTransitionTensor, RelationTransitionTensor
+from tests.conftest import random_sparse_tensor
+
+
+@st.composite
+def tensors(draw):
+    seed = draw(st.integers(0, 10**6))
+    n = draw(st.integers(2, 7))
+    m = draw(st.integers(1, 4))
+    density = draw(st.floats(0.02, 0.7))
+    rng = np.random.default_rng(seed)
+    return random_sparse_tensor(rng, n=n, m=m, density=density), rng
+
+
+class TestSparseTensorInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(tensors())
+    def test_dense_round_trip(self, bundle):
+        tensor, _ = bundle
+        assert SparseTensor3.from_dense(tensor.to_dense()) == tensor
+
+    @settings(max_examples=30, deadline=None)
+    @given(tensors())
+    def test_slices_round_trip(self, bundle):
+        tensor, _ = bundle
+        rebuilt = SparseTensor3.from_slices(
+            tensor.relation_slices(), n=tensor.n_nodes
+        )
+        assert rebuilt == tensor
+
+    @settings(max_examples=30, deadline=None)
+    @given(tensors())
+    def test_unfold_preserves_mass(self, bundle):
+        tensor, _ = bundle
+        total = tensor.values.sum()
+        assert np.isclose(tensor.unfold(1).sum(), total)
+        assert np.isclose(tensor.unfold(3).sum(), total)
+
+    @settings(max_examples=30, deadline=None)
+    @given(tensors())
+    def test_symmetrized_doubles_mass(self, bundle):
+        tensor, _ = bundle
+        assert np.isclose(
+            tensor.symmetrized().values.sum(), 2 * tensor.values.sum()
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(tensors())
+    def test_aggregate_matches_slice_sum(self, bundle):
+        tensor, _ = bundle
+        agg = tensor.aggregate_relations().toarray()
+        stacked = sum(s.toarray() for s in tensor.relation_slices())
+        assert np.allclose(agg, stacked)
+
+
+class TestTransitionInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(tensors())
+    def test_o_columns_stochastic(self, bundle):
+        tensor, _ = bundle
+        dense = NodeTransitionTensor(tensor).to_dense()
+        assert np.allclose(dense.sum(axis=0), 1.0)
+        assert dense.min() >= 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(tensors())
+    def test_r_fibres_stochastic(self, bundle):
+        tensor, _ = bundle
+        dense = RelationTransitionTensor(tensor).to_dense()
+        assert np.allclose(dense.sum(axis=2), 1.0)
+        assert dense.min() >= 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(tensors())
+    def test_sparse_products_equal_dense_reference(self, bundle):
+        tensor, rng = bundle
+        n, _, m = tensor.shape
+        o_tensor = NodeTransitionTensor(tensor)
+        r_tensor = RelationTransitionTensor(tensor)
+        x = rng.dirichlet(np.ones(n))
+        y = rng.dirichlet(np.ones(n))
+        z = rng.dirichlet(np.ones(m))
+        assert np.allclose(
+            o_tensor.propagate(x, z),
+            dense_mode13_product(o_tensor.to_dense(), x, z),
+        )
+        assert np.allclose(
+            r_tensor.propagate(x, y),
+            dense_mode12_product(r_tensor.to_dense(), x, y),
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(tensors())
+    def test_propagation_is_bilinear(self, bundle):
+        tensor, rng = bundle
+        n, _, m = tensor.shape
+        o_tensor = NodeTransitionTensor(tensor)
+        x1 = rng.dirichlet(np.ones(n))
+        x2 = rng.dirichlet(np.ones(n))
+        z = rng.dirichlet(np.ones(m))
+        combined = o_tensor.propagate(0.3 * x1 + 0.7 * x2, z)
+        split = 0.3 * o_tensor.propagate(x1, z) + 0.7 * o_tensor.propagate(x2, z)
+        assert np.allclose(combined, split)
+
+
+class TestHinRoundTripInvariants:
+    """Random HINs survive persistence and networkx conversion losslessly."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_save_load_round_trip(self, seed):
+        import tempfile
+        from pathlib import Path
+
+        from repro.datasets.synthetic import RelationSpec, make_synthetic_hin
+        from repro.hin.io import load_hin, save_hin
+
+        hin = make_synthetic_hin(
+            12,
+            ["a", "b"],
+            [RelationSpec(name="r0", n_links=10), RelationSpec(name="r1", n_links=5)],
+            vocab_size=8,
+            words_per_node=6,
+            feature_noise=0.5,
+            seed=seed,
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            loaded = load_hin(save_hin(hin, Path(tmp) / "h.npz"))
+        assert loaded.tensor == hin.tensor
+        assert np.allclose(loaded.features_dense(), hin.features_dense())
+        assert np.array_equal(loaded.label_matrix, hin.label_matrix)
+        assert loaded.node_names == hin.node_names
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_networkx_round_trip(self, seed):
+        from repro.datasets.synthetic import RelationSpec, make_synthetic_hin
+        from repro.hin.interop import from_networkx, to_networkx
+
+        hin = make_synthetic_hin(
+            10,
+            ["a", "b", "c"],
+            [RelationSpec(name="r0", n_links=8, directed=True),
+             RelationSpec(name="r1", n_links=6)],
+            vocab_size=10,
+            words_per_node=5,
+            feature_noise=0.4,
+            seed=seed,
+        )
+        back = from_networkx(to_networkx(hin))
+        assert back.tensor == hin.tensor
+        assert back.relation_names == hin.relation_names
+        assert np.array_equal(back.label_matrix, hin.label_matrix)

@@ -1,0 +1,79 @@
+"""Tests for the dense reference contractions, incl. cross-checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.tensor.products import dense_mode12_product, dense_mode13_product
+from repro.tensor.transition import NodeTransitionTensor, RelationTransitionTensor
+from tests.conftest import random_sparse_tensor
+
+
+class TestDenseMode13:
+    def test_hand_computed(self):
+        tensor = np.zeros((2, 2, 1))
+        tensor[0, 1, 0] = 2.0
+        x = np.array([0.25, 0.75])
+        z = np.array([1.0])
+        # result_0 = 2 * x_1 * z_0 = 1.5
+        assert np.allclose(dense_mode13_product(tensor, x, z), [1.5, 0.0])
+
+    def test_rejects_bad_tensor(self):
+        with pytest.raises(ShapeError):
+            dense_mode13_product(np.zeros((2, 3, 1)), np.ones(2), np.ones(1))
+
+    def test_rejects_bad_vectors(self):
+        with pytest.raises(Exception):
+            dense_mode13_product(np.zeros((2, 2, 1)), np.ones(3), np.ones(1))
+
+
+class TestDenseMode12:
+    def test_hand_computed(self):
+        tensor = np.zeros((2, 2, 2))
+        tensor[0, 1, 0] = 1.0
+        tensor[0, 1, 1] = 3.0
+        x = np.array([0.5, 0.5])
+        y = np.array([0.0, 1.0])
+        # z_k = T[0,1,k] * x_0 * y_1
+        assert np.allclose(dense_mode12_product(tensor, x, y), [0.5, 1.5])
+
+    def test_rejects_bad_tensor(self):
+        with pytest.raises(ShapeError):
+            dense_mode12_product(np.zeros((2, 3, 1)), np.ones(2), np.ones(2))
+
+
+class TestCrossCheckSparseAgainstDense:
+    """The optimised sparse products must equal the brute-force dense ones."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_node_transition(self, seed):
+        rng = np.random.default_rng(seed)
+        tensor = random_sparse_tensor(rng, n=rng.integers(2, 8), m=rng.integers(1, 4))
+        o_tensor = NodeTransitionTensor(tensor)
+        n, _, m = tensor.shape
+        x = rng.dirichlet(np.ones(n))
+        z = rng.dirichlet(np.ones(m))
+        expected = dense_mode13_product(o_tensor.to_dense(), x, z)
+        assert np.allclose(o_tensor.propagate(x, z), expected)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_relation_transition(self, seed):
+        rng = np.random.default_rng(seed)
+        tensor = random_sparse_tensor(rng, n=rng.integers(2, 8), m=rng.integers(1, 4))
+        r_tensor = RelationTransitionTensor(tensor)
+        n = tensor.n_nodes
+        x = rng.dirichlet(np.ones(n))
+        y = rng.dirichlet(np.ones(n))
+        expected = dense_mode12_product(r_tensor.to_dense(), x, y)
+        assert np.allclose(r_tensor.propagate(x, y), expected)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_products_work_for_non_distributions(self, seed):
+        """The contraction itself is bilinear — any vectors are legal."""
+        rng = np.random.default_rng(seed)
+        tensor = random_sparse_tensor(rng, n=5, m=2)
+        o_tensor = NodeTransitionTensor(tensor)
+        x = rng.uniform(0, 2, size=5)
+        z = rng.uniform(0, 2, size=2)
+        expected = dense_mode13_product(o_tensor.to_dense(), x, z)
+        assert np.allclose(o_tensor.propagate(x, z), expected)

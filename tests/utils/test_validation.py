@@ -1,0 +1,110 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, ValidationError
+from repro.utils.validation import (
+    check_array_1d,
+    check_array_2d,
+    check_fraction,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_int(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_accepts_numpy_int(self):
+        assert check_positive_int(np.int32(5), "x") == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError, match="x"):
+            check_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(-2, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(2.0, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(True, "x")
+
+
+class TestCheckFraction:
+    def test_interior_value(self):
+        assert check_fraction(0.5, "f") == 0.5
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(ValidationError):
+            check_fraction(0.0, "f")
+
+    def test_rejects_one_by_default(self):
+        with pytest.raises(ValidationError):
+            check_fraction(1.0, "f")
+
+    def test_inclusive_endpoints(self):
+        assert check_fraction(0.0, "f", inclusive_low=True) == 0.0
+        assert check_fraction(1.0, "f", inclusive_high=True) == 1.0
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_fraction(float("nan"), "f")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValidationError):
+            check_fraction("half", "f")
+
+    def test_probability_covers_closed_interval(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+        with pytest.raises(ValidationError):
+            check_probability(1.1, "p")
+
+
+class TestCheckArray1d:
+    def test_coerces_list(self):
+        out = check_array_1d([1, 2, 3], "a")
+        assert out.dtype == float and out.shape == (3,)
+
+    def test_size_check(self):
+        with pytest.raises(ShapeError):
+            check_array_1d([1, 2], "a", size=3)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ShapeError):
+            check_array_1d(np.eye(2), "a")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_array_1d([1.0, float("nan")], "a")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            check_array_1d([1.0, float("inf")], "a")
+
+
+class TestCheckArray2d:
+    def test_coerces(self):
+        out = check_array_2d([[1, 2], [3, 4]], "m")
+        assert out.shape == (2, 2)
+
+    def test_shape_check_partial(self):
+        out = check_array_2d(np.ones((3, 4)), "m", shape=(3, None))
+        assert out.shape == (3, 4)
+        with pytest.raises(ShapeError):
+            check_array_2d(np.ones((3, 4)), "m", shape=(None, 5))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            check_array_2d(np.ones(3), "m")
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValidationError):
+            check_array_2d([[1.0, float("inf")]], "m")
