@@ -64,7 +64,8 @@ def updated_label_vector(
     threshold: float,
     *,
     mode: str = "relative",
-) -> np.ndarray:
+    return_accepted: bool = False,
+):
     """The Eq. 12 restart vector: training nodes plus confident predictions.
 
     Parameters
@@ -80,11 +81,18 @@ def updated_label_vector(
         ``x_i > threshold * max(x over unlabeled nodes)`` (default, see
         module docstring); ``"absolute"`` uses the literal Eq. 12 test
         ``x_i > threshold``.
+    return_accepted:
+        When ``True``, return ``(vector, n_accepted)`` where
+        ``n_accepted`` is the number of *unlabeled* nodes the update
+        accepted.  In the degenerate uniform fallback (no training node
+        and no confident prediction) ``n_accepted`` is 0 — the fallback
+        anchors nothing, so counting its support as acceptances would
+        corrupt diagnostics.
 
     Returns
     -------
     Length-``n`` distribution: ``1/n_l`` over the union of training nodes
-    and accepted nodes.
+    and accepted nodes (plus the acceptance count when requested).
     """
     mask = np.asarray(labeled_class_mask, dtype=bool)
     x = check_array_1d(x, "x", size=mask.size)
@@ -103,7 +111,10 @@ def updated_label_vector(
     n_l = int(accepted.sum())
     if n_l == 0:
         # Degenerate: nothing labeled and nothing confident; stay uniform.
-        return np.full(mask.size, 1.0 / mask.size)
+        vector = np.full(mask.size, 1.0 / mask.size)
+        return (vector, 0) if return_accepted else vector
     vector = np.zeros(mask.size)
     vector[accepted] = 1.0 / n_l
+    if return_accepted:
+        return vector, n_l - int(mask.sum())
     return vector

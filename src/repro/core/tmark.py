@@ -49,6 +49,12 @@ from repro.utils.validation import (
     check_probability,
 )
 
+#: Relational weights below this are floating-point dust from
+#: ``1 - alpha - beta`` (e.g. gamma values that round to just under 1)
+#: and are clamped to exactly zero so the O-propagation — the dominant
+#: per-iteration cost — is skipped when it cannot contribute.
+RELATIONAL_WEIGHT_EPS = 1e-12
+
 
 @dataclass(frozen=True)
 class TMarkOperators:
@@ -252,8 +258,11 @@ class TMark:
             labels arrive incrementally on the same network, the old
             fixed point is close to the new one and chains converge in a
             fraction of the iterations (see the warm-start bench).
-            Requires a previous fit with matching shapes; silently falls
-            back to a cold start otherwise.
+            Requires a previous fit with matching shapes *and* matching
+            ``label_names`` / ``relation_names`` (a same-shape fit with
+            reordered classes would seed every chain from the wrong
+            class's stationary pair); silently falls back to a cold
+            start otherwise.
         operators:
             Optional :class:`TMarkOperators` precomputed with
             :func:`build_operators` on a HIN sharing this one's
@@ -296,25 +305,19 @@ class TMark:
         if previous is not None and (
             previous.node_scores.shape != (n, q)
             or previous.relation_scores.shape != (m, q)
+            or tuple(previous.label_names) != tuple(hin.label_names)
+            or tuple(previous.relation_names) != tuple(hin.relation_names)
         ):
             previous = None
 
-        node_scores = np.zeros((n, q))
-        relation_scores = np.zeros((m, q))
-        histories: list[ChainHistory] = []
-        label_matrix = hin.label_matrix
-        for c in range(q):
-            class_mask = label_matrix[:, c]
-            if previous is not None:
-                start = (previous.node_scores[:, c], previous.relation_scores[:, c])
-            else:
-                start = None
-            x, z, history = self._run_chain(
-                o_tensor, r_tensor, w_matrix, class_mask, start=start
-            )
-            node_scores[:, c] = x
-            relation_scores[:, c] = z
-            histories.append(history)
+        starts = (
+            None
+            if previous is None
+            else (previous.node_scores, previous.relation_scores)
+        )
+        node_scores, relation_scores, histories = self._run_chains_batched(
+            o_tensor, r_tensor, w_matrix, hin.label_matrix, starts=starts
+        )
 
         self.result_ = TMarkResult(
             node_scores=node_scores,
@@ -326,14 +329,115 @@ class TMark:
         self._hin = hin
         return self
 
+    @property
+    def _relational_weight(self) -> float:
+        """``1 - alpha - beta`` with floating-point dust clamped to zero.
+
+        For ``gamma`` values that are mathematically 1 but round to just
+        below it (e.g. ``0.7 + 0.3``), the raw subtraction leaves a
+        ~1e-17 residue that would trigger a full O-propagation per
+        iteration contributing nothing.
+        """
+        weight = 1.0 - self.alpha - self.beta
+        return 0.0 if weight < RELATIONAL_WEIGHT_EPS else weight
+
+    def _run_chains_batched(
+        self, o_tensor, r_tensor, w_matrix, label_matrix, *, starts=None
+    ):
+        """Advance all ``q`` per-class chains of Algorithm 1 in lockstep.
+
+        Every iteration contracts the still-active class columns through
+        one :meth:`~repro.tensor.transition.NodeTransitionTensor.propagate_many`
+        / ``propagate_many`` pair (plus one sparse ``W @ X`` product), so
+        the sparse operator structure is traversed once per iteration
+        instead of once per class.  Columns whose residual falls below
+        ``tol`` are frozen — early-converging classes stop paying for
+        slow ones — and each class keeps its own :class:`ChainHistory`
+        with exactly the entries the sequential per-class loop
+        (:meth:`_run_chain`) would record.
+
+        ``starts`` optionally provides warm ``(X0, Z0)`` score matrices.
+        Returns ``(node_scores, relation_scores, histories)``.
+        """
+        label_matrix = np.asarray(label_matrix, dtype=bool)
+        n, q = label_matrix.shape
+        m = r_tensor.shape[2]
+        alpha, beta = self.alpha, self.beta
+        relational_weight = self._relational_weight
+
+        masks = [label_matrix[:, c] for c in range(q)]
+        label_vectors = np.column_stack(
+            [initial_label_vector(mask) for mask in masks]
+        )
+        if starts is None:
+            x_scores = label_vectors.copy()
+            z_scores = np.repeat(uniform_distribution(m)[:, None], q, axis=1)
+        else:
+            x_scores = np.column_stack(
+                [
+                    project_to_simplex(np.asarray(starts[0][:, c], dtype=float))
+                    for c in range(q)
+                ]
+            )
+            z_scores = np.column_stack(
+                [
+                    project_to_simplex(np.asarray(starts[1][:, c], dtype=float))
+                    for c in range(q)
+                ]
+            )
+        histories = [
+            ChainHistory(tol=self.tol, n_anchors=int(mask.sum())) for mask in masks
+        ]
+        active = list(range(q))
+        for t in range(1, self.max_iter + 1):
+            if not active:
+                break
+            if self.update_labels and t > 2:
+                for c in active:
+                    vector, n_accepted = updated_label_vector(
+                        masks[c],
+                        x_scores[:, c],
+                        self.label_threshold,
+                        mode=self.threshold_mode,
+                        return_accepted=True,
+                    )
+                    label_vectors[:, c] = vector
+                    histories[c].accepted_history.append(n_accepted)
+            x_active = x_scores[:, active]
+            x_new = alpha * label_vectors[:, active]
+            if relational_weight > 0.0:
+                x_new = x_new + relational_weight * o_tensor.propagate_many(
+                    x_active, z_scores[:, active]
+                )
+            if beta > 0.0:
+                x_new = x_new + beta * (w_matrix @ x_active)
+            for idx in range(len(active)):
+                x_new[:, idx] = project_to_simplex(x_new[:, idx])
+            z_new = r_tensor.propagate_many(x_new, x_new)
+            still_active = []
+            for idx, c in enumerate(active):
+                z_col = project_to_simplex(z_new[:, idx])
+                rho = histories[c].record(
+                    x_new[:, idx], x_scores[:, c], z_col, z_scores[:, c]
+                )
+                x_scores[:, c] = x_new[:, idx]
+                z_scores[:, c] = z_col
+                if rho >= self.tol:
+                    still_active.append(c)
+            active = still_active
+        return x_scores, z_scores, histories
+
     def _run_chain(self, o_tensor, r_tensor, w_matrix, class_mask, *, start=None):
         """One per-class chain of Algorithm 1; returns ``(x, z, history)``.
 
+        The sequential reference the batched runner is checked against:
+        both share the same propagation kernels (``propagate`` delegates
+        to ``propagate_many``), so their outputs agree bit-for-bit.
         ``start`` optionally provides a warm ``(x0, z0)`` pair.
         """
         m = r_tensor.shape[2]
         alpha, beta = self.alpha, self.beta
-        relational_weight = 1.0 - alpha - beta
+        relational_weight = self._relational_weight
 
         label_vec = initial_label_vector(class_mask)
         if start is None:
@@ -345,15 +449,14 @@ class TMark:
         history = ChainHistory(tol=self.tol, n_anchors=int(class_mask.sum()))
         for t in range(1, self.max_iter + 1):
             if self.update_labels and t > 2:
-                label_vec = updated_label_vector(
+                label_vec, n_accepted = updated_label_vector(
                     class_mask,
                     x,
                     self.label_threshold,
                     mode=self.threshold_mode,
+                    return_accepted=True,
                 )
-                history.accepted_history.append(
-                    int(np.count_nonzero(label_vec) - class_mask.sum())
-                )
+                history.accepted_history.append(n_accepted)
             x_new = alpha * label_vec
             if relational_weight > 0.0:
                 x_new = x_new + relational_weight * o_tensor.propagate(x, z)
@@ -408,7 +511,9 @@ class TMark:
         positive_rates:
             Optional length-``q`` per-class positive rates in (0, 1];
             defaults to the rates observed among the fitted HIN's labeled
-            nodes.
+            nodes.  Must be finite — clipping happens only after shape
+            and finiteness are validated, so a NaN cannot slip through
+            ``np.clip`` (which propagates it) into the selection counts.
         """
         result = self._require_fitted()
         scores = result.node_scores
@@ -419,9 +524,14 @@ class TMark:
             labeled = self._hin.labeled_mask
             n_labeled = max(int(labeled.sum()), 1)
             positive_rates = self._hin.label_matrix[labeled].sum(axis=0) / n_labeled
-        rates = np.clip(np.asarray(positive_rates, dtype=float), 1.0 / n, 1.0)
+        rates = np.asarray(positive_rates, dtype=float)
         if rates.shape != (q,):
-            raise ValidationError(f"positive_rates must have shape ({q},)")
+            raise ValidationError(
+                f"positive_rates must have shape ({q},), got {rates.shape}"
+            )
+        if not np.all(np.isfinite(rates)):
+            raise ValidationError("positive_rates must be finite, got NaN or inf")
+        rates = np.clip(rates, 1.0 / n, 1.0)
         predictions = np.zeros((n, q), dtype=bool)
         for c in range(q):
             count = max(int(round(rates[c] * n)), 1)
@@ -451,12 +561,15 @@ class TMark:
             }
         return report
 
-    def fit_predict(self, hin: HIN, rng=None) -> np.ndarray:
+    def fit_predict(self, hin: HIN, rng=None, *, operators=None) -> np.ndarray:
         """Fit on ``hin`` and return the ``(n, q)`` score matrix.
 
         This is the common transductive-classifier interface shared with
         the baselines (``rng`` is accepted for uniformity; T-Mark is
-        deterministic).
+        deterministic).  ``operators`` optionally passes a precomputed
+        :class:`TMarkOperators` through to :meth:`fit`, letting the
+        experiment harness share one operator build across the many
+        masked fits of a sweep.
         """
         del rng  # deterministic algorithm; parameter kept for interface parity
-        return self.fit(hin).result_.node_scores.copy()
+        return self.fit(hin, operators=operators).result_.node_scores.copy()

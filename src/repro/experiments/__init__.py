@@ -20,6 +20,7 @@ from repro.experiments.harness import (
     run_grid,
     scores_to_multilabel,
     scores_to_predictions,
+    shared_tmark_operators,
 )
 from repro.experiments.methods import method_roster, tmark_params
 from repro.experiments.paper import PAPER_GRIDS, compare_with_paper
@@ -37,6 +38,7 @@ __all__ = [
     "run_grid",
     "scores_to_predictions",
     "scores_to_multilabel",
+    "shared_tmark_operators",
     "method_roster",
     "tmark_params",
     "PAPER_GRIDS",

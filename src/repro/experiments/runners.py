@@ -51,8 +51,15 @@ def _scaled_nus(tagset: str, scale: float, seed):
     return _registry_scaled_nus(scale, seed, tagset=tagset)
 
 
-def _fit_tmark(hin, dataset: str, fraction: float, seed, **overrides) -> TMark:
-    """Fit T-Mark with the dataset's section-6.5 parameters on a split."""
+def _fit_tmark(
+    hin, dataset: str, fraction: float, seed, *, operators=None, **overrides
+) -> TMark:
+    """Fit T-Mark with the dataset's section-6.5 parameters on a split.
+
+    ``operators`` optionally passes a precomputed triple from
+    :func:`~repro.core.tmark.build_operators` straight through to
+    :meth:`TMark.fit`, for runners that fit the same network repeatedly.
+    """
     params = tmark_params(dataset)
     params.update(overrides)
     rng = ensure_rng(seed)
@@ -62,7 +69,7 @@ def _fit_tmark(hin, dataset: str, fraction: float, seed, **overrides) -> TMark:
         mask = multilabel_fraction_split(hin.label_matrix, fraction, rng=rng)
     else:
         mask = stratified_fraction_split(hin.y, fraction, rng=rng)
-    return TMark(**params).fit(hin.masked(mask))
+    return TMark(**params).fit(hin.masked(mask), operators=operators)
 
 
 # ----------------------------------------------------------------------
@@ -370,7 +377,14 @@ def _parameter_sweep(
     base = tmark_params(dataset)
     y = hin.y
     # O/R/W depend only on structure+features: build once for the sweep.
-    operators = build_operators(hin)
+    # A probe model resolves the similarity settings the sweep will use
+    # (the swept parameter is a chain hyper-parameter, never a W knob).
+    probe = TMark(**base)
+    operators = build_operators(
+        hin,
+        similarity_top_k=probe.similarity_top_k,
+        similarity_metric=probe.similarity_metric,
+    )
     means = []
     for value in values:
         params = dict(base)

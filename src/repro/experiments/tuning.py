@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.tmark import TMark
+from repro.core.tmark import TMark, build_operators
 from repro.errors import ValidationError
 from repro.hin.graph import HIN
 from repro.ml.metrics import accuracy
@@ -113,6 +113,10 @@ def tune_tmark(
 
     names = list(param_grid)
     result = TuningResult()
+    # Every combination refits the same network with different masks, so
+    # the (O, R, W) triple is shared per similarity setting across the
+    # whole grid rather than rebuilt n_combinations * n_trials times.
+    operator_pool: dict = {}
     for values in itertools.product(*(param_grid[name] for name in names)):
         params = dict(zip(names, values))
         scores = []
@@ -123,7 +127,13 @@ def tune_tmark(
             train_mask[validation_idx] = False
             if not train_mask.any():
                 raise ValidationError("validation split left no training labels")
-            model = TMark(**params).fit(hin.masked(train_mask))
+            model = TMark(**params)
+            key = (model.similarity_top_k, model.similarity_metric)
+            if key not in operator_pool:
+                operator_pool[key] = build_operators(
+                    hin, similarity_top_k=key[0], similarity_metric=key[1]
+                )
+            model.fit(hin.masked(train_mask), operators=operator_pool[key])
             predictions = model.predict()
             scores.append(accuracy(y[validation_idx], predictions[validation_idx]))
         result.candidates.append(

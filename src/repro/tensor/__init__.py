@@ -17,7 +17,9 @@ This subpackage provides:
 
 from repro.tensor.products import (
     dense_mode13_product,
+    dense_mode13_product_many,
     dense_mode12_product,
+    dense_mode12_product_many,
 )
 from repro.tensor.sptensor import SparseTensor3
 from repro.tensor.transition import (
@@ -34,5 +36,7 @@ __all__ = [
     "build_transition_tensors",
     "is_irreducible",
     "dense_mode13_product",
+    "dense_mode13_product_many",
     "dense_mode12_product",
+    "dense_mode12_product_many",
 ]

@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ShapeError
-from repro.utils.validation import check_array_1d
+from repro.utils.validation import check_array_1d, check_array_2d
 
 
 def dense_mode13_product(tensor: np.ndarray, x: np.ndarray, z: np.ndarray) -> np.ndarray:
@@ -47,3 +47,39 @@ def dense_mode12_product(tensor: np.ndarray, x: np.ndarray, y: np.ndarray) -> np
     x = check_array_1d(x, "x", size=n)
     y = check_array_1d(y, "y", size=n)
     return np.einsum("ijk,i,j->k", arr, x, y)
+
+
+def dense_mode13_product_many(
+    tensor: np.ndarray, X: np.ndarray, Z: np.ndarray
+) -> np.ndarray:
+    """Batched :func:`dense_mode13_product` over column-stacked pairs.
+
+    ``X`` is ``(n, q)`` and ``Z`` is ``(m, q)``; column ``c`` of the
+    ``(n, q)`` result is ``T x-bar_1 X[:, c] x-bar_3 Z[:, c]``.  The
+    dense cross-check for ``NodeTransitionTensor.propagate_many``.
+    """
+    arr = np.asarray(tensor, dtype=float)
+    if arr.ndim != 3 or arr.shape[0] != arr.shape[1]:
+        raise ShapeError(f"expected a dense (n, n, m) tensor, got {arr.shape}")
+    n, _, m = arr.shape
+    X = check_array_2d(X, "X", shape=(n, None))
+    Z = check_array_2d(Z, "Z", shape=(m, X.shape[1]))
+    return np.einsum("ijk,jc,kc->ic", arr, X, Z)
+
+
+def dense_mode12_product_many(
+    tensor: np.ndarray, X: np.ndarray, Y: np.ndarray
+) -> np.ndarray:
+    """Batched :func:`dense_mode12_product` over column-stacked pairs.
+
+    ``X`` and ``Y`` are ``(n, q)``; column ``c`` of the ``(m, q)`` result
+    is ``T x-bar_1 X[:, c] x-bar_2 Y[:, c]``.  The dense cross-check for
+    ``RelationTransitionTensor.propagate_many``.
+    """
+    arr = np.asarray(tensor, dtype=float)
+    if arr.ndim != 3 or arr.shape[0] != arr.shape[1]:
+        raise ShapeError(f"expected a dense (n, n, m) tensor, got {arr.shape}")
+    n, _, m = arr.shape
+    X = check_array_2d(X, "X", shape=(n, None))
+    Y = check_array_2d(Y, "Y", shape=(n, X.shape[1]))
+    return np.einsum("ijk,ic,jc->kc", arr, X, Y)

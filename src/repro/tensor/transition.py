@@ -12,6 +12,25 @@ without a link is an ``R`` dangling fibre), so both classes keep the sparse
 normalised part and apply the uniform correction *analytically* inside
 their product methods.  The corrections are exact: when the inputs are
 probability distributions the outputs are too (Theorem 1).
+
+Kernel layout
+-------------
+Both tensors expose two contraction entry points:
+
+* ``propagate(x, z)`` — one distribution pair, the Algorithm 1 step;
+* ``propagate_many(X, Z)`` — ``q`` distribution pairs at once, stacked as
+  columns of ``(n, q)`` / ``(m, q)`` matrices.  This is the kernel behind
+  T-Mark's batched multi-class fit: all per-class chains advance through
+  one set of sparse products instead of ``q`` sequential passes.
+
+``O`` is stored as its ``m`` per-relation ``(n, n)`` CSR slices ``M_k``
+(column ``j`` of ``M_k`` is the normalised fibre ``O[:, j, k]``), so the
+contraction ``O x-bar_1 x x-bar_3 z`` becomes ``sum_k z_k (M_k @ x)``
+with *no* ``(n * m)``-sized Kronecker temporary; batching ``q`` columns
+through each ``M_k`` amortises the sparse-structure traversal across all
+classes.  ``propagate`` delegates to ``propagate_many`` on a single
+column, which guarantees the two paths are the same floating-point
+computation — the property the batched-fit equivalence tests pin down.
 """
 
 from __future__ import annotations
@@ -20,19 +39,37 @@ import numpy as np
 import scipy.sparse as sp
 from scipy.sparse.csgraph import connected_components
 
-from repro.errors import ShapeError
+from repro.errors import ShapeError, ValidationError
 from repro.tensor.sptensor import SparseTensor3
-from repro.utils.validation import check_array_1d
+from repro.utils.validation import check_array_1d, check_array_2d
+
+
+def _column_sums(matrix: np.ndarray) -> np.ndarray:
+    """Per-column sums via 1-D reductions.
+
+    ``matrix.sum(axis=0)`` uses a different accumulation order than a 1-D
+    column sum, so its result depends on how many columns ride along in
+    the batch.  Summing column by column keeps ``propagate_many`` output
+    bit-for-bit identical to per-column ``propagate`` calls — the
+    batching contract the property tests pin down.  The loop is over the
+    (small) column count; each reduction is numpy-vectorised.
+    """
+    out = np.empty(matrix.shape[1])
+    for c in range(matrix.shape[1]):
+        out[c] = matrix[:, c].sum()
+    return out
 
 
 class NodeTransitionTensor:
     """The node-transition tensor ``O`` of Eq. 1, with implicit dangling mass.
 
-    Stores the mode-1 matricization of the normalised tensor as CSR
-    (shape ``(n, n*m)``) plus the set of non-dangling columns.
+    Stores the normalised tensor as ``m`` per-relation ``(n, n)`` CSR
+    slices (plus the mode-1 matricization for :meth:`matricized` /
+    :meth:`to_dense`) and an ``(m, n)`` indicator of the non-dangling
+    ``(j, k)`` columns used to vectorise the uniform correction.
     """
 
-    __slots__ = ("_mat", "_nondangling_cols", "_n", "_m")
+    __slots__ = ("_mat", "_slices", "_nondangling_cols", "_nd_indicator", "_n", "_m")
 
     def __init__(self, tensor: SparseTensor3):
         n, _, m = tensor.shape
@@ -44,9 +81,18 @@ class NodeTransitionTensor:
         # Normalise each non-dangling column to sum to one.
         scale = np.ones_like(col_sums)
         scale[nondangling] = 1.0 / col_sums[nondangling]
-        unfolded = unfolded @ sp.diags(scale)
+        unfolded = (unfolded @ sp.diags(scale)).tocsc()
         self._mat = unfolded.tocsr()
+        # Mode-1 column k*n + j holds fibre O[:, j, k]: slicing the CSC
+        # unfolding into n-column blocks yields the per-relation slices.
+        self._slices = tuple(
+            unfolded[:, k * n : (k + 1) * n].tocsr() for k in range(m)
+        )
         self._nondangling_cols = np.flatnonzero(nondangling)
+        k_nd, j_nd = np.divmod(self._nondangling_cols, n)
+        self._nd_indicator = sp.csr_matrix(
+            (np.ones(self._nondangling_cols.size), (k_nd, j_nd)), shape=(m, n)
+        )
 
     @property
     def shape(self) -> tuple[int, int, int]:
@@ -62,23 +108,57 @@ class NodeTransitionTensor:
         """The sparse part of the mode-1 matricization (dangling cols zero)."""
         return self._mat.copy()
 
+    def relation_slice(self, k: int) -> sp.csr_matrix:
+        """The normalised ``(n, n)`` slice ``M_k`` (dangling columns zero)."""
+        if not 0 <= k < self._m:
+            raise ValidationError(f"relation index {k} out of range [0, {self._m})")
+        return self._slices[k].copy()
+
     def propagate(self, x: np.ndarray, z: np.ndarray) -> np.ndarray:
         """Compute ``O x-bar_1 x x-bar_3 z`` (the contraction in Eq. 7/10).
 
         Returns the length-``n`` vector with entries
         ``sum_{j,k} O[i, j, k] * x[j] * z[k]`` including the uniform
-        contribution of dangling columns.
+        contribution of dangling columns.  Delegates to
+        :meth:`propagate_many` on a single column so the looped and
+        batched paths are the identical floating-point computation.
         """
         x = check_array_1d(x, "x", size=self._n)
         z = check_array_1d(z, "z", size=self._m)
-        # v[k*n + j] = x[j] * z[k] — the mode-1 column weights.
-        v = (z[:, None] * x[None, :]).ravel()
-        result = self._mat @ v
-        total = float(x.sum()) * float(z.sum())
-        nondangling_mass = float(v[self._nondangling_cols].sum())
-        dangling_mass = max(total - nondangling_mass, 0.0)
-        if dangling_mass > 0.0:
-            result = result + dangling_mass / self._n
+        return self.propagate_many(x[:, None], z[:, None])[:, 0]
+
+    def propagate_many(self, X: np.ndarray, Z: np.ndarray) -> np.ndarray:
+        """Batched contraction: ``q`` pairs ``(x, z)`` stacked as columns.
+
+        Parameters
+        ----------
+        X:
+            ``(n, q)`` matrix; column ``c`` is a node distribution.
+        Z:
+            ``(m, q)`` matrix; column ``c`` is a relation distribution.
+
+        Returns
+        -------
+        ``(n, q)`` matrix whose column ``c`` equals
+        ``propagate(X[:, c], Z[:, c])``: the sparse part is
+        ``sum_k Z[k, c] * (M_k @ X[:, c])`` computed as ``m`` sparse
+        matrix-matrix products shared by all columns, and the dangling
+        ``1/n`` correction is applied per column from the analytically
+        tracked uncovered mass.
+        """
+        X = check_array_2d(X, "X", shape=(self._n, None))
+        Z = check_array_2d(Z, "Z", shape=(self._m, X.shape[1]))
+        result = np.zeros_like(X)
+        for k, slice_k in enumerate(self._slices):
+            if slice_k.nnz == 0:
+                continue
+            contribution = slice_k @ X
+            contribution *= Z[k]
+            result += contribution
+        totals = _column_sums(X) * _column_sums(Z)
+        covered = _column_sums(Z * (self._nd_indicator @ X))
+        dangling = np.maximum(totals - covered, 0.0)
+        result += dangling / self._n
         return result
 
     def to_dense(self) -> np.ndarray:
@@ -101,12 +181,26 @@ class NodeTransitionTensor:
 class RelationTransitionTensor:
     """The relation-transition tensor ``R`` of Eq. 2, with implicit dangling mass.
 
-    Stores the normalised non-zeros in COO form plus the list of linked
-    ``(i, j)`` pairs, so the uniform ``1/m`` correction for unlinked pairs
-    can be applied analytically.
+    Stores the normalised entries as ``m`` per-relation ``(n, n)`` CSR
+    slices ``B_k`` (``B_k[i, j] = R[i, j, k]``) plus an ``(n, n)``
+    indicator of the linked ``(i, j)`` pairs, so both the per-relation
+    reductions and the uniform ``1/m`` correction for unlinked pairs are
+    sparse matrix products shared by every column of a batch — no
+    ``(nnz, q)`` gather temporary.
     """
 
-    __slots__ = ("_i", "_j", "_k", "_values", "_pair_i", "_pair_j", "_n", "_m")
+    __slots__ = (
+        "_i",
+        "_j",
+        "_k",
+        "_values",
+        "_rel_slices",
+        "_pair_indicator",
+        "_pair_i",
+        "_pair_j",
+        "_n",
+        "_m",
+    )
 
     def __init__(self, tensor: SparseTensor3):
         n, _, m = tensor.shape
@@ -120,8 +214,25 @@ class RelationTransitionTensor:
         self._i = i
         self._j = j
         self._k = k
+        # B_k holds relation k's normalised entries at (i, j): the Eq. 8
+        # reduction z_k = sum_{i,j} R[i,j,k] x_i y_j becomes the bilinear
+        # form x^T (B_k @ y), batched over columns.
+        order = np.argsort(k, kind="stable")
+        boundaries = np.searchsorted(k[order], np.arange(m + 1))
+        slices = []
+        for rel in range(m):
+            sel = order[boundaries[rel] : boundaries[rel + 1]]
+            slices.append(
+                sp.csr_matrix(
+                    (self._values[sel], (i[sel], j[sel])), shape=(n, n)
+                )
+            )
+        self._rel_slices = tuple(slices)
         linked = np.unique(fibre_idx)
         self._pair_j, self._pair_i = np.divmod(linked, n)
+        self._pair_indicator = sp.csr_matrix(
+            (np.ones(linked.size), (self._pair_i, self._pair_j)), shape=(n, n)
+        )
 
     @property
     def shape(self) -> tuple[int, int, int]:
@@ -139,18 +250,46 @@ class RelationTransitionTensor:
         Returns the length-``m`` vector with entries
         ``sum_{i,j} R[i, j, k] * x[i] * y[j]`` including the uniform 1/m
         contribution of unlinked node pairs.  ``y`` defaults to ``x`` (the
-        form used in Algorithm 1, step 6).
+        form used in Algorithm 1, step 6).  Delegates to
+        :meth:`propagate_many` on a single column.
         """
         x = check_array_1d(x, "x", size=self._n)
         y = x if y is None else check_array_1d(y, "y", size=self._n)
-        weights = self._values * x[self._i] * y[self._j]
-        z = np.bincount(self._k, weights=weights, minlength=self._m)
-        total = float(x.sum()) * float(y.sum())
-        linked_mass = float((x[self._pair_i] * y[self._pair_j]).sum())
-        dangling_mass = max(total - linked_mass, 0.0)
-        if dangling_mass > 0.0:
-            z = z + dangling_mass / self._m
-        return z
+        return self.propagate_many(x[:, None], y[:, None])[:, 0]
+
+    def propagate_many(
+        self, X: np.ndarray, Y: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Batched contraction: ``q`` pairs ``(x, y)`` stacked as columns.
+
+        Parameters
+        ----------
+        X, Y:
+            ``(n, q)`` matrices of node distributions; ``Y`` defaults to
+            ``X`` (the Algorithm 1 form).
+
+        Returns
+        -------
+        ``(m, q)`` matrix whose column ``c`` equals
+        ``propagate(X[:, c], Y[:, c])``.  Row ``k`` is the batched
+        bilinear form ``X[:, c]^T (B_k @ Y[:, c])`` — one sparse product
+        per relation shared by all columns — plus the unlinked-pair
+        ``1/m`` correction computed the same way from the pair
+        indicator.
+        """
+        X = check_array_2d(X, "X", shape=(self._n, None))
+        Y = X if Y is None else check_array_2d(Y, "Y", shape=(self._n, X.shape[1]))
+        result = np.empty((self._m, X.shape[1]))
+        for k, slice_k in enumerate(self._rel_slices):
+            if slice_k.nnz == 0:
+                result[k] = 0.0
+                continue
+            result[k] = _column_sums(X * (slice_k @ Y))
+        totals = _column_sums(X) * _column_sums(Y)
+        linked_mass = _column_sums(X * (self._pair_indicator @ Y))
+        dangling = np.maximum(totals - linked_mass, 0.0)
+        result += dangling / self._m
+        return result
 
     def to_dense(self) -> np.ndarray:
         """Materialise the full ``(n, n, m)`` tensor including dangling fibres.
@@ -196,10 +335,21 @@ def stochastic_matrix_from_counts(matrix: sp.spmatrix) -> sp.csr_matrix:
     left zero and a caller needing exact stochasticity should handle them
     (``W`` does so explicitly because cosine similarity of a node with
     itself is 1, so its columns are never empty for non-zero features).
+
+    Raises
+    ------
+    ValidationError
+        If any entry is negative — normalising signed counts would
+        silently produce columns that are not probability distributions.
     """
     mat = sp.csc_matrix(matrix, dtype=float)
     if mat.shape[0] != mat.shape[1]:
         raise ShapeError(f"expected a square matrix, got {mat.shape}")
+    if mat.nnz and float(mat.data.min()) < 0.0:
+        raise ValidationError(
+            "cannot build a stochastic matrix from negative counts; "
+            "clip or shift the input first"
+        )
     col_sums = np.asarray(mat.sum(axis=0)).ravel()
     scale = np.ones_like(col_sums)
     nonzero = col_sums > 0

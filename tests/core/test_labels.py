@@ -90,3 +90,43 @@ class TestUpdatedLabelVector:
         x = np.array([0.5, 0.3, 0.2])
         vec = updated_label_vector(mask, x, 0.5, mode="relative")
         assert np.allclose(vec, 1 / 3)
+
+
+class TestReturnAccepted:
+    def test_counts_only_unlabeled_acceptances(self):
+        mask = np.array([True, False, False, False])
+        x = np.array([0.5, 0.4, 0.05, 0.05])
+        vec, n_accepted = updated_label_vector(
+            mask, x, 0.3, mode="absolute", return_accepted=True
+        )
+        assert n_accepted == 1  # node 1 only; the anchor is not an acceptance
+        assert np.allclose(vec, [0.5, 0.5, 0.0, 0.0])
+
+    def test_no_acceptances_is_zero(self):
+        mask = np.array([True, False, False])
+        x = np.array([0.9, 0.06, 0.04])
+        _, n_accepted = updated_label_vector(
+            mask, x, 1.0, mode="relative", return_accepted=True
+        )
+        assert n_accepted == 0
+
+    def test_degenerate_fallback_records_zero(self):
+        """The uniform fallback anchors nothing, so it must report 0.
+
+        A naive ``n_l - n_anchors`` on the fallback support would report
+        ``n`` acceptances for an empty class, corrupting the
+        ``accepted_history`` diagnostics.
+        """
+        mask = np.zeros(5, dtype=bool)
+        x = np.zeros(5)
+        vec, n_accepted = updated_label_vector(
+            mask, x, 0.9, mode="absolute", return_accepted=True
+        )
+        assert n_accepted == 0
+        assert np.allclose(vec, 0.2)
+
+    def test_default_still_returns_bare_vector(self):
+        mask = np.array([True, False])
+        x = np.array([0.7, 0.3])
+        vec = updated_label_vector(mask, x, 0.5)
+        assert isinstance(vec, np.ndarray)

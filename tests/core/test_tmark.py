@@ -20,6 +20,36 @@ class TestParameters:
         model = TMark(alpha=0.5, gamma=1.0)
         assert 1.0 - model.alpha - model.beta == pytest.approx(0.0)
 
+    def test_relational_weight_dust_clamped_to_zero(self):
+        """A gamma that is mathematically 1 but rounds just below it
+        leaves ~1e-16 of dust in ``1 - alpha - beta``; the chain must
+        treat it as exactly 0 and skip the O-propagation entirely."""
+        drifted_gamma = 0.3 + 0.6 + 0.1  # == 0.9999999999999999 in binary
+        model = TMark(alpha=0.1, gamma=drifted_gamma)
+        raw = 1.0 - model.alpha - model.beta
+        assert 0.0 < raw < 1e-12  # the dust is real...
+        assert model._relational_weight == 0.0  # ...and clamped
+
+    def test_relational_weight_preserved_when_meaningful(self):
+        model = TMark(alpha=0.8, gamma=0.5)
+        assert model._relational_weight == 1.0 - model.alpha - model.beta
+        assert model._relational_weight > 0.0
+
+    def test_drifted_gamma_skips_o_propagation(self, partially_labeled_hin,
+                                               monkeypatch):
+        from repro.tensor.transition import NodeTransitionTensor
+
+        calls = []
+        original = NodeTransitionTensor.propagate_many
+
+        def counting(self, X, Z):
+            calls.append(X.shape)
+            return original(self, X, Z)
+
+        monkeypatch.setattr(NodeTransitionTensor, "propagate_many", counting)
+        TMark(alpha=0.1, gamma=0.3 + 0.6 + 0.1).fit(partially_labeled_hin)
+        assert calls == []
+
     @pytest.mark.parametrize(
         "kwargs",
         [
@@ -176,6 +206,37 @@ class TestPredictMultilabel:
         model = TMark().fit(hin.masked(mask))
         with pytest.raises(ValidationError):
             model.predict_multilabel(positive_rates=np.ones(2))
+
+    def test_nan_rates_rejected(self):
+        """NaN must be rejected before clipping — ``np.clip`` propagates
+        it, which would silently corrupt the per-class top-k counts."""
+        hin = self._multilabel_hin()
+        mask = np.zeros(hin.n_nodes, dtype=bool)
+        mask[::2] = True
+        model = TMark().fit(hin.masked(mask))
+        rates = np.full(hin.n_labels, 0.5)
+        rates[0] = np.nan
+        with pytest.raises(ValidationError):
+            model.predict_multilabel(positive_rates=rates)
+
+    def test_inf_rates_rejected(self):
+        hin = self._multilabel_hin()
+        mask = np.zeros(hin.n_nodes, dtype=bool)
+        mask[::2] = True
+        model = TMark().fit(hin.masked(mask))
+        rates = np.full(hin.n_labels, np.inf)
+        with pytest.raises(ValidationError):
+            model.predict_multilabel(positive_rates=rates)
+
+    def test_2d_rates_rejected(self):
+        hin = self._multilabel_hin()
+        mask = np.zeros(hin.n_nodes, dtype=bool)
+        mask[::2] = True
+        model = TMark().fit(hin.masked(mask))
+        with pytest.raises(ValidationError):
+            model.predict_multilabel(
+                positive_rates=np.full((hin.n_labels, 1), 0.5)
+            )
 
 
 class TestTMarkResult:

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.tmark import TMark
+from repro.hin.graph import HIN
 from tests.conftest import small_labeled_hin
 
 
@@ -53,6 +54,42 @@ class TestWarmStart:
         other = small_labeled_hin(seed=5, n=24, q=3)
         model.fit(other, warm_start=True)  # different n: silent cold start
         assert model.result_.node_scores.shape == (24, 3)
+
+    def test_label_name_permutation_falls_back_to_cold(self, hin):
+        """Same shapes, reordered classes: the old columns belong to
+        different classes, so reusing them would seed every chain from
+        the wrong class's stationary pair.  The fit must cold-start."""
+        first, second = masks(hin)
+        model = TMark(tol=1e-10).fit(hin.masked(first))
+        permuted = HIN(
+            hin.tensor,
+            hin.relation_names,
+            hin.features,
+            np.asarray(hin.label_matrix)[:, ::-1],
+            list(hin.label_names)[::-1],
+            multilabel=hin.multilabel,
+        )
+        model.fit(permuted.masked(second), warm_start=True)
+        cold = TMark(tol=1e-10).fit(permuted.masked(second))
+        assert np.array_equal(model.result_.node_scores, cold.result_.node_scores)
+        assert [h.n_iterations for h in model.result_.histories] == [
+            h.n_iterations for h in cold.result_.histories
+        ]
+
+    def test_relation_name_mismatch_falls_back_to_cold(self, hin):
+        first, second = masks(hin)
+        model = TMark(tol=1e-10).fit(hin.masked(first))
+        renamed = HIN(
+            hin.tensor,
+            [f"{name}_renamed" for name in hin.relation_names],
+            hin.features,
+            hin.label_matrix,
+            hin.label_names,
+            multilabel=hin.multilabel,
+        )
+        model.fit(renamed.masked(second), warm_start=True)
+        cold = TMark(tol=1e-10).fit(renamed.masked(second))
+        assert np.array_equal(model.result_.node_scores, cold.result_.node_scores)
 
     def test_incremental_labels_improve_accuracy(self, hin):
         first, second = masks(hin)

@@ -117,6 +117,42 @@ class TestRunGrid:
         assert high >= low - 0.1
 
 
+class TestOperatorSharing:
+    def test_shared_operators_do_not_change_results(self, hin):
+        """The pooled (O, R, W) build must be score-invisible."""
+        kwargs = dict(fractions=(0.2, 0.5), n_trials=2, seed=7)
+        shared = run_grid(
+            hin, [("tmark", tmark_factory)], share_operators=True, **kwargs
+        )
+        rebuilt = run_grid(
+            hin, [("tmark", tmark_factory)], share_operators=False, **kwargs
+        )
+        for cell_a, cell_b in zip(shared.cells["tmark"], rebuilt.cells["tmark"]):
+            assert cell_a.mean == cell_b.mean
+            assert cell_a.std == cell_b.std
+
+    def test_pool_is_filled_and_reused(self, hin):
+        pool: dict = {}
+        evaluate_method(hin, tmark_factory, 0.3, n_trials=2, seed=0,
+                        operator_pool=pool)
+        assert len(pool) == 1
+        (operators,) = pool.values()
+        evaluate_method(hin, tmark_factory, 0.5, n_trials=2, seed=1,
+                        operator_pool=pool)
+        assert len(pool) == 1
+        assert next(iter(pool.values())) is operators
+
+    def test_non_tmark_methods_ignore_pool(self, hin):
+        class Uniform:
+            def fit_predict(self, hin, rng=None):
+                return np.full((hin.n_nodes, hin.n_labels), 1.0 / hin.n_labels)
+
+        pool: dict = {}
+        evaluate_method(hin, Uniform, 0.3, n_trials=1, seed=0,
+                        operator_pool=pool)
+        assert pool == {}
+
+
 class TestMacroF1Metric:
     def test_macro_f1_grid_metric(self, hin):
         cell = evaluate_method(

@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.errors import ShapeError
-from repro.tensor.products import dense_mode12_product, dense_mode13_product
+from repro.tensor.products import (
+    dense_mode12_product,
+    dense_mode12_product_many,
+    dense_mode13_product,
+    dense_mode13_product_many,
+)
 from repro.tensor.transition import NodeTransitionTensor, RelationTransitionTensor
 from tests.conftest import random_sparse_tensor
 
@@ -77,3 +82,43 @@ class TestCrossCheckSparseAgainstDense:
         z = rng.uniform(0, 2, size=2)
         expected = dense_mode13_product(o_tensor.to_dense(), x, z)
         assert np.allclose(o_tensor.propagate(x, z), expected)
+
+
+class TestDenseManyProducts:
+    """The batched dense references vs their single-pair counterparts."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_mode13_many_columns(self, seed):
+        rng = np.random.default_rng(seed)
+        tensor = rng.uniform(0, 1, size=(5, 5, 3))
+        X = rng.uniform(0, 1, size=(5, 4))
+        Z = rng.uniform(0, 1, size=(3, 4))
+        batched = dense_mode13_product_many(tensor, X, Z)
+        assert batched.shape == (5, 4)
+        for c in range(4):
+            single = dense_mode13_product(tensor, X[:, c], Z[:, c])
+            assert np.allclose(batched[:, c], single)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_mode12_many_columns(self, seed):
+        rng = np.random.default_rng(seed)
+        tensor = rng.uniform(0, 1, size=(5, 5, 3))
+        X = rng.uniform(0, 1, size=(5, 4))
+        Y = rng.uniform(0, 1, size=(5, 4))
+        batched = dense_mode12_product_many(tensor, X, Y)
+        assert batched.shape == (3, 4)
+        for c in range(4):
+            single = dense_mode12_product(tensor, X[:, c], Y[:, c])
+            assert np.allclose(batched[:, c], single)
+
+    def test_mode13_many_rejects_bad_shapes(self):
+        tensor = np.zeros((3, 3, 2))
+        with pytest.raises(ShapeError):
+            dense_mode13_product_many(np.zeros((3, 4, 2)), np.ones((3, 2)), np.ones((2, 2)))
+        with pytest.raises(Exception):
+            dense_mode13_product_many(tensor, np.ones((3, 2)), np.ones((2, 3)))
+
+    def test_mode12_many_rejects_bad_shapes(self):
+        tensor = np.zeros((3, 3, 2))
+        with pytest.raises(Exception):
+            dense_mode12_product_many(tensor, np.ones((3, 2)), np.ones((3, 5)))

@@ -1,0 +1,140 @@
+"""Property tests for the batched propagation kernels.
+
+The batching contract is *bitwise*: column ``c`` of
+``propagate_many(X, Z)`` must equal ``propagate(X[:, c], Z[:, c])``
+elementwise — not just approximately — so the batched T-Mark fit can
+reproduce the per-class loop exactly.  The kernels guarantee this by
+delegating ``propagate`` to a one-column ``propagate_many`` and by
+using per-column reductions whose accumulation order is independent of
+how many columns ride along in the batch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.tensor.products import (
+    dense_mode12_product_many,
+    dense_mode13_product_many,
+)
+from repro.tensor.transition import NodeTransitionTensor, RelationTransitionTensor
+from repro.tensor.sptensor import SparseTensor3
+from tests.conftest import random_sparse_tensor
+
+
+def dangling_heavy_tensor(rng, n=8, m=3):
+    """A tensor where most source columns (j, k) are dangling."""
+    linked_sources = max(1, n // 3)
+    n_entries = 3 * n
+    i = rng.integers(0, n, size=n_entries)
+    j = rng.integers(0, linked_sources, size=n_entries)
+    k = rng.integers(0, m, size=n_entries)
+    values = rng.uniform(0.1, 2.0, size=n_entries)
+    return SparseTensor3(i, j, k, values, shape=(n, n, m))
+
+
+def random_stack(rng, rows, cols):
+    """Column-stacked random distributions."""
+    stack = rng.uniform(0.01, 1.0, size=(rows, cols))
+    return stack / stack.sum(axis=0)
+
+
+TENSOR_FACTORIES = {
+    "generic": lambda rng: random_sparse_tensor(
+        rng, n=int(rng.integers(3, 10)), m=int(rng.integers(1, 5))
+    ),
+    "dangling_heavy": lambda rng: dangling_heavy_tensor(
+        rng, n=int(rng.integers(6, 12)), m=int(rng.integers(1, 4))
+    ),
+}
+
+
+class TestNodeTransitionMany:
+    @pytest.mark.parametrize("kind", sorted(TENSOR_FACTORIES))
+    @pytest.mark.parametrize("seed", range(6))
+    def test_columns_match_single_bitwise(self, kind, seed):
+        rng = np.random.default_rng(seed)
+        tensor = TENSOR_FACTORIES[kind](rng)
+        o_tensor = NodeTransitionTensor(tensor)
+        n, _, m = tensor.shape
+        q = int(rng.integers(1, 6))
+        X = random_stack(rng, n, q)
+        Z = random_stack(rng, m, q)
+        batched = o_tensor.propagate_many(X, Z)
+        assert batched.shape == (n, q)
+        for c in range(q):
+            single = o_tensor.propagate(X[:, c].copy(), Z[:, c].copy())
+            assert np.array_equal(batched[:, c], single)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_dense_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        tensor = random_sparse_tensor(rng, n=6, m=3)
+        o_tensor = NodeTransitionTensor(tensor)
+        X = random_stack(rng, 6, 4)
+        Z = random_stack(rng, 3, 4)
+        expected = dense_mode13_product_many(o_tensor.to_dense(), X, Z)
+        assert np.allclose(o_tensor.propagate_many(X, Z), expected)
+
+    def test_columns_stay_on_simplex(self, rng):
+        tensor = dangling_heavy_tensor(rng)
+        o_tensor = NodeTransitionTensor(tensor)
+        n, _, m = tensor.shape
+        X = random_stack(rng, n, 5)
+        Z = random_stack(rng, m, 5)
+        result = o_tensor.propagate_many(X, Z)
+        assert np.all(result >= 0)
+        assert np.allclose(result.sum(axis=0), 1.0)
+
+    def test_rejects_mismatched_shapes(self, tiny_tensor):
+        o_tensor = NodeTransitionTensor(tiny_tensor)
+        n, _, m = tiny_tensor.shape
+        with pytest.raises(ShapeError):
+            o_tensor.propagate_many(np.ones((n + 1, 2)), np.ones((m, 2)))
+        with pytest.raises(ShapeError):
+            o_tensor.propagate_many(np.ones((n, 2)), np.ones((m, 3)))
+
+
+class TestRelationTransitionMany:
+    @pytest.mark.parametrize("kind", sorted(TENSOR_FACTORIES))
+    @pytest.mark.parametrize("seed", range(6))
+    def test_columns_match_single_bitwise(self, kind, seed):
+        rng = np.random.default_rng(seed)
+        tensor = TENSOR_FACTORIES[kind](rng)
+        r_tensor = RelationTransitionTensor(tensor)
+        n, _, m = tensor.shape
+        q = int(rng.integers(1, 6))
+        X = random_stack(rng, n, q)
+        Y = random_stack(rng, n, q)
+        batched = r_tensor.propagate_many(X, Y)
+        assert batched.shape == (m, q)
+        for c in range(q):
+            single = r_tensor.propagate(X[:, c].copy(), Y[:, c].copy())
+            assert np.array_equal(batched[:, c], single)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_dense_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        tensor = random_sparse_tensor(rng, n=6, m=3)
+        r_tensor = RelationTransitionTensor(tensor)
+        X = random_stack(rng, 6, 4)
+        Y = random_stack(rng, 6, 4)
+        expected = dense_mode12_product_many(r_tensor.to_dense(), X, Y)
+        assert np.allclose(r_tensor.propagate_many(X, Y), expected)
+
+    def test_columns_stay_on_simplex(self, rng):
+        tensor = dangling_heavy_tensor(rng)
+        r_tensor = RelationTransitionTensor(tensor)
+        n, _, m = tensor.shape
+        X = random_stack(rng, n, 5)
+        result = r_tensor.propagate_many(X, X)
+        assert np.all(result >= 0)
+        assert np.allclose(result.sum(axis=0), 1.0)
+
+    def test_rejects_mismatched_shapes(self, tiny_tensor):
+        r_tensor = RelationTransitionTensor(tiny_tensor)
+        n = tiny_tensor.n_nodes
+        with pytest.raises(ShapeError):
+            r_tensor.propagate_many(np.ones((n, 2)), np.ones((n, 3)))
+        with pytest.raises(ShapeError):
+            r_tensor.propagate_many(np.ones((n + 1, 2)), np.ones((n, 2)))

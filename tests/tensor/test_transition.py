@@ -2,7 +2,9 @@
 
 import numpy as np
 import pytest
+import scipy.sparse as sp
 
+from repro.errors import ValidationError
 from repro.tensor.sptensor import SparseTensor3
 from repro.tensor.transition import (
     NodeTransitionTensor,
@@ -148,3 +150,15 @@ class TestStochasticMatrixFromCounts:
     def test_rejects_non_square(self):
         with pytest.raises(Exception):
             stochastic_matrix_from_counts(np.ones((2, 3)))
+
+    def test_rejects_negative_counts(self):
+        """Negative counts would silently produce signed 'probabilities'
+        (columns still sum to 1) — reject them outright."""
+        counts = np.array([[2.0, 0.0], [-1.0, 1.0]])
+        with pytest.raises(ValidationError):
+            stochastic_matrix_from_counts(counts)
+
+    def test_rejects_negative_sparse_counts(self):
+        counts = sp.csr_matrix(np.array([[0.0, -0.5], [1.0, 0.0]]))
+        with pytest.raises(ValidationError):
+            stochastic_matrix_from_counts(counts)
