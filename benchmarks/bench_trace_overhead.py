@@ -1,0 +1,198 @@
+"""Trace-overhead benchmark: observability must be free when disabled.
+
+Two guarantees are measured and asserted on a reference T-Mark fit
+(precomputed operators, fixed iteration count):
+
+1. **Disabled recorder <2%.**  With the default
+   :data:`~repro.obs.NULL_RECORDER` the instrumented chain loop pays
+   only a handful of hoisted-flag branch checks per iteration.  The
+   bench times that exact guard pattern directly and asserts the total
+   is under 2% of the measured fit wall-clock.
+2. **Phase coverage within 10%.**  A traced fit's per-iteration phase
+   timings (the five :data:`~repro.obs.CHAIN_PHASES`) must sum to
+   within 10% of the fit's own measured wall-clock, so per-phase
+   attribution can be trusted by future perf work.
+
+Results append to ``BENCH_trace_overhead.json`` at the repo root — the
+start of the benchmark trajectory future perf PRs extend.
+
+Run standalone (CI does this)::
+
+    PYTHONPATH=src python -m benchmarks.bench_trace_overhead --assert
+
+or under pytest as part of the bench suite.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import TMark
+from repro.core.tmark import build_operators
+from repro.datasets import make_dblp
+from repro.obs import JsonlTraceRecorder, read_trace, summarize_trace
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_trace_overhead.json"
+
+#: Chain hyper-parameters of the reference fit.  The tiny tolerance
+#: keeps chains running until they hit an exact fixed point (or the
+#: iteration budget); the fit is deterministic and tracing never
+#: reorders a floating-point op, so the disabled and traced fits
+#: execute an identical number of iterations either way.
+FIT_PARAMS = dict(alpha=0.85, gamma=0.5, label_threshold=0.8, tol=1e-300, max_iter=60)
+
+#: Branch checks per iteration in ``TMark._run_chains_batched`` when the
+#: recorder is disabled (five phase guards + the emit-block guard).
+GUARDS_PER_ITERATION = 7
+
+
+def _reference_problem(seed: int = 0):
+    """A DBLP-like training view plus its precomputed operator triple."""
+    hin = make_dblp(n_authors=600, attendees_per_conference=40, seed=seed)
+    rng = np.random.default_rng(seed)
+    train = hin.masked(rng.random(hin.n_nodes) < 0.2)
+    operators = build_operators(train)
+    return train, operators
+
+
+def _fit_once(train, operators, recorder=None) -> TMark:
+    model = TMark(**FIT_PARAMS)
+    model.fit(train, operators=operators, recorder=recorder)
+    return model
+
+
+def _disabled_guard_seconds(n_iterations: int, reps: int = 200) -> float:
+    """Measure the per-fit cost of the disabled-recorder guard checks.
+
+    Executes the exact pattern the chain loop runs when tracing is off —
+    a hoisted boolean flag tested :data:`GUARDS_PER_ITERATION` times per
+    iteration — ``reps`` times over ``n_iterations`` and returns the
+    mean per-fit cost.
+    """
+    from repro.obs import NULL_RECORDER
+
+    timed = NULL_RECORDER.enabled
+    sink = 0
+    started = time.perf_counter()
+    for _ in range(n_iterations * reps):
+        if timed:
+            sink += 1
+        if timed:
+            sink += 1
+        if timed:
+            sink += 1
+        if timed:
+            sink += 1
+        if timed:
+            sink += 1
+        if timed:
+            sink += 1
+        if timed:
+            sink += 1
+    elapsed = time.perf_counter() - started
+    assert sink == 0
+    return elapsed / reps
+
+
+def run_bench(trace_dir=None, repeats: int = 5, assert_results: bool = True) -> dict:
+    """Run the overhead measurement; returns (and records) the results."""
+    train, operators = _reference_problem()
+    trace_dir = Path(tempfile.mkdtemp(prefix="trace-bench-")) if trace_dir is None else Path(trace_dir)
+
+    _fit_once(train, operators)  # warm-up (allocator, caches)
+    disabled_times, enabled_times = [], []
+    last_trace = None
+    for rep in range(repeats):  # interleaved rounds damp scheduler drift
+        started = time.perf_counter()
+        model = _fit_once(train, operators)
+        disabled_times.append(time.perf_counter() - started)
+        last_trace = trace_dir / f"trace_{rep}.jsonl"
+        with JsonlTraceRecorder(last_trace) as recorder:
+            started = time.perf_counter()
+            _fit_once(train, operators, recorder=recorder)
+            enabled_times.append(time.perf_counter() - started)
+
+    n_iterations = max(h.n_iterations for h in model.result_.histories)
+    disabled_best = min(disabled_times)
+    enabled_best = min(enabled_times)
+
+    summary = summarize_trace(read_trace(last_trace))
+    coverage = summary.phase_coverage
+
+    guard_seconds = _disabled_guard_seconds(n_iterations)
+    guard_fraction = guard_seconds / disabled_best
+
+    results = {
+        "n_nodes": train.n_nodes,
+        "n_classes": train.n_labels,
+        "n_relations": train.n_relations,
+        "iterations": n_iterations,
+        "repeats": repeats,
+        "disabled_seconds": disabled_best,
+        "enabled_seconds": enabled_best,
+        "tracing_overhead_fraction": enabled_best / disabled_best - 1.0,
+        "disabled_guard_seconds": guard_seconds,
+        "disabled_guard_fraction": guard_fraction,
+        "phase_coverage": coverage,
+        "phase_totals": dict(summary.phase_totals),
+        "trace_events": summary.n_events,
+    }
+    _record(results)
+    if assert_results:
+        assert guard_fraction < 0.02, (
+            f"disabled recorder guard cost {guard_fraction:.4%} of the fit "
+            f"(limit 2%)"
+        )
+        assert 0.90 <= coverage <= 1.05, (
+            f"phase timings cover {coverage:.1%} of the traced fit "
+            f"wall-clock (required: within 10%)"
+        )
+    return results
+
+
+def _record(results: dict) -> Path:
+    """Append one entry to the ``BENCH_trace_overhead.json`` trajectory."""
+    if BENCH_PATH.exists():
+        payload = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+    else:
+        payload = {"bench": "trace_overhead", "entries": []}
+    entry = {"timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"), **results}
+    payload["entries"].append(entry)
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return BENCH_PATH
+
+
+def test_trace_overhead(tmp_path):
+    """Bench-suite entry: disabled <2%, phase coverage within 10%."""
+    results = run_bench(trace_dir=tmp_path, repeats=3, assert_results=True)
+    assert results["iterations"] > 0
+    assert results["trace_events"] > results["iterations"]
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--assert",
+        dest="assert_results",
+        action="store_true",
+        help="fail (non-zero exit) when a threshold is violated",
+    )
+    parser.add_argument("--repeats", type=int, default=5)
+    args = parser.parse_args(argv)
+    results = run_bench(repeats=args.repeats, assert_results=args.assert_results)
+    for key, value in results.items():
+        print(f"{key}: {value}")
+    print(f"[recorded -> {BENCH_PATH}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,6 +27,7 @@ We implement Eq. 10.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -41,6 +42,7 @@ from repro.core.labels import (
 )
 from repro.errors import NotFittedError, ValidationError
 from repro.hin.graph import HIN
+from repro.obs.recorder import CHAIN_PHASES, PhaseTimer, get_recorder
 from repro.tensor.transition import build_transition_tensors
 from repro.utils.simplex import project_to_simplex, uniform_distribution
 from repro.utils.validation import (
@@ -81,6 +83,7 @@ def build_operators(
     *,
     similarity_top_k: int | None = None,
     similarity_metric: str = "cosine",
+    recorder=None,
 ) -> TMarkOperators:
     """Precompute the ``(O, R, W)`` operator triple for ``hin``.
 
@@ -88,11 +91,30 @@ def build_operators(
     :meth:`TMark.fit` calls on HINs sharing this structure and feature
     matrix (e.g. ``hin.masked(...)`` views), skipping the operator
     construction — the dominant fixed cost of parameter sweeps.
+
+    ``recorder`` (default: the ambient :func:`repro.obs.get_recorder`)
+    receives one ``operator_build`` event with the O/R and W
+    construction wall-clock split.
     """
+    rec = get_recorder() if recorder is None else recorder
+    started = time.perf_counter()
     o_tensor, r_tensor = build_transition_tensors(hin.tensor)
+    transition_done = time.perf_counter()
     w_matrix = feature_transition_matrix(
         hin.features, top_k=similarity_top_k, metric=similarity_metric
     )
+    if rec.enabled:
+        feature_done = time.perf_counter()
+        rec.emit(
+            "operator_build",
+            n_nodes=hin.n_nodes,
+            n_relations=hin.n_relations,
+            similarity_top_k=similarity_top_k,
+            similarity_metric=similarity_metric,
+            transition_seconds=transition_done - started,
+            feature_seconds=feature_done - transition_done,
+        )
+        rec.count("operator_builds")
     return TMarkOperators(
         o_tensor=o_tensor,
         r_tensor=r_tensor,
@@ -242,7 +264,7 @@ class TMark:
     # Fitting
     # ------------------------------------------------------------------
     def fit(
-        self, hin: HIN, *, warm_start: bool = False, operators=None
+        self, hin: HIN, *, warm_start: bool = False, operators=None, recorder=None
     ) -> "TMark":
         """Run the per-class chains on ``hin``.
 
@@ -269,7 +291,15 @@ class TMark:
             structure and features.  Skips the O/R/W construction —
             useful when fitting many label masks or hyper-parameter
             settings on one network.
+        recorder:
+            Optional :class:`repro.obs.Recorder` receiving the fit's
+            telemetry (``chain_iteration`` phase timings, per-class
+            ``chain_class`` residuals, one ``fit`` summary).  Defaults
+            to the ambient recorder (:func:`repro.obs.get_recorder`),
+            which is a no-op unless one was installed.
         """
+        rec = get_recorder() if recorder is None else recorder
+        fit_started = time.perf_counter() if rec.enabled else 0.0
         if not isinstance(hin, HIN):
             raise ValidationError(f"expected a HIN, got {type(hin).__name__}")
         if operators is not None:
@@ -293,11 +323,16 @@ class TMark:
                 operators.w_matrix,
             )
         else:
-            o_tensor, r_tensor = build_transition_tensors(hin.tensor)
-            w_matrix = feature_transition_matrix(
-                hin.features,
-                top_k=self.similarity_top_k,
-                metric=self.similarity_metric,
+            built = build_operators(
+                hin,
+                similarity_top_k=self.similarity_top_k,
+                similarity_metric=self.similarity_metric,
+                recorder=rec,
+            )
+            o_tensor, r_tensor, w_matrix = (
+                built.o_tensor,
+                built.r_tensor,
+                built.w_matrix,
             )
         n, q, m = hin.n_nodes, hin.n_labels, hin.n_relations
 
@@ -316,7 +351,8 @@ class TMark:
             else (previous.node_scores, previous.relation_scores)
         )
         node_scores, relation_scores, histories = self._run_chains_batched(
-            o_tensor, r_tensor, w_matrix, hin.label_matrix, starts=starts
+            o_tensor, r_tensor, w_matrix, hin.label_matrix, starts=starts,
+            recorder=rec,
         )
 
         self.result_ = TMarkResult(
@@ -327,6 +363,18 @@ class TMark:
             relation_names=hin.relation_names,
         )
         self._hin = hin
+        if rec.enabled:
+            rec.emit(
+                "fit",
+                n_nodes=n,
+                n_classes=q,
+                n_relations=m,
+                warm_start=starts is not None,
+                iterations=max(h.n_iterations for h in histories),
+                converged=all(h.converged for h in histories),
+                seconds=time.perf_counter() - fit_started,
+            )
+            rec.count("fits")
         return self
 
     @property
@@ -342,7 +390,8 @@ class TMark:
         return 0.0 if weight < RELATIONAL_WEIGHT_EPS else weight
 
     def _run_chains_batched(
-        self, o_tensor, r_tensor, w_matrix, label_matrix, *, starts=None
+        self, o_tensor, r_tensor, w_matrix, label_matrix, *, starts=None,
+        recorder=None,
     ):
         """Advance all ``q`` per-class chains of Algorithm 1 in lockstep.
 
@@ -358,7 +407,18 @@ class TMark:
 
         ``starts`` optionally provides warm ``(X0, Z0)`` score matrices.
         Returns ``(node_scores, relation_scores, histories)``.
+
+        When ``recorder`` is enabled, every iteration emits one
+        ``chain_iteration`` event carrying the five
+        :data:`~repro.obs.CHAIN_PHASES` wall-clock timings plus one
+        ``chain_class`` event per active class with its residual and
+        frozen flag.  The instrumentation only *observes* — timings are
+        taken around the existing statements without reordering any
+        floating-point operation, so traced and untraced fits are
+        bit-identical.
         """
+        rec = get_recorder() if recorder is None else recorder
+        timed = rec.enabled
         label_matrix = np.asarray(label_matrix, dtype=bool)
         n, q = label_matrix.shape
         m = r_tensor.shape[2]
@@ -392,6 +452,9 @@ class TMark:
         for t in range(1, self.max_iter + 1):
             if not active:
                 break
+            if timed:
+                timer = PhaseTimer(CHAIN_PHASES)
+                timer.start("label_update")
             if self.update_labels and t > 2:
                 for c in active:
                     vector, n_accepted = updated_label_vector(
@@ -403,18 +466,29 @@ class TMark:
                     )
                     label_vectors[:, c] = vector
                     histories[c].accepted_history.append(n_accepted)
+            if timed:
+                timer.start("o_propagation")
             x_active = x_scores[:, active]
             x_new = alpha * label_vectors[:, active]
             if relational_weight > 0.0:
                 x_new = x_new + relational_weight * o_tensor.propagate_many(
                     x_active, z_scores[:, active]
                 )
+            if timed:
+                timer.start("feature_walk")
             if beta > 0.0:
                 x_new = x_new + beta * (w_matrix @ x_active)
+            if timed:
+                timer.start("projection")
             for idx in range(len(active)):
                 x_new[:, idx] = project_to_simplex(x_new[:, idx])
+            if timed:
+                timer.start("r_contraction")
             z_new = r_tensor.propagate_many(x_new, x_new)
+            if timed:
+                timer.start("projection")
             still_active = []
+            residuals = [] if timed else None
             for idx, c in enumerate(active):
                 z_col = project_to_simplex(z_new[:, idx])
                 rho = histories[c].record(
@@ -424,6 +498,28 @@ class TMark:
                 z_scores[:, c] = z_col
                 if rho >= self.tol:
                     still_active.append(c)
+                if timed:
+                    residuals.append((c, rho))
+            if timed:
+                timer.stop()
+                rec.emit(
+                    "chain_iteration",
+                    t=t,
+                    n_active=len(active),
+                    phases=dict(timer.phases),
+                )
+                rec.count("chain_iterations")
+                for c, rho in residuals:
+                    frozen = rho < self.tol
+                    rec.emit(
+                        "chain_class",
+                        t=t,
+                        class_index=c,
+                        residual=rho,
+                        frozen=frozen,
+                    )
+                    if frozen:
+                        rec.count("frozen_columns")
             active = still_active
         return x_scores, z_scores, histories
 

@@ -16,6 +16,7 @@ Run ``python -m repro.experiments list`` to enumerate experiments and
 
 from repro.experiments.harness import (
     GridResult,
+    cell_seed_sequence,
     evaluate_method,
     run_grid,
     scores_to_multilabel,
@@ -34,6 +35,7 @@ from repro.experiments.tuning import tune_tmark
 
 __all__ = [
     "GridResult",
+    "cell_seed_sequence",
     "evaluate_method",
     "run_grid",
     "scores_to_predictions",

@@ -5,16 +5,20 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments run table3 [--scale 1.0] [--seed 0]
                                            [--trials 3] [--full] [--std]
-                                           [--save-dir DIR]
+                                           [--save-dir DIR] [--trace PATH]
     python -m repro.experiments run all
     python -m repro.experiments compare table3 [--trials 10]
     python -m repro.experiments tune dblp [--fraction 0.3]
+    python -m repro.experiments trace-summary PATH
 
 ``--full`` switches the neural/ensemble baselines to their full training
 budgets; ``--trials 10`` matches the paper's 10-runs-per-split protocol;
 ``--std`` prints mean±std cells (the paper's format); ``compare`` scores
 a measured grid against the paper's published numbers; ``tune``
-grid-searches T-Mark's hyper-parameters inside a dataset's labeled set.
+grid-searches T-Mark's hyper-parameters inside a dataset's labeled set;
+``--trace`` records chain/harness telemetry as JSONL (see
+:mod:`repro.obs`) and ``trace-summary`` aggregates such a file into a
+phase-time breakdown table.
 """
 
 from __future__ import annotations
@@ -74,6 +78,17 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write <id>.txt/.json (and .csv for grids) to this directory",
     )
+    run.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record chain/harness telemetry to this JSONL file (repro.obs)",
+    )
+    trace_summary = sub.add_parser(
+        "trace-summary",
+        help="aggregate a --trace JSONL file into a phase-time breakdown",
+    )
+    trace_summary.add_argument("path", help="a JSONL trace written by run --trace")
     return parser
 
 
@@ -154,7 +169,25 @@ def main(argv=None) -> int:
         print()
         print(comparison)
         return 0 if comparison.all_shapes_hold else 2
+    if args.command == "trace-summary":
+        import os
+
+        from repro.obs import format_trace_summary, read_trace, summarize_trace
+
+        if not os.path.exists(args.path):
+            print(f"no such trace file: {args.path}")
+            return 1
+        print(format_trace_summary(summarize_trace(read_trace(args.path))))
+        return 0
     targets = experiment_ids() if args.experiment == "all" else [args.experiment]
+    if getattr(args, "trace", None):
+        from repro.obs import JsonlTraceRecorder, use_recorder
+
+        with JsonlTraceRecorder(args.trace) as recorder, use_recorder(recorder):
+            for experiment_id in targets:
+                _run_one(experiment_id, args)
+        print(f"[trace: {recorder.n_events} events -> {args.trace}]")
+        return 0
     for experiment_id in targets:
         _run_one(experiment_id, args)
     return 0

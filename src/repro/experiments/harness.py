@@ -11,6 +11,8 @@ baselines.
 
 from __future__ import annotations
 
+import hashlib
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -21,7 +23,8 @@ from repro.errors import ValidationError
 from repro.hin.graph import HIN
 from repro.ml.metrics import accuracy, macro_f1, multilabel_macro_f1
 from repro.ml.splits import multilabel_fraction_split, stratified_fraction_split
-from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.obs.recorder import get_recorder, use_recorder
+from repro.utils.rng import spawn_rngs
 from repro.utils.validation import check_positive_int
 
 #: Supported evaluation metrics.
@@ -61,7 +64,13 @@ def scores_to_multilabel(scores: np.ndarray, train_label_matrix: np.ndarray) -> 
 
 @dataclass(frozen=True)
 class CellResult:
-    """Mean/std of one method at one label fraction."""
+    """Mean/std of one method at one label fraction.
+
+    ``std`` is the *sample* standard deviation (``ddof=1``) across the
+    cell's trials — the paper's mean±std over 10 runs is a sample
+    statistic — and 0.0 for a single trial, where the sample std is
+    undefined.
+    """
 
     mean: float
     std: float
@@ -118,6 +127,8 @@ def evaluate_method(
     seed=None,
     metric: str = "accuracy",
     operator_pool: dict | None = None,
+    recorder=None,
+    method_name: str | None = None,
 ) -> CellResult:
     """Mean/std metric of one method at one label fraction.
 
@@ -140,13 +151,27 @@ def evaluate_method(
         ground-truth ``hin``.  T-Mark family methods then reuse one
         ``(O, R, W)`` build per similarity setting (see
         :func:`shared_tmark_operators`); other methods are unaffected.
+    recorder:
+        Optional :class:`repro.obs.Recorder` (default: the ambient one)
+        receiving one ``trial`` event per split with the trial's metric
+        value and wall clock; it is also installed as the ambient
+        recorder around each fit so chain-level events land in the same
+        trace.
+    method_name:
+        Optional display name carried on the emitted ``trial`` events
+        (``run_grid`` passes the roster name).
+
+    The returned std is the sample statistic (``ddof=1``); a single
+    trial reports 0.0.
     """
     if metric not in METRICS:
         raise ValidationError(f"metric must be one of {METRICS}, got {metric!r}")
     check_positive_int(n_trials, "n_trials")
+    rec = get_recorder() if recorder is None else recorder
     rngs = spawn_rngs(seed, 2 * n_trials)
     values = []
     for trial in range(n_trials):
+        trial_started = time.perf_counter() if rec.enabled else 0.0
         split_rng, method_rng = rngs[2 * trial], rngs[2 * trial + 1]
         if metric == "multilabel_macro_f1":
             mask = multilabel_fraction_split(hin.label_matrix, fraction, rng=split_rng)
@@ -154,28 +179,75 @@ def evaluate_method(
             mask = stratified_fraction_split(hin.y, fraction, rng=split_rng)
         train_hin = hin.masked(mask)
         model = method_factory()
-        if operator_pool is not None and isinstance(model, TMark):
-            operators = shared_tmark_operators(hin, model, operator_pool)
-            scores = model.fit_predict(train_hin, rng=method_rng, operators=operators)
-        else:
-            scores = model.fit_predict(train_hin, rng=method_rng)
+        with use_recorder(rec):
+            if operator_pool is not None and isinstance(model, TMark):
+                operators = shared_tmark_operators(hin, model, operator_pool)
+                scores = model.fit_predict(
+                    train_hin, rng=method_rng, operators=operators
+                )
+            else:
+                scores = model.fit_predict(train_hin, rng=method_rng)
         test = ~mask
         if metric == "multilabel_macro_f1":
             predicted = scores_to_multilabel(scores, train_hin.label_matrix)
-            values.append(
-                multilabel_macro_f1(hin.label_matrix[test], predicted[test])
-            )
+            value = multilabel_macro_f1(hin.label_matrix[test], predicted[test])
         elif metric == "macro_f1":
             predicted = scores_to_predictions(scores)
-            values.append(
-                macro_f1(hin.y[test], predicted[test], n_classes=hin.n_labels)
-            )
+            value = macro_f1(hin.y[test], predicted[test], n_classes=hin.n_labels)
         else:
             predicted = scores_to_predictions(scores)
-            values.append(accuracy(hin.y[test], predicted[test]))
+            value = accuracy(hin.y[test], predicted[test])
+        values.append(value)
+        if rec.enabled:
+            rec.emit(
+                "trial",
+                method=method_name,
+                fraction=float(fraction),
+                trial=trial,
+                metric=metric,
+                value=float(value),
+                seconds=time.perf_counter() - trial_started,
+            )
+            rec.count("trials")
     values = np.asarray(values)
-    return CellResult(
-        mean=float(values.mean()), std=float(values.std()), n_trials=n_trials
+    std = float(values.std(ddof=1)) if n_trials > 1 else 0.0
+    return CellResult(mean=float(values.mean()), std=std, n_trials=n_trials)
+
+
+def cell_seed_sequence(
+    base_entropy: int, method_name: str, fraction: float
+) -> np.random.SeedSequence:
+    """The deterministic per-cell seed of :func:`run_grid`.
+
+    Derived from ``(base_entropy, method_name, fraction)`` alone — not
+    from the cell's position in the grid — so adding, removing or
+    reordering roster methods (or fractions) leaves every other cell's
+    RNG stream, and therefore its splits and scores, byte-identical.
+    The method name enters via a stable SHA-256 digest and the fraction
+    via its exact float64 bit pattern.
+    """
+    digest = hashlib.sha256(method_name.encode("utf-8")).digest()
+    name_key = int.from_bytes(digest[:8], "little")
+    fraction_key = int(np.float64(fraction).view(np.uint64))
+    return np.random.SeedSequence(entropy=[int(base_entropy), name_key, fraction_key])
+
+
+def _grid_base_entropy(seed) -> int:
+    """Resolve ``run_grid``'s ``seed`` argument to a base entropy int."""
+    if seed is None:
+        return int(np.random.SeedSequence().entropy)
+    if isinstance(seed, np.random.Generator):
+        return int(seed.integers(0, 2**63 - 1))
+    if isinstance(seed, (bool, np.bool_)):
+        raise ValidationError(
+            "seed must not be a bool; pass an explicit integer seed"
+        )
+    if isinstance(seed, (int, np.integer)):
+        if int(seed) < 0:
+            raise ValidationError(f"seed must be non-negative, got {seed}")
+        return int(seed)
+    raise ValidationError(
+        f"seed must be None, an int, or a numpy Generator; got {type(seed).__name__}"
     )
 
 
@@ -188,36 +260,62 @@ def run_grid(
     seed=None,
     metric: str = "accuracy",
     share_operators: bool = True,
+    recorder=None,
 ) -> GridResult:
     """Run the full method x fraction grid of one paper table.
 
-    ``methods`` is a sequence of ``(name, factory)`` pairs; each cell
-    gets its own deterministic RNG stream derived from ``seed`` so the
-    grid is reproducible and cells are independent.
+    ``methods`` is a sequence of ``(name, factory)`` pairs.  Each cell's
+    RNG stream is derived deterministically from
+    ``(seed, method_name, fraction)`` via
+    :func:`cell_seed_sequence` — never from the cell's position — so the
+    grid is reproducible, cells are genuinely independent, and a cell's
+    result is byte-identical no matter which other methods or fractions
+    share the roster.
 
     With ``share_operators`` (the default) the T-Mark family methods in
     the roster share one precomputed ``(O, R, W)`` operator triple per
     similarity setting across every fraction and trial — the masked
     training views all inherit ``hin``'s structure and features, so the
     scores are unchanged and only the redundant rebuilds disappear.
+
+    ``recorder`` (default: the ambient one) receives one ``grid_cell``
+    event per cell with its mean/std and wall clock, on top of the
+    per-trial and chain-level events emitted underneath.
     """
-    root = ensure_rng(seed)
+    rec = get_recorder() if recorder is None else recorder
+    base_entropy = _grid_base_entropy(seed)
     grid = GridResult(fractions=tuple(float(f) for f in fractions), metric=metric)
     operator_pool: dict | None = {} if share_operators else None
     for name, factory in methods:
         cells = []
         for fraction in grid.fractions:
-            cell_seed = int(root.integers(0, 2**63 - 1))
-            cells.append(
-                evaluate_method(
-                    hin,
-                    factory,
-                    fraction,
-                    n_trials=n_trials,
-                    seed=cell_seed,
-                    metric=metric,
-                    operator_pool=operator_pool,
-                )
+            cell_rng = np.random.default_rng(
+                cell_seed_sequence(base_entropy, name, fraction)
             )
+            cell_started = time.perf_counter() if rec.enabled else 0.0
+            cell = evaluate_method(
+                hin,
+                factory,
+                fraction,
+                n_trials=n_trials,
+                seed=cell_rng,
+                metric=metric,
+                operator_pool=operator_pool,
+                recorder=rec,
+                method_name=name,
+            )
+            cells.append(cell)
+            if rec.enabled:
+                rec.emit(
+                    "grid_cell",
+                    method=name,
+                    fraction=float(fraction),
+                    metric=metric,
+                    mean=cell.mean,
+                    std=cell.std,
+                    n_trials=cell.n_trials,
+                    seconds=time.perf_counter() - cell_started,
+                )
+                rec.count("grid_cells")
         grid.cells[name] = cells
     return grid

@@ -41,6 +41,7 @@ _register("fig8", "Accuracy vs gamma on DBLP", runners.run_fig8)
 _register("fig9", "Accuracy vs gamma on NUS", runners.run_fig9)
 _register("fig10", "Convergence curves on four datasets", runners.run_fig10)
 # Auxiliary experiments beyond the paper's artefacts:
+_register("example", "The section 3.2 worked example", runners.run_example)
 _register("extensions", "Extension baselines vs T-Mark (DBLP)", runners.run_extensions)
 _register("summary", "Calibrated dataset statistics", runners.run_dataset_summary)
 

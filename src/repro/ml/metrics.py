@@ -31,14 +31,31 @@ def accuracy(y_true, y_pred) -> float:
 
 
 def confusion_matrix(y_true, y_pred, n_classes: int | None = None) -> np.ndarray:
-    """Confusion counts ``C[t, p]`` = #(true t predicted p)."""
+    """Confusion counts ``C[t, p]`` = #(true t predicted p).
+
+    An explicit ``n_classes`` must be positive and cover every label on
+    both sides; an out-of-range label raises
+    :class:`~repro.errors.ValidationError` naming the offending label
+    and the bound instead of crashing inside ``np.add.at``.
+    """
     y_true, y_pred = _check_aligned(
         np.asarray(y_true, dtype=np.int64), np.asarray(y_pred, dtype=np.int64)
     )
     if y_true.ndim != 1:
         raise ShapeError("confusion_matrix expects 1-D label arrays")
+    max_label = int(max(y_true.max(initial=0), y_pred.max(initial=0)))
     if n_classes is None:
-        n_classes = int(max(y_true.max(initial=0), y_pred.max(initial=0))) + 1
+        n_classes = max_label + 1
+    else:
+        n_classes = int(n_classes)
+        if n_classes <= 0:
+            raise ValidationError(f"n_classes must be positive, got {n_classes}")
+        if max_label >= n_classes:
+            side = "y_true" if max_label in y_true else "y_pred"
+            raise ValidationError(
+                f"label {max_label} in {side} is out of range for "
+                f"n_classes={n_classes} (valid labels: 0..{n_classes - 1})"
+            )
     if y_true.min(initial=0) < 0 or y_pred.min(initial=0) < 0:
         raise ValidationError("labels must be non-negative class indices")
     matrix = np.zeros((n_classes, n_classes), dtype=np.int64)

@@ -1,0 +1,62 @@
+"""Chain-level observability: recorders, phase timers and JSONL traces.
+
+T-Mark's cost is dominated by per-iteration tensor contractions whose
+behaviour varies sharply with network structure and hyper-parameters.
+This package provides the measurement substrate the perf work builds
+on: a pluggable :class:`Recorder` protocol with a zero-overhead no-op
+default, wall-clock :class:`PhaseTimer` accumulators, monotonic
+counters, and a JSONL trace writer emitting structured events from the
+hot paths (``chain_iteration``, ``chain_class``, ``operator_build``,
+``fit``, ``trial``, ``grid_cell``).
+
+Recorders are plumbed two ways:
+
+* *ambiently* — :func:`use_recorder` installs a recorder for a scope
+  (the CLI's ``--trace`` flag wraps a whole experiment run this way)
+  and instrumented code picks it up via :func:`get_recorder`;
+* *explicitly* — ``TMark.fit(..., recorder=...)``,
+  ``build_operators(..., recorder=...)``,
+  ``evaluate_method(..., recorder=...)`` and
+  ``run_grid(..., recorder=...)`` accept an override.
+
+The default recorder is :data:`NULL_RECORDER` (``enabled`` False): the
+instrumented loops hoist that flag once per fit and skip every timer
+read and event emission, so untraced runs pay only a handful of branch
+checks per iteration (bounded <2% by
+``benchmarks/bench_trace_overhead.py``).
+"""
+
+from repro.obs.recorder import (
+    CHAIN_PHASES,
+    EVENT_TYPES,
+    ListRecorder,
+    NULL_RECORDER,
+    NullRecorder,
+    PhaseTimer,
+    Recorder,
+    get_recorder,
+    use_recorder,
+)
+from repro.obs.summary import (
+    TraceSummary,
+    format_trace_summary,
+    summarize_trace,
+)
+from repro.obs.trace import JsonlTraceRecorder, read_trace
+
+__all__ = [
+    "CHAIN_PHASES",
+    "EVENT_TYPES",
+    "Recorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "ListRecorder",
+    "PhaseTimer",
+    "get_recorder",
+    "use_recorder",
+    "JsonlTraceRecorder",
+    "read_trace",
+    "TraceSummary",
+    "summarize_trace",
+    "format_trace_summary",
+]

@@ -1,0 +1,164 @@
+"""The :class:`Recorder` protocol, no-op default and in-memory sink.
+
+A recorder receives structured events from the instrumented hot paths
+and maintains monotonic counters.  The contract is intentionally tiny —
+``enabled``, ``emit`` and ``count`` — so alternative sinks (JSONL files,
+in-memory lists, metrics back-ends) are trivial to plug in.
+
+Instrumented loops hoist ``recorder.enabled`` into a local once per fit
+and skip all timing and emission when it is ``False``, which is what
+makes the :data:`NULL_RECORDER` default effectively free.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+#: Every event type the instrumented code emits.
+EVENT_TYPES = (
+    "chain_iteration",  # per-iteration phase timings of the batched fit
+    "chain_class",      # per-class residual / frozen-column telemetry
+    "operator_build",   # O/R/W construction timings
+    "fit",              # one per TMark.fit: wall clock + shape summary
+    "trial",            # one per harness trial: split + fit + score
+    "grid_cell",        # one per run_grid cell: mean/std + wall clock
+)
+
+#: The five per-iteration phases of ``TMark._run_chains_batched``.
+CHAIN_PHASES = (
+    "label_update",   # the Eq. 12 restart-vector update
+    "o_propagation",  # restart mix + O x-bar_1 X x-bar_3 Z contraction
+    "feature_walk",   # beta * (W @ X)
+    "r_contraction",  # R x-bar_1 X x-bar_2 X contraction
+    "projection",     # simplex projections + residual bookkeeping
+)
+
+
+class Recorder:
+    """Base recorder: the protocol every sink implements.
+
+    Attributes
+    ----------
+    enabled:
+        Hot paths hoist this flag once per fit; when ``False`` they skip
+        all timer reads and ``emit`` calls, so a disabled recorder costs
+        only a few branch checks per iteration.
+    counters:
+        Monotonic named counters maintained by :meth:`count`.
+    """
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+
+    def emit(self, event: str, **fields) -> None:
+        """Record one structured event (overridden by concrete sinks)."""
+        raise NotImplementedError
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment the monotonic counter ``name`` by ``n``."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+
+class NullRecorder(Recorder):
+    """The zero-overhead default: drops everything, ``enabled`` False."""
+
+    enabled = False
+
+    def emit(self, event: str, **fields) -> None:
+        pass
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+
+class ListRecorder(Recorder):
+    """In-memory sink collecting ``(event, fields)`` dicts (for tests).
+
+    ``enabled=False`` builds a recorder that instrumented code must
+    treat as a no-op — used to verify the hot paths really skip
+    emission when disabled.
+    """
+
+    def __init__(self, *, enabled: bool = True):
+        super().__init__()
+        self.enabled = bool(enabled)
+        self.events: list[dict] = []
+
+    def emit(self, event: str, **fields) -> None:
+        self.events.append({"event": event, **fields})
+
+    def events_of(self, event: str) -> list[dict]:
+        """The recorded events of one type, in emission order."""
+        return [e for e in self.events if e["event"] == event]
+
+
+#: The process-wide disabled recorder (the ambient default).
+NULL_RECORDER = NullRecorder()
+
+_current_recorder: ContextVar[Recorder] = ContextVar(
+    "repro_obs_recorder", default=NULL_RECORDER
+)
+
+
+def get_recorder() -> Recorder:
+    """The recorder currently installed for this context (default no-op)."""
+    return _current_recorder.get()
+
+
+@contextmanager
+def use_recorder(recorder: Recorder):
+    """Install ``recorder`` as the ambient recorder for the ``with`` scope.
+
+    Instrumented code that was not handed an explicit recorder picks
+    this one up through :func:`get_recorder`.  Scopes nest; the previous
+    recorder is restored on exit.
+    """
+    token = _current_recorder.set(recorder)
+    try:
+        yield recorder
+    finally:
+        _current_recorder.reset(token)
+
+
+class PhaseTimer:
+    """Wall-clock accumulator over a fixed set of named phases.
+
+    One timer instruments one iteration: ``start(name)`` closes the
+    previous phase (if any) and opens ``name``; ``stop()`` closes the
+    current phase.  A phase may be re-entered — durations accumulate —
+    which is how the ``projection`` phase covers both the x-column
+    projections and the post-contraction z/residual bookkeeping.  Every
+    name passed at construction is present in :attr:`phases` even if
+    never started (0.0), so downstream events always carry the full key
+    set.
+    """
+
+    __slots__ = ("phases", "_active", "_t0")
+
+    def __init__(self, names=CHAIN_PHASES):
+        self.phases: dict[str, float] = {name: 0.0 for name in names}
+        self._active: str | None = None
+        self._t0 = 0.0
+
+    def start(self, name: str) -> None:
+        """Close the active phase (if any) and begin timing ``name``."""
+        now = time.perf_counter()
+        if self._active is not None:
+            self.phases[self._active] += now - self._t0
+        self._active = name
+        self._t0 = now
+
+    def stop(self) -> None:
+        """Close the active phase; a stopped timer tolerates re-stops."""
+        if self._active is not None:
+            self.phases[self._active] += time.perf_counter() - self._t0
+            self._active = None
+
+    @property
+    def total(self) -> float:
+        """Sum of all accumulated phase durations (seconds)."""
+        return sum(self.phases.values())

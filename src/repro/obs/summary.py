@@ -1,0 +1,132 @@
+"""Aggregate a JSONL trace into a per-phase time breakdown.
+
+Backs the ``python -m repro.experiments trace-summary`` command: given
+the events of one traced run, compute where the iteration time went
+(the five chain phases), how much of the measured fit wall-clock the
+phase timings account for, and the harness-level trial / grid-cell
+telemetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.recorder import CHAIN_PHASES
+
+
+@dataclass
+class TraceSummary:
+    """Aggregated view of one trace (see :func:`summarize_trace`)."""
+
+    n_events: int = 0
+    event_counts: dict[str, int] = field(default_factory=dict)
+    phase_totals: dict[str, float] = field(default_factory=dict)
+    n_iterations: int = 0
+    fit_seconds: float = 0.0
+    n_fits: int = 0
+    operator_seconds: float = 0.0
+    n_frozen_events: int = 0
+    trial_seconds: float = 0.0
+    grid_seconds: float = 0.0
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def phase_seconds(self) -> float:
+        """Total seconds attributed to the chain phases."""
+        return sum(self.phase_totals.values())
+
+    @property
+    def phase_coverage(self) -> float:
+        """Phase-attributed share of the measured fit wall-clock.
+
+        ``nan`` when the trace contains no ``fit`` events.
+        """
+        if self.fit_seconds <= 0.0:
+            return float("nan")
+        return self.phase_seconds / self.fit_seconds
+
+
+def summarize_trace(events) -> TraceSummary:
+    """Fold a sequence of trace event dicts into a :class:`TraceSummary`."""
+    summary = TraceSummary(phase_totals={name: 0.0 for name in CHAIN_PHASES})
+    for event in events:
+        kind = event.get("event", "?")
+        summary.n_events += 1
+        summary.event_counts[kind] = summary.event_counts.get(kind, 0) + 1
+        if kind == "chain_iteration":
+            summary.n_iterations += 1
+            for name, seconds in event.get("phases", {}).items():
+                summary.phase_totals[name] = (
+                    summary.phase_totals.get(name, 0.0) + float(seconds)
+                )
+        elif kind == "chain_class":
+            if event.get("frozen"):
+                summary.n_frozen_events += 1
+        elif kind == "fit":
+            summary.n_fits += 1
+            summary.fit_seconds += float(event.get("seconds", 0.0))
+        elif kind == "operator_build":
+            summary.operator_seconds += float(
+                event.get("transition_seconds", 0.0)
+            ) + float(event.get("feature_seconds", 0.0))
+        elif kind == "trial":
+            summary.trial_seconds += float(event.get("seconds", 0.0))
+        elif kind == "grid_cell":
+            summary.grid_seconds += float(event.get("seconds", 0.0))
+        elif kind == "counters":
+            for name, value in event.get("counters", {}).items():
+                summary.counters[name] = summary.counters.get(name, 0) + int(value)
+    return summary
+
+
+def format_trace_summary(summary: TraceSummary) -> str:
+    """Render a :class:`TraceSummary` as a fixed-width breakdown table."""
+    lines = [f"trace summary — {summary.n_events} events"]
+    if summary.event_counts:
+        lines.append("")
+        lines.append("event".ljust(18) + "count".rjust(8))
+        lines.append("-" * 26)
+        for name in sorted(summary.event_counts):
+            lines.append(name.ljust(18) + str(summary.event_counts[name]).rjust(8))
+    phase_seconds = summary.phase_seconds
+    if summary.n_iterations:
+        lines.append("")
+        lines.append(
+            f"chain phases over {summary.n_iterations} iterations"
+        )
+        lines.append("phase".ljust(18) + "seconds".rjust(10) + "share".rjust(8))
+        lines.append("-" * 36)
+        for name, seconds in sorted(
+            summary.phase_totals.items(), key=lambda kv: -kv[1]
+        ):
+            share = seconds / phase_seconds if phase_seconds > 0 else 0.0
+            lines.append(
+                name.ljust(18) + f"{seconds:10.4f}" + f"{share:7.1%}".rjust(8)
+            )
+        lines.append("total".ljust(18) + f"{phase_seconds:10.4f}")
+    if summary.n_fits:
+        coverage = summary.phase_coverage
+        lines.append(
+            f"fit wall-clock: {summary.fit_seconds:.4f}s over "
+            f"{summary.n_fits} fit(s); phase coverage {coverage:.1%}"
+        )
+    if summary.operator_seconds:
+        lines.append(f"operator builds: {summary.operator_seconds:.4f}s")
+    if summary.trial_seconds:
+        lines.append(
+            f"harness trials: {summary.event_counts.get('trial', 0)} "
+            f"({summary.trial_seconds:.4f}s)"
+        )
+    if summary.grid_seconds:
+        lines.append(
+            f"grid cells: {summary.event_counts.get('grid_cell', 0)} "
+            f"({summary.grid_seconds:.4f}s)"
+        )
+    if summary.n_frozen_events:
+        lines.append(f"frozen-column events: {summary.n_frozen_events}")
+    if summary.counters:
+        lines.append(
+            "counters: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(summary.counters.items()))
+        )
+    return "\n".join(lines)

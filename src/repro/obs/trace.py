@@ -1,0 +1,96 @@
+"""JSONL trace sink: one structured event per line.
+
+The format is deliberately plain — each line is an independent JSON
+object with an ``event`` type and a monotonic ``ts`` (seconds since the
+recorder was opened) — so traces can be post-processed with nothing but
+``json.loads`` per line.  No redaction, no binary framing, no schema
+registry: the events are small numeric records by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.errors import ValidationError
+from repro.obs.recorder import Recorder
+
+
+def _jsonable(value):
+    """Coerce numpy scalars (and nested containers) to plain JSON types."""
+    import numpy as np
+
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+class JsonlTraceRecorder(Recorder):
+    """Write every event as one JSON line to ``path``.
+
+    Events gain two bookkeeping fields: ``event`` (the type) and ``ts``
+    (monotonic seconds since the recorder was opened).  On :meth:`close`
+    the accumulated counters are flushed as a final ``counters`` event.
+    Usable as a context manager.
+    """
+
+    def __init__(self, path):
+        super().__init__()
+        self.path = Path(path)
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self._opened = time.perf_counter()
+        self.n_events = 0
+
+    def emit(self, event: str, **fields) -> None:
+        record = {"event": event, "ts": time.perf_counter() - self._opened}
+        record.update(_jsonable(fields))
+        self._handle.write(json.dumps(record) + "\n")
+        self.n_events += 1
+
+    def close(self) -> None:
+        """Flush counters (if any) and close the file; idempotent."""
+        if self._handle.closed:
+            return
+        if self.counters:
+            counters, self.counters = self.counters, {}
+            self.emit("counters", counters=counters)
+        self._handle.close()
+
+    def __enter__(self) -> "JsonlTraceRecorder":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_trace(path) -> list[dict]:
+    """Parse a JSONL trace file back into a list of event dicts.
+
+    Blank lines are skipped; a malformed line raises
+    :class:`~repro.errors.ValidationError` naming its line number.
+    """
+    path = Path(path)
+    events = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise ValidationError(
+                    f"{path}:{lineno} is not valid JSON: {error}"
+                ) from None
+    return events

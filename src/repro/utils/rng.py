@@ -28,12 +28,19 @@ def ensure_rng(seed=None) -> np.random.Generator:
     Raises
     ------
     ValidationError
-        If ``seed`` is of an unsupported type.
+        If ``seed`` is of an unsupported type.  Booleans are rejected
+        explicitly: ``bool`` is a subclass of ``int``, so ``True`` would
+        otherwise be treated silently as seed 1.
     """
     if seed is None:
         return np.random.default_rng()
     if isinstance(seed, np.random.Generator):
         return seed
+    if isinstance(seed, (bool, np.bool_)):
+        raise ValidationError(
+            f"seed must not be a bool ({seed!r} would silently seed as "
+            f"{int(seed)}); pass an explicit integer seed"
+        )
     if isinstance(seed, (int, np.integer)):
         return np.random.default_rng(int(seed))
     raise ValidationError(

@@ -82,3 +82,40 @@ class TestStdFlag:
 
         assert main(["run", "table8", "--scale", "0.3", "--trials", "1"]) == 0
         assert "±" not in capsys.readouterr().out
+
+
+class TestTraceFlag:
+    def test_run_with_trace_writes_parseable_jsonl(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        assert main(["run", "example", "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert f"[trace: " in out and str(trace) in out
+        events = [
+            json.loads(line)
+            for line in trace.read_text(encoding="utf-8").strip().splitlines()
+        ]
+        kinds = {e["event"] for e in events}
+        assert "chain_iteration" in kinds
+        assert "fit" in kinds
+        assert events[-1]["event"] == "counters"
+
+    def test_trace_summary_prints_breakdown(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["run", "example", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["trace-summary", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "trace summary" in out
+        assert "o_propagation" in out
+        assert "phase coverage" in out
+
+    def test_trace_summary_missing_file(self, capsys, tmp_path):
+        assert main(["trace-summary", str(tmp_path / "nope.jsonl")]) == 1
+        assert "no such trace file" in capsys.readouterr().out
+
+    def test_run_example_untraced(self, capsys):
+        assert main(["run", "example"]) == 0
+        out = capsys.readouterr().out
+        assert "p3" in out and "p4" in out

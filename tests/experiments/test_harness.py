@@ -153,6 +153,91 @@ class TestOperatorSharing:
         assert pool == {}
 
 
+class UniformBaseline:
+    """Trivial fit_predict method used to pad grid rosters in tests."""
+
+    def fit_predict(self, hin, rng=None):
+        return np.full((hin.n_nodes, hin.n_labels), 1.0 / hin.n_labels)
+
+
+class TestRosterIndependentSeeding:
+    def test_cells_survive_roster_growth(self, hin):
+        """A method's cells must not change when another method joins.
+
+        Regression for the sequential per-cell seed drawing: adding a
+        method to the roster used to shift every later cell's RNG
+        stream.  Cell seeds now derive from (seed, method, fraction)
+        alone, so the same cells are byte-identical across rosters.
+        """
+        kwargs = dict(fractions=(0.2, 0.5), n_trials=2, seed=11)
+        alone = run_grid(hin, [("tmark", tmark_factory)], **kwargs)
+        together = run_grid(
+            hin,
+            [("uniform", UniformBaseline), ("tmark", tmark_factory)],
+            **kwargs,
+        )
+        for cell_a, cell_b in zip(alone.cells["tmark"], together.cells["tmark"]):
+            assert cell_a.mean == cell_b.mean
+            assert cell_a.std == cell_b.std
+
+    def test_cells_survive_fraction_reordering(self, hin):
+        forward = run_grid(
+            hin, [("tmark", tmark_factory)], fractions=(0.2, 0.5), n_trials=2, seed=3
+        )
+        backward = run_grid(
+            hin, [("tmark", tmark_factory)], fractions=(0.5, 0.2), n_trials=2, seed=3
+        )
+        assert forward.cells["tmark"][0].mean == backward.cells["tmark"][1].mean
+        assert forward.cells["tmark"][1].mean == backward.cells["tmark"][0].mean
+
+    def test_cell_seed_sequence_is_pure(self):
+        from repro.experiments.harness import cell_seed_sequence
+
+        a = cell_seed_sequence(7, "tmark", 0.3).generate_state(4)
+        b = cell_seed_sequence(7, "tmark", 0.3).generate_state(4)
+        assert np.array_equal(a, b)
+
+    def test_cell_seed_sequence_separates_inputs(self):
+        from repro.experiments.harness import cell_seed_sequence
+
+        base = cell_seed_sequence(7, "tmark", 0.3).generate_state(4)
+        for other in (
+            cell_seed_sequence(8, "tmark", 0.3),
+            cell_seed_sequence(7, "uniform", 0.3),
+            cell_seed_sequence(7, "tmark", 0.5),
+        ):
+            assert not np.array_equal(base, other.generate_state(4))
+
+    def test_run_grid_rejects_bool_seed(self, hin):
+        with pytest.raises(ValidationError):
+            run_grid(
+                hin, [("tmark", tmark_factory)], fractions=(0.3,), seed=True
+            )
+
+    def test_run_grid_rejects_negative_seed(self, hin):
+        with pytest.raises(ValidationError):
+            run_grid(
+                hin, [("tmark", tmark_factory)], fractions=(0.3,), seed=-1
+            )
+
+
+class TestSampleStd:
+    def test_std_is_sample_std_of_trial_values(self, hin):
+        from repro.obs import ListRecorder
+
+        recorder = ListRecorder()
+        cell = evaluate_method(
+            hin, tmark_factory, 0.3, n_trials=4, seed=9, recorder=recorder
+        )
+        values = np.array([e["value"] for e in recorder.events_of("trial")])
+        assert len(values) == 4
+        assert cell.std == pytest.approx(values.std(ddof=1))
+
+    def test_single_trial_std_is_zero(self, hin):
+        cell = evaluate_method(hin, tmark_factory, 0.3, n_trials=1, seed=0)
+        assert cell.std == 0.0
+
+
 class TestMacroF1Metric:
     def test_macro_f1_grid_metric(self, hin):
         cell = evaluate_method(

@@ -47,6 +47,24 @@ class TestConfusionMatrix:
         with pytest.raises(ShapeError):
             confusion_matrix(np.zeros((2, 2), int), np.zeros((2, 2), int))
 
+    def test_undersized_n_classes_names_label_and_bound(self):
+        with pytest.raises(ValidationError, match=r"label 3 in y_true") as info:
+            confusion_matrix([0, 3], [0, 1], n_classes=2)
+        assert "n_classes=2" in str(info.value)
+        assert "0..1" in str(info.value)
+
+    def test_undersized_n_classes_blames_y_pred(self):
+        with pytest.raises(ValidationError, match=r"label 5 in y_pred"):
+            confusion_matrix([0, 1], [0, 5], n_classes=3)
+
+    def test_rejects_non_positive_n_classes(self):
+        with pytest.raises(ValidationError, match="positive"):
+            confusion_matrix([0], [0], n_classes=0)
+
+    def test_exact_n_classes_still_works(self):
+        matrix = confusion_matrix([0, 2], [2, 0], n_classes=3)
+        assert matrix[0, 2] == 1 and matrix[2, 0] == 1
+
 
 class TestF1:
     def test_perfect_f1(self):

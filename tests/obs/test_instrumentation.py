@@ -1,0 +1,129 @@
+"""Trace-shape tests: what the instrumented hot paths actually emit."""
+
+import numpy as np
+import pytest
+
+from repro.core import TMark
+from repro.core.tmark import build_operators
+from repro.obs import CHAIN_PHASES, ListRecorder, use_recorder
+from tests.conftest import small_labeled_hin
+
+
+@pytest.fixture(scope="module")
+def hin():
+    return small_labeled_hin(seed=4, n=25, q=3)
+
+
+def _fit(hin, recorder=None):
+    model = TMark(alpha=0.7, gamma=0.4, max_iter=40)
+    model.fit(hin, recorder=recorder)
+    return model
+
+
+class TestChainInstrumentation:
+    def test_every_iteration_carries_all_five_phases(self, hin):
+        recorder = ListRecorder()
+        _fit(hin, recorder=recorder)
+        iterations = recorder.events_of("chain_iteration")
+        assert iterations
+        for event in iterations:
+            assert set(event["phases"]) == set(CHAIN_PHASES)
+            assert all(seconds >= 0.0 for seconds in event["phases"].values())
+            assert event["n_active"] >= 1
+
+    def test_chain_class_reports_residual_and_frozen(self, hin):
+        recorder = ListRecorder()
+        model = _fit(hin, recorder=recorder)
+        class_events = recorder.events_of("chain_class")
+        assert class_events
+        assert {e["class_index"] for e in class_events} == set(
+            range(hin.n_labels)
+        )
+        # The final event of every class matches its recorded history.
+        for c, history in enumerate(model.result_.histories):
+            last = [e for e in class_events if e["class_index"] == c][-1]
+            assert last["residual"] == history.residuals[-1]
+
+    def test_fit_event_summarises_the_run(self, hin):
+        recorder = ListRecorder()
+        model = _fit(hin, recorder=recorder)
+        (fit_event,) = recorder.events_of("fit")
+        assert fit_event["n_nodes"] == hin.n_nodes
+        assert fit_event["n_classes"] == hin.n_labels
+        assert fit_event["iterations"] == max(
+            h.n_iterations for h in model.result_.histories
+        )
+        assert fit_event["seconds"] > 0.0
+
+    def test_operator_build_event_times_both_stages(self, hin):
+        recorder = ListRecorder()
+        build_operators(hin, recorder=recorder)
+        (event,) = recorder.events_of("operator_build")
+        assert event["n_nodes"] == hin.n_nodes
+        assert event["transition_seconds"] >= 0.0
+        assert event["feature_seconds"] >= 0.0
+
+    def test_counters_accumulate(self, hin):
+        recorder = ListRecorder()
+        _fit(hin, recorder=recorder)
+        assert recorder.counters["fits"] == 1
+        assert recorder.counters["chain_iterations"] == len(
+            recorder.events_of("chain_iteration")
+        )
+
+    def test_disabled_recorder_receives_nothing(self, hin):
+        recorder = ListRecorder(enabled=False)
+        _fit(hin, recorder=recorder)
+        assert recorder.events == []
+        assert recorder.counters == {}
+
+    def test_tracing_never_changes_scores(self, hin):
+        """Instrumentation is purely observational: bit-identical fits."""
+        recorder = ListRecorder()
+        traced = _fit(hin, recorder=recorder)
+        untraced = _fit(hin)
+        assert np.array_equal(
+            traced.result_.node_scores, untraced.result_.node_scores
+        )
+        assert np.array_equal(
+            traced.result_.relation_scores, untraced.result_.relation_scores
+        )
+
+    def test_ambient_recorder_is_picked_up(self, hin):
+        recorder = ListRecorder()
+        with use_recorder(recorder):
+            _fit(hin)
+        assert recorder.events_of("chain_iteration")
+
+    def test_explicit_recorder_overrides_ambient(self, hin):
+        ambient, explicit = ListRecorder(), ListRecorder()
+        with use_recorder(ambient):
+            _fit(hin, recorder=explicit)
+        assert ambient.events == []
+        assert explicit.events_of("fit")
+
+
+class TestHarnessInstrumentation:
+    def test_trial_and_grid_cell_events(self, hin):
+        from repro.experiments.harness import run_grid
+
+        recorder = ListRecorder()
+        run_grid(
+            hin,
+            [("tmark", lambda: TMark(alpha=0.5, gamma=0.3, max_iter=50))],
+            fractions=(0.2, 0.4),
+            n_trials=2,
+            seed=0,
+            recorder=recorder,
+        )
+        trials = recorder.events_of("trial")
+        cells = recorder.events_of("grid_cell")
+        assert len(cells) == 2
+        assert len(trials) == 4
+        assert {t["method"] for t in trials} == {"tmark"}
+        assert {c["fraction"] for c in cells} == {0.2, 0.4}
+        for cell in cells:
+            assert cell["n_trials"] == 2
+            assert cell["seconds"] > 0.0
+        # Chain-level events from inside the trials land in the same trace.
+        assert recorder.events_of("chain_iteration")

@@ -1,0 +1,70 @@
+"""Tests for trace aggregation and its text rendering."""
+
+import math
+
+from repro.obs import CHAIN_PHASES, format_trace_summary, summarize_trace
+
+
+def _sample_events():
+    return [
+        {"event": "operator_build", "transition_seconds": 0.2, "feature_seconds": 0.1},
+        {
+            "event": "chain_iteration",
+            "t": 1,
+            "phases": {
+                "label_update": 0.01,
+                "o_propagation": 0.04,
+                "feature_walk": 0.02,
+                "r_contraction": 0.03,
+                "projection": 0.01,
+            },
+        },
+        {"event": "chain_class", "t": 1, "class_index": 0, "residual": 0.0, "frozen": True},
+        {"event": "chain_class", "t": 1, "class_index": 1, "residual": 0.5, "frozen": False},
+        {"event": "fit", "seconds": 0.12, "n_nodes": 30},
+        {"event": "trial", "trial": 0, "seconds": 0.15},
+        {"event": "grid_cell", "method": "tmark", "seconds": 0.3},
+        {"event": "counters", "counters": {"fits": 1, "chain_iterations": 1}},
+    ]
+
+
+class TestSummarizeTrace:
+    def test_folds_all_event_kinds(self):
+        summary = summarize_trace(_sample_events())
+        assert summary.n_events == 8
+        assert summary.event_counts["chain_class"] == 2
+        assert summary.n_iterations == 1
+        assert summary.phase_totals["o_propagation"] == 0.04
+        assert summary.n_frozen_events == 1
+        assert summary.fit_seconds == 0.12
+        assert summary.operator_seconds == 0.30000000000000004
+        assert summary.trial_seconds == 0.15
+        assert summary.grid_seconds == 0.3
+        assert summary.counters == {"fits": 1, "chain_iterations": 1}
+
+    def test_phase_seconds_and_coverage(self):
+        summary = summarize_trace(_sample_events())
+        assert summary.phase_seconds == 0.11
+        assert abs(summary.phase_coverage - 0.11 / 0.12) < 1e-12
+
+    def test_coverage_is_nan_without_fits(self):
+        summary = summarize_trace([])
+        assert math.isnan(summary.phase_coverage)
+        assert summary.phase_seconds == 0.0
+
+    def test_all_chain_phases_pre_zeroed(self):
+        summary = summarize_trace([])
+        assert set(summary.phase_totals) == set(CHAIN_PHASES)
+
+
+class TestFormatTraceSummary:
+    def test_renders_breakdown_and_coverage(self):
+        text = format_trace_summary(summarize_trace(_sample_events()))
+        assert "8 events" in text
+        assert "o_propagation" in text
+        assert "phase coverage" in text
+        assert "grid cells: 1" in text
+        assert "counters: chain_iterations=1, fits=1" in text
+
+    def test_empty_trace_renders(self):
+        assert "0 events" in format_trace_summary(summarize_trace([]))

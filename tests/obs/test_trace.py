@@ -1,0 +1,85 @@
+"""Tests for the JSONL trace recorder and reader."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs import JsonlTraceRecorder, read_trace
+
+
+class TestJsonlTraceRecorder:
+    def test_round_trips_through_json_loads(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceRecorder(path) as recorder:
+            recorder.emit("fit", seconds=0.25, n_nodes=10)
+            recorder.emit("trial", trial=0, value=0.9)
+        lines = path.read_text(encoding="utf-8").strip().splitlines()
+        events = [json.loads(line) for line in lines]
+        assert [e["event"] for e in events] == ["fit", "trial"]
+        assert events[0]["n_nodes"] == 10
+        assert events[1]["value"] == 0.9
+
+    def test_every_event_carries_monotonic_ts(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceRecorder(path) as recorder:
+            for t in range(5):
+                recorder.emit("chain_iteration", t=t)
+        ts = [e["ts"] for e in read_trace(path)]
+        assert all(isinstance(value, float) for value in ts)
+        assert ts == sorted(ts)
+
+    def test_numpy_values_are_coerced(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceRecorder(path) as recorder:
+            recorder.emit(
+                "chain_class",
+                residual=np.float64(0.5),
+                class_index=np.int64(2),
+                frozen=np.bool_(True),
+                phases={"a": np.float32(0.125)},
+                values=np.arange(3),
+            )
+        (event,) = read_trace(path)
+        assert event["residual"] == 0.5
+        assert event["class_index"] == 2
+        assert event["frozen"] is True
+        assert event["phases"] == {"a": 0.125}
+        assert event["values"] == [0, 1, 2]
+
+    def test_counters_flush_as_final_event_on_close(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceRecorder(path) as recorder:
+            recorder.emit("fit", seconds=0.1)
+            recorder.count("fits")
+            recorder.count("chain_iterations", 7)
+        events = read_trace(path)
+        assert events[-1]["event"] == "counters"
+        assert events[-1]["counters"] == {"fits": 1, "chain_iterations": 7}
+
+    def test_close_is_idempotent(self, tmp_path):
+        recorder = JsonlTraceRecorder(tmp_path / "trace.jsonl")
+        recorder.emit("fit", seconds=0.1)
+        recorder.close()
+        recorder.close()
+        assert recorder.n_events == 1
+
+    def test_n_events_counts_emissions(self, tmp_path):
+        with JsonlTraceRecorder(tmp_path / "trace.jsonl") as recorder:
+            recorder.emit("fit")
+            recorder.emit("fit")
+        assert recorder.n_events == 2
+
+
+class TestReadTrace:
+    def test_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"event": "fit"}\n\n{"event": "trial"}\n')
+        assert [e["event"] for e in read_trace(path)] == ["fit", "trial"]
+
+    def test_malformed_line_names_its_line_number(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"event": "fit"}\nnot json\n')
+        with pytest.raises(ValidationError, match=r":2 is not valid JSON"):
+            read_trace(path)

@@ -36,6 +36,19 @@ class TestEnsureRng:
         with pytest.raises(ValidationError):
             ensure_rng(1.5)
 
+    def test_rejects_bool(self):
+        """bool is an int subclass; True must not silently seed as 1."""
+        with pytest.raises(ValidationError, match="bool"):
+            ensure_rng(True)
+
+    def test_rejects_false_too(self):
+        with pytest.raises(ValidationError, match="bool"):
+            ensure_rng(False)
+
+    def test_rejects_numpy_bool(self):
+        with pytest.raises(ValidationError, match="bool"):
+            ensure_rng(np.bool_(True))
+
 
 class TestSpawnRngs:
     def test_count(self):
