@@ -110,6 +110,24 @@ def jaccard_similarity_matrix(features) -> np.ndarray:
 SIMILARITY_METRICS = ("cosine", "rbf", "jaccard")
 
 
+def normalise_similarity_columns(sims: np.ndarray) -> np.ndarray:
+    """The Eq. 9 tail: column-normalise ``sims``, zero columns uniform.
+
+    Mutates ``sims`` in place (zero columns are overwritten with ones)
+    and returns the normalised matrix.  Shared by
+    :func:`feature_transition_matrix` and the streaming ``W`` patcher —
+    one code path is what keeps the patched matrix bit-identical to a
+    rebuild given the same similarity values.
+    """
+    col_sums = sims.sum(axis=0)
+    zero_cols = col_sums == 0
+    if np.any(zero_cols):
+        # Featureless nodes: uniform column, as with dangling fibres.
+        sims[:, zero_cols] = 1.0
+        col_sums = sims.sum(axis=0)
+    return sims / col_sums[None, :]
+
+
 def topk_cosine_transition_matrix(
     features, top_k: int, *, chunk_size: int = 512
 ) -> sp.csr_matrix:
@@ -239,13 +257,7 @@ def feature_transition_matrix(
             keep[idx, np.arange(n)[None, :].repeat(top_k, axis=0)] = True
             keep[np.diag_indices(n)] = True
             sims = np.where(keep, sims, 0.0)
-    col_sums = sims.sum(axis=0)
-    zero_cols = col_sums == 0
-    if np.any(zero_cols):
-        # Featureless nodes: uniform column, as with dangling fibres.
-        sims[:, zero_cols] = 1.0
-        col_sums = sims.sum(axis=0)
-    result = sims / col_sums[None, :]
+    result = normalise_similarity_columns(sims)
     if top_k is not None:
         return sp.csr_matrix(result)
     return result

@@ -17,7 +17,10 @@ from repro.core.convergence import ChainHistory
 from repro.core.tmark import TMarkResult
 from repro.errors import ValidationError
 
-_FORMAT_VERSION = 1
+#: Version 2 adds ``node_names`` — the chain-start metadata that lets a
+#: :class:`repro.stream.StreamingSession` resume from a saved result.
+#: Version-1 archives still load (with ``node_names=None``).
+_FORMAT_VERSION = 2
 
 
 def save_result(result: TMarkResult, path) -> Path:
@@ -29,6 +32,9 @@ def save_result(result: TMarkResult, path) -> Path:
         "format_version": _FORMAT_VERSION,
         "label_names": list(result.label_names),
         "relation_names": list(result.relation_names),
+        "node_names": (
+            None if result.node_names is None else list(result.node_names)
+        ),
         "histories": [
             {
                 "tol": history.tol,
@@ -56,10 +62,12 @@ def load_result(path) -> TMarkResult:
         raise ValidationError(f"no such result archive: {path}")
     with np.load(path, allow_pickle=False) as archive:
         header = json.loads(bytes(archive["header"]).decode("utf-8"))
-        if header.get("format_version") != _FORMAT_VERSION:
+        version = header.get("format_version")
+        if version not in (1, _FORMAT_VERSION):
             raise ValidationError(
-                f"unsupported result archive version: {header.get('format_version')}"
+                f"unsupported result archive version: {version}"
             )
+        node_names = header.get("node_names")
         histories = []
         for payload in header["histories"]:
             history = ChainHistory(
@@ -76,4 +84,5 @@ def load_result(path) -> TMarkResult:
             histories=histories,
             label_names=tuple(header["label_names"]),
             relation_names=tuple(header["relation_names"]),
+            node_names=None if node_names is None else tuple(node_names),
         )

@@ -141,6 +141,11 @@ class TMarkResult:
         One :class:`ChainHistory` per class.
     label_names, relation_names:
         Names aligned with the score columns / rows.
+    node_names:
+        Names aligned with the ``node_scores`` rows — the chain-start
+        metadata that lets a :class:`repro.stream.StreamingSession`
+        resume from a saved result (``None`` on results loaded from
+        archives predating the field).
     """
 
     node_scores: np.ndarray
@@ -148,6 +153,7 @@ class TMarkResult:
     histories: list[ChainHistory]
     label_names: tuple[str, ...]
     relation_names: tuple[str, ...]
+    node_names: tuple[str, ...] | None = None
 
     def ranked_relations(self, label: int | str) -> list[tuple[str, float]]:
         """Relations sorted by importance for ``label`` (name, score)."""
@@ -264,7 +270,13 @@ class TMark:
     # Fitting
     # ------------------------------------------------------------------
     def fit(
-        self, hin: HIN, *, warm_start: bool = False, operators=None, recorder=None
+        self,
+        hin: HIN,
+        *,
+        warm_start: bool = False,
+        starts=None,
+        operators=None,
+        recorder=None,
     ) -> "TMark":
         """Run the per-class chains on ``hin``.
 
@@ -285,6 +297,15 @@ class TMark:
             reordered classes would seed every chain from the wrong
             class's stationary pair); silently falls back to a cold
             start otherwise.
+        starts:
+            Explicit warm-start pair ``(X0, Z0)`` of shapes ``(n, q)``
+            and ``(m, q)`` (each column is projected onto the simplex
+            before use).  Takes precedence over ``warm_start`` and,
+            unlike it, fails loudly on a shape mismatch — this is the
+            entry point for callers that maintain their own chain state,
+            such as :class:`repro.stream.StreamingSession`, which pads
+            the previous stationary ``x`` for newly added nodes and
+            therefore cannot rely on the same-shape heuristic.
         operators:
             Optional :class:`TMarkOperators` precomputed with
             :func:`build_operators` on a HIN sharing this one's
@@ -336,20 +357,30 @@ class TMark:
             )
         n, q, m = hin.n_nodes, hin.n_labels, hin.n_relations
 
-        previous = self.result_ if warm_start else None
-        if previous is not None and (
-            previous.node_scores.shape != (n, q)
-            or previous.relation_scores.shape != (m, q)
-            or tuple(previous.label_names) != tuple(hin.label_names)
-            or tuple(previous.relation_names) != tuple(hin.relation_names)
-        ):
-            previous = None
-
-        starts = (
-            None
-            if previous is None
-            else (previous.node_scores, previous.relation_scores)
-        )
+        if starts is not None:
+            if len(starts) != 2:
+                raise ValidationError(
+                    "starts must be an (X0, Z0) pair of score matrices"
+                )
+            x0 = np.asarray(starts[0], dtype=float)
+            z0 = np.asarray(starts[1], dtype=float)
+            if x0.shape != (n, q) or z0.shape != (m, q):
+                raise ValidationError(
+                    f"starts shapes {x0.shape} / {z0.shape} do not match the "
+                    f"HIN's ({n}, {q}) / ({m}, {q})"
+                )
+            starts = (x0, z0)
+        else:
+            previous = self.result_ if warm_start else None
+            if previous is not None and (
+                previous.node_scores.shape != (n, q)
+                or previous.relation_scores.shape != (m, q)
+                or tuple(previous.label_names) != tuple(hin.label_names)
+                or tuple(previous.relation_names) != tuple(hin.relation_names)
+            ):
+                previous = None
+            if previous is not None:
+                starts = (previous.node_scores, previous.relation_scores)
         node_scores, relation_scores, histories = self._run_chains_batched(
             o_tensor, r_tensor, w_matrix, hin.label_matrix, starts=starts,
             recorder=rec,
@@ -361,6 +392,7 @@ class TMark:
             histories=histories,
             label_names=hin.label_names,
             relation_names=hin.relation_names,
+            node_names=hin.node_names,
         )
         self._hin = hin
         if rec.enabled:

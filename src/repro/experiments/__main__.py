@@ -10,6 +10,9 @@ Usage::
     python -m repro.experiments compare table3 [--trials 10]
     python -m repro.experiments tune dblp [--fraction 0.3]
     python -m repro.experiments trace-summary PATH
+    python -m repro.experiments stream [--deltas 50] [--batch-size 10]
+                                       [--journal PATH] [--hin PATH]
+                                       [--save-journal PATH] [--save-hin PATH]
 
 ``--full`` switches the neural/ensemble baselines to their full training
 budgets; ``--trials 10`` matches the paper's 10-runs-per-split protocol;
@@ -89,6 +92,27 @@ def _build_parser() -> argparse.ArgumentParser:
         help="aggregate a --trace JSONL file into a phase-time breakdown",
     )
     trace_summary.add_argument("path", help="a JSONL trace written by run --trace")
+    stream = sub.add_parser(
+        "stream",
+        help="replay a delta journal through a warm streaming session",
+    )
+    stream.add_argument("--scale", type=float, default=1.0,
+                        help="synthetic seed-graph size multiplier")
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--deltas", type=int, default=50,
+                        help="synthetic journal length (ignored with --journal)")
+    stream.add_argument("--batch-size", type=int, default=10,
+                        help="deltas per synthetic batch (ignored with --journal)")
+    stream.add_argument("--journal", default=None, metavar="PATH",
+                        help="replay this JSONL delta journal instead")
+    stream.add_argument("--hin", default=None, metavar="PATH",
+                        help="seed graph archive (save_hin) instead of synthetic")
+    stream.add_argument("--save-journal", default=None, metavar="PATH",
+                        help="write the replayed journal as JSONL")
+    stream.add_argument("--save-hin", default=None, metavar="PATH",
+                        help="write the final evolved graph as .npz")
+    stream.add_argument("--trace", default=None, metavar="PATH",
+                        help="record streaming telemetry to this JSONL file")
     return parser
 
 
@@ -169,6 +193,17 @@ def main(argv=None) -> int:
         print()
         print(comparison)
         return 0 if comparison.all_shapes_hold else 2
+    if args.command == "stream":
+        from repro.experiments.streaming import run_stream_cli
+
+        if args.trace:
+            from repro.obs import JsonlTraceRecorder, use_recorder
+
+            with JsonlTraceRecorder(args.trace) as recorder, use_recorder(recorder):
+                code = run_stream_cli(args)
+            print(f"[trace: {recorder.n_events} events -> {args.trace}]")
+            return code
+        return run_stream_cli(args)
     if args.command == "trace-summary":
         import os
 

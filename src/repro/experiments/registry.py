@@ -63,6 +63,14 @@ _register(
     _robustness.run_label_noise,
 )
 
+from repro.experiments import streaming as _streaming  # noqa: E402
+
+_register(
+    "stream",
+    "Incremental delta replay with warm reconvergence",
+    _streaming.run_stream,
+)
+
 
 def experiment_ids() -> list[str]:
     """All registered experiment ids in paper order."""

@@ -135,6 +135,10 @@ class HINBuilder:
         paper's convention for the ACM dataset.  The tensor entry written
         for a directed link ``source -> target`` is ``A[target, source, k]``
         so that the Eq. 1 random walk steps *along* the link.
+
+        An undirected *self-loop* (``source == target``) is its own
+        converse, so it is stored once — appending both orientations
+        would silently double its weight in ``A``.
         """
         if weight <= 0 or not np.isfinite(weight):
             raise ValidationError(f"link weight must be positive, got {weight}")
@@ -148,7 +152,7 @@ class HINBuilder:
             raise ValidationError(f"unknown target node: {target!r}") from None
         k = self.add_relation(relation)
         self._links.append((dst, src, k, float(weight)))
-        if not directed:
+        if not directed and src != dst:
             self._links.append((src, dst, k, float(weight)))
 
     def link_group(self, members: Sequence[str], relation: str, *, weight: float = 1.0):
@@ -156,8 +160,10 @@ class HINBuilder:
 
         This is how "two authors published at the same conference" /
         "two movies share a director" relations are materialised.
+        Repeated names in ``members`` are ignored (first occurrence
+        wins), so each distinct pair is linked exactly once.
         """
-        members = [str(v) for v in members]
+        members = list(dict.fromkeys(str(v) for v in members))
         self.add_relation(relation)
         for a_pos, a in enumerate(members):
             for b in members[a_pos + 1:]:

@@ -24,6 +24,9 @@ EVENT_TYPES = (
     "fit",              # one per TMark.fit: wall clock + shape summary
     "trial",            # one per harness trial: split + fit + score
     "grid_cell",        # one per run_grid cell: mean/std + wall clock
+    "delta_apply",      # one per streaming delta batch: size + op mix
+    "operator_patch",   # incremental O/R/W patch: touched columns/fibres
+    "reconverge",       # warm refit after a batch: iterations + wall clock
 )
 
 #: The five per-iteration phases of ``TMark._run_chains_batched``.

@@ -28,6 +28,11 @@ class TraceSummary:
     n_frozen_events: int = 0
     trial_seconds: float = 0.0
     grid_seconds: float = 0.0
+    n_delta_batches: int = 0
+    n_deltas: int = 0
+    patch_seconds: float = 0.0
+    reconverge_iterations: int = 0
+    reconverge_seconds: float = 0.0
     counters: dict[str, int] = field(default_factory=dict)
 
     @property
@@ -73,6 +78,14 @@ def summarize_trace(events) -> TraceSummary:
             summary.trial_seconds += float(event.get("seconds", 0.0))
         elif kind == "grid_cell":
             summary.grid_seconds += float(event.get("seconds", 0.0))
+        elif kind == "delta_apply":
+            summary.n_delta_batches += 1
+            summary.n_deltas += int(event.get("n_deltas", 0))
+        elif kind == "operator_patch":
+            summary.patch_seconds += float(event.get("seconds", 0.0))
+        elif kind == "reconverge":
+            summary.reconverge_iterations += int(event.get("iterations", 0))
+            summary.reconverge_seconds += float(event.get("seconds", 0.0))
         elif kind == "counters":
             for name, value in event.get("counters", {}).items():
                 summary.counters[name] = summary.counters.get(name, 0) + int(value)
@@ -121,6 +134,14 @@ def format_trace_summary(summary: TraceSummary) -> str:
         lines.append(
             f"grid cells: {summary.event_counts.get('grid_cell', 0)} "
             f"({summary.grid_seconds:.4f}s)"
+        )
+    if summary.n_delta_batches:
+        lines.append(
+            f"streaming: {summary.n_deltas} deltas in "
+            f"{summary.n_delta_batches} batch(es); operator patches "
+            f"{summary.patch_seconds:.4f}s; reconvergence "
+            f"{summary.reconverge_iterations} iteration(s) "
+            f"({summary.reconverge_seconds:.4f}s)"
         )
     if summary.n_frozen_events:
         lines.append(f"frozen-column events: {summary.n_frozen_events}")

@@ -1,0 +1,211 @@
+"""The append-only delta journal: an evolving HIN as seed graph + log.
+
+A :class:`DeltaLog` records deltas in order with explicit *commit*
+markers separating batches.  Serialised as JSONL — one JSON object per
+line, a header line first, ``{"op": "commit"}`` lines at batch
+boundaries — the format is human-diffable and append-only: extending a
+journal never rewrites earlier lines.
+
+Together with :func:`repro.hin.io.save_hin` this makes a streaming run
+reproducible: ``replay(seed_hin)`` applies the journal batch by batch
+and returns the final graph (or, via :meth:`DeltaLog.batches`, feeds a
+:class:`~repro.stream.session.StreamingSession` the same batch sequence
+the live run saw).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import ValidationError
+from repro.hin.graph import HIN
+from repro.stream.delta import DeltaBatch, GraphDelta, apply_batch, as_batch
+
+_FORMAT_NAME = "repro.stream.delta-log"
+_FORMAT_VERSION = 1
+
+
+class DeltaLog:
+    """An ordered journal of deltas with batch-boundary commit markers.
+
+    ``append`` adds one delta to the open (uncommitted) batch;
+    ``extend`` adds several; ``commit`` closes the open batch.  A
+    trailing uncommitted batch is treated as committed by the readers
+    (:meth:`batches`, :meth:`replay`), so a crash between the last
+    append and its commit loses no deltas.
+    """
+
+    def __init__(self, deltas: Iterable[GraphDelta] = (), *, commits: Iterable[int] = ()):
+        self._deltas: list[GraphDelta] = []
+        self._commits: list[int] = []
+        for delta in deltas:
+            self.append(delta)
+        previous = 0
+        for commit in commits:
+            commit = int(commit)
+            if not previous <= commit <= len(self._deltas):
+                raise ValidationError(
+                    f"commit marker {commit} out of order for a "
+                    f"{len(self._deltas)}-delta journal"
+                )
+            previous = commit
+            self._commits.append(commit)
+
+    # ------------------------------------------------------------------
+    # Growth
+    # ------------------------------------------------------------------
+    def append(self, delta: GraphDelta) -> None:
+        """Add one delta to the open batch."""
+        if not isinstance(delta, GraphDelta):
+            raise ValidationError(
+                f"DeltaLog entries must be GraphDelta, got {type(delta).__name__}"
+            )
+        self._deltas.append(delta)
+
+    def extend(self, deltas) -> None:
+        """Add several deltas (a batch, iterable, or single delta)."""
+        for delta in as_batch(deltas):
+            self.append(delta)
+
+    def commit(self) -> None:
+        """Close the open batch (no-op when it is empty)."""
+        if not self._commits or self._commits[-1] < len(self._deltas):
+            self._commits.append(len(self._deltas))
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._deltas)
+
+    def __iter__(self):
+        return iter(self._deltas)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, DeltaLog):
+            return NotImplemented
+        return (
+            self._deltas == other._deltas
+            and self._effective_commits() == other._effective_commits()
+        )
+
+    def __repr__(self) -> str:
+        return f"DeltaLog({len(self._deltas)} deltas, {self.n_batches} batches)"
+
+    def _effective_commits(self) -> list[int]:
+        commits = list(self._commits)
+        if not commits or commits[-1] < len(self._deltas):
+            commits.append(len(self._deltas))
+        return commits
+
+    @property
+    def n_batches(self) -> int:
+        """Number of batches :meth:`batches` will produce."""
+        return len(self.batches())
+
+    def batches(self) -> list[DeltaBatch]:
+        """The journal split at commit markers (empty batches dropped)."""
+        batches = []
+        start = 0
+        for stop in self._effective_commits():
+            if stop > start:
+                batches.append(DeltaBatch(self._deltas[start:stop]))
+            start = stop
+        return batches
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path) -> Path:
+        """Write the journal as JSONL (header, deltas, commit markers).
+
+        Only *explicit* commits produce marker lines; a trailing
+        uncommitted batch is written as bare delta lines (``load`` and
+        ``batches`` treat it as committed anyway).  This keeps saved
+        journals genuinely append-only: extending a journal and saving
+        again reproduces the earlier file as a byte prefix.
+        """
+        path = Path(path)
+        lines = [
+            json.dumps(
+                {"format": _FORMAT_NAME, "version": _FORMAT_VERSION},
+                sort_keys=True,
+            )
+        ]
+        start = 0
+        for stop in self._commits:
+            for delta in self._deltas[start:stop]:
+                lines.append(json.dumps(delta.to_dict(), sort_keys=True))
+            lines.append(json.dumps({"op": "commit"}))
+            start = stop
+        for delta in self._deltas[start:]:
+            lines.append(json.dumps(delta.to_dict(), sort_keys=True))
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path) -> "DeltaLog":
+        """Read a journal written by :meth:`save`."""
+        path = Path(path)
+        if not path.exists():
+            raise ValidationError(f"no such delta journal: {path}")
+        log = cls()
+        with path.open(encoding="utf-8") as handle:
+            header_seen = False
+            for line_no, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ValidationError(
+                        f"{path}:{line_no}: invalid JSON in delta journal: {exc}"
+                    ) from None
+                if not header_seen:
+                    if (
+                        not isinstance(payload, dict)
+                        or payload.get("format") != _FORMAT_NAME
+                    ):
+                        raise ValidationError(
+                            f"{path} is not a {_FORMAT_NAME} journal "
+                            "(missing header line)"
+                        )
+                    if payload.get("version") != _FORMAT_VERSION:
+                        raise ValidationError(
+                            f"unsupported delta journal version: "
+                            f"{payload.get('version')}"
+                        )
+                    header_seen = True
+                    continue
+                if payload.get("op") == "commit":
+                    log.commit()
+                else:
+                    try:
+                        log.append(GraphDelta.from_dict(payload))
+                    except (ValidationError, TypeError) as exc:
+                        raise ValidationError(
+                            f"{path}:{line_no}: bad delta entry: {exc}"
+                        ) from None
+            if not header_seen:
+                raise ValidationError(f"{path} is empty — not a delta journal")
+        return log
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def replay(self, seed_hin: HIN) -> HIN:
+        """Apply the journal to ``seed_hin`` batch by batch; return the result.
+
+        Batch-wise application matters: it reproduces exactly the graph
+        states a live :class:`~repro.stream.session.StreamingSession`
+        moved through, including intermediate validation (a delta may
+        only reference nodes existing at its own batch's start or added
+        earlier in the same batch).
+        """
+        hin = seed_hin
+        for batch in self.batches():
+            hin = apply_batch(hin, batch)
+        return hin

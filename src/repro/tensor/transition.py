@@ -94,6 +94,39 @@ class NodeTransitionTensor:
             (np.ones(self._nondangling_cols.size), (k_nd, j_nd)), shape=(m, n)
         )
 
+    @classmethod
+    def from_parts(cls, slices, nondangling_cols, *, n: int, m: int):
+        """Assemble a tensor directly from normalised per-relation slices.
+
+        The constructor behind ``repro.stream``'s incremental operator
+        maintenance: after a delta batch, only the touched slices are
+        rebuilt and the untouched CSR objects are reused as-is.  The
+        caller guarantees each slice column either sums to one or is
+        empty, and that ``nondangling_cols`` (mode-1 flat ids
+        ``k*n + j``, sorted) lists exactly the non-empty columns.  The
+        mode-1 matricization is assembled lazily on first use —
+        :meth:`propagate_many` never needs it.
+        """
+        if len(slices) != m:
+            raise ShapeError(f"expected {m} slices, got {len(slices)}")
+        self = object.__new__(cls)
+        self._n = int(n)
+        self._m = int(m)
+        self._slices = tuple(slices)
+        self._mat = None
+        self._nondangling_cols = np.asarray(nondangling_cols, dtype=np.int64)
+        k_nd, j_nd = np.divmod(self._nondangling_cols, self._n)
+        self._nd_indicator = sp.csr_matrix(
+            (np.ones(self._nondangling_cols.size), (k_nd, j_nd)),
+            shape=(self._m, self._n),
+        )
+        return self
+
+    def _matricized(self) -> sp.csr_matrix:
+        if self._mat is None:
+            self._mat = sp.hstack(self._slices, format="csr")
+        return self._mat
+
     @property
     def shape(self) -> tuple[int, int, int]:
         """Logical tensor shape ``(n, n, m)``."""
@@ -106,7 +139,7 @@ class NodeTransitionTensor:
 
     def matricized(self) -> sp.csr_matrix:
         """The sparse part of the mode-1 matricization (dangling cols zero)."""
-        return self._mat.copy()
+        return self._matricized().copy()
 
     def relation_slice(self, k: int) -> sp.csr_matrix:
         """The normalised ``(n, n)`` slice ``M_k`` (dangling columns zero)."""
@@ -167,7 +200,7 @@ class NodeTransitionTensor:
         Intended for tests and tiny examples only.
         """
         dense = np.full((self._n, self._n, self._m), 0.0)
-        mat = self._mat.tocoo()
+        mat = self._matricized().tocoo()
         k, j = np.divmod(mat.col, self._n)
         dense[mat.row, j, k] = mat.data
         dangling = np.ones(self._n * self._m, dtype=bool)
@@ -190,10 +223,6 @@ class RelationTransitionTensor:
     """
 
     __slots__ = (
-        "_i",
-        "_j",
-        "_k",
-        "_values",
         "_rel_slices",
         "_pair_indicator",
         "_pair_i",
@@ -210,10 +239,7 @@ class RelationTransitionTensor:
         values = tensor.values
         fibre_sums = tensor.mode3_fibre_sums()
         fibre_idx = j * n + i
-        self._values = values / fibre_sums[fibre_idx]
-        self._i = i
-        self._j = j
-        self._k = k
+        norm_values = values / fibre_sums[fibre_idx]
         # B_k holds relation k's normalised entries at (i, j): the Eq. 8
         # reduction z_k = sum_{i,j} R[i,j,k] x_i y_j becomes the bilinear
         # form x^T (B_k @ y), batched over columns.
@@ -224,7 +250,7 @@ class RelationTransitionTensor:
             sel = order[boundaries[rel] : boundaries[rel + 1]]
             slices.append(
                 sp.csr_matrix(
-                    (self._values[sel], (i[sel], j[sel])), shape=(n, n)
+                    (norm_values[sel], (i[sel], j[sel])), shape=(n, n)
                 )
             )
         self._rel_slices = tuple(slices)
@@ -233,6 +259,29 @@ class RelationTransitionTensor:
         self._pair_indicator = sp.csr_matrix(
             (np.ones(linked.size), (self._pair_i, self._pair_j)), shape=(n, n)
         )
+
+    @classmethod
+    def from_parts(cls, rel_slices, pair_i, pair_j, *, n: int, m: int):
+        """Assemble a tensor directly from normalised per-relation slices.
+
+        The streaming counterpart of the constructor: after a delta
+        batch only the relations with touched fibres get fresh slices;
+        ``pair_i`` / ``pair_j`` list the linked ``(i, j)`` pairs (the
+        caller keeps them consistent with the non-empty fibres).
+        """
+        if len(rel_slices) != m:
+            raise ShapeError(f"expected {m} slices, got {len(rel_slices)}")
+        self = object.__new__(cls)
+        self._n = int(n)
+        self._m = int(m)
+        self._rel_slices = tuple(rel_slices)
+        self._pair_i = np.asarray(pair_i, dtype=np.int64)
+        self._pair_j = np.asarray(pair_j, dtype=np.int64)
+        self._pair_indicator = sp.csr_matrix(
+            (np.ones(self._pair_i.size), (self._pair_i, self._pair_j)),
+            shape=(self._n, self._n),
+        )
+        return self
 
     @property
     def shape(self) -> tuple[int, int, int]:
@@ -297,10 +346,10 @@ class RelationTransitionTensor:
         Intended for tests and tiny examples only.
         """
         dense = np.full((self._n, self._n, self._m), 1.0 / self._m)
-        linked = set(zip(self._pair_i.tolist(), self._pair_j.tolist()))
-        for ii, jj in linked:
-            dense[ii, jj, :] = 0.0
-        dense[self._i, self._j, self._k] = self._values
+        dense[self._pair_i, self._pair_j, :] = 0.0
+        for k, slice_k in enumerate(self._rel_slices):
+            coo = slice_k.tocoo()
+            dense[coo.row, coo.col, k] = coo.data
         return dense
 
 

@@ -51,16 +51,38 @@ class TestResultPersistence:
             load_result(tmp_path / "absent.npz")
 
     def test_version_check(self, fitted, tmp_path):
-        import json
-
         path = save_result(fitted.result_, tmp_path / "m.npz")
-        with np.load(path) as archive:
-            arrays = {name: archive[name] for name in archive.files}
-        header = json.loads(bytes(arrays["header"]).decode())
-        header["format_version"] = 42
-        arrays["header"] = np.frombuffer(
-            json.dumps(header).encode(), dtype=np.uint8
-        )
-        np.savez_compressed(path, **arrays)
+        _rewrite_header(path, {"format_version": 42})
         with pytest.raises(ValidationError, match="version"):
             load_result(path)
+
+    def test_round_trip_node_names(self, fitted, tmp_path):
+        # Format 2: the chain-start metadata a StreamingSession resumes
+        # from must survive the archive round trip.
+        assert fitted.result_.node_names is not None
+        loaded = load_result(save_result(fitted.result_, tmp_path / "m.npz"))
+        assert loaded.node_names == fitted.result_.node_names
+
+    def test_version1_archive_loads_without_node_names(self, fitted, tmp_path):
+        # Archives written before the field existed load with
+        # node_names=None instead of failing.
+        path = save_result(fitted.result_, tmp_path / "m.npz")
+        _rewrite_header(path, {"format_version": 1}, drop=["node_names"])
+        loaded = load_result(path)
+        assert loaded.node_names is None
+        assert np.allclose(loaded.node_scores, fitted.result_.node_scores)
+
+
+def _rewrite_header(path, updates, drop=()):
+    import json
+
+    with np.load(path) as archive:
+        arrays = {name: archive[name] for name in archive.files}
+    header = json.loads(bytes(arrays["header"]).decode())
+    header.update(updates)
+    for key in drop:
+        header.pop(key, None)
+    arrays["header"] = np.frombuffer(
+        json.dumps(header).encode(), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)

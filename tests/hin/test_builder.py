@@ -108,6 +108,30 @@ class TestLinks:
         dense = builder.build().tensor.to_dense()
         assert np.trace(dense[:, :, 0]) == 0
 
+    def test_link_group_deduplicates_members(self):
+        # Repeated names must not multiply pair weights: ["a", "b", "a"]
+        # links the (a, b) pair exactly once.
+        builder = two_node_builder()
+        builder.link_group(["u", "v", "u"], "r")
+        dense = builder.build().tensor.to_dense()
+        assert dense[0, 1, 0] == 1.0 and dense[1, 0, 0] == 1.0
+        assert dense.sum() == 2
+
+    def test_undirected_self_loop_stored_once(self):
+        # An undirected self-loop is its own converse; storing both
+        # orientations used to double its weight in A.
+        builder = two_node_builder()
+        builder.add_link("u", "u", "r", weight=1.5)
+        dense = builder.build().tensor.to_dense()
+        assert dense[0, 0, 0] == 1.5
+        assert dense.sum() == 1.5
+
+    def test_directed_self_loop_unchanged(self):
+        builder = two_node_builder()
+        builder.add_link("u", "u", "r", weight=2.0, directed=True)
+        dense = builder.build().tensor.to_dense()
+        assert dense[0, 0, 0] == 2.0
+
 
 class TestBuild:
     def test_empty_builder_rejected(self):

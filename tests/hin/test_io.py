@@ -60,6 +60,38 @@ class TestRoundTrip:
         path = save_hin(sample_hin(), tmp_path / "net")
         assert path.suffix == ".npz" and path.exists()
 
+    def test_zero_link_graph(self, tmp_path):
+        # Registered relations but an empty tensor: the no-entry arrays
+        # must survive the archive round trip (0-length coords included).
+        builder = HINBuilder(["a", "b"])
+        builder.add_node("u", features=[1.0, 0.0], labels=["a"])
+        builder.add_node("v", features=[0.0, 1.0], labels=["b"])
+        builder.add_relation("r1")
+        builder.add_relation("r2")
+        hin = builder.build()
+        assert hin.tensor.nnz == 0
+        loaded = load_hin(save_hin(hin, tmp_path / "empty.npz"))
+        assert loaded.tensor == hin.tensor
+        assert loaded.tensor.nnz == 0
+        assert loaded.relation_names == ("r1", "r2")
+        assert np.array_equal(loaded.label_matrix, hin.label_matrix)
+        assert np.allclose(loaded.features_dense(), hin.features_dense())
+
+    def test_multilabel_builder_graph(self, tmp_path):
+        # A builder-produced multilabel graph: several nodes carrying
+        # more than one label, plus an unlabeled node.
+        builder = HINBuilder(["a", "b", "c"], multilabel=True)
+        builder.add_node("u", features=[1.0], labels=["a", "b"])
+        builder.add_node("v", features=[2.0], labels=["b", "c"])
+        builder.add_node("w", features=[3.0])
+        builder.add_link("u", "v", "r")
+        hin = builder.build()
+        loaded = load_hin(save_hin(hin, tmp_path / "multi.npz"))
+        assert loaded.multilabel
+        assert np.array_equal(loaded.label_matrix, hin.label_matrix)
+        assert loaded.label_matrix.sum() == 4
+        assert not loaded.label_matrix[2].any()
+
     def test_generator_round_trip(self, tmp_path):
         from repro.datasets import make_worked_example
 

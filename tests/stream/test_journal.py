@@ -1,0 +1,130 @@
+"""Tests for DeltaLog save/load/replay and the synthetic workload."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.stream.delta import GraphDelta, apply_batch
+from repro.stream.journal import DeltaLog
+from repro.stream.workload import synthetic_delta_log
+from tests.conftest import small_labeled_hin
+from tests.stream.test_delta import small_hin
+
+
+def sample_log():
+    log = DeltaLog()
+    log.append(GraphDelta.add_link("u", "w", "r3", weight=2.0))
+    log.append(GraphDelta.set_label("w", ["a"]))
+    log.commit()
+    log.append(GraphDelta.add_node("x", features=[1.0, 2.0], labels=["b"]))
+    log.append(GraphDelta.add_link("x", "u", "r1"))
+    log.commit()
+    log.append(GraphDelta.remove_link("u", "w", "r3"))
+    return log
+
+
+class TestDeltaLog:
+    def test_batches_split_at_commits(self):
+        log = sample_log()
+        batches = log.batches()
+        assert [len(b) for b in batches] == [2, 2, 1]
+        assert log.n_batches == 3
+        assert len(log) == 5
+
+    def test_trailing_uncommitted_batch_included(self):
+        log = DeltaLog()
+        log.append(GraphDelta.set_label("u", ["a"]))
+        assert log.n_batches == 1
+
+    def test_commit_on_empty_batch_is_noop(self):
+        log = DeltaLog()
+        log.commit()
+        log.commit()
+        assert log.n_batches == 0
+        log.append(GraphDelta.set_label("u", ["a"]))
+        log.commit()
+        log.commit()
+        assert log.n_batches == 1
+
+    def test_rejects_non_delta(self):
+        with pytest.raises(ValidationError):
+            DeltaLog().append({"op": "add_link"})
+
+    def test_save_load_round_trip(self, tmp_path):
+        log = sample_log()
+        path = log.save(tmp_path / "journal.jsonl")
+        loaded = DeltaLog.load(path)
+        assert loaded == log
+        assert [len(b) for b in loaded.batches()] == [2, 2, 1]
+
+    def test_load_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            DeltaLog.load(tmp_path / "nope.jsonl")
+
+    def test_load_without_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"op": "commit"}\n')
+        with pytest.raises(ValidationError):
+            DeltaLog.load(path)
+
+    def test_load_bad_json_rejected(self, tmp_path):
+        log = sample_log()
+        path = log.save(tmp_path / "journal.jsonl")
+        path.write_text(path.read_text() + "{not json\n")
+        with pytest.raises(ValidationError):
+            DeltaLog.load(path)
+
+    def test_saved_journal_is_append_only(self, tmp_path):
+        # Extending a journal leaves the previously saved lines intact.
+        log = sample_log()
+        before = log.save(tmp_path / "a.jsonl").read_text()
+        log.extend([GraphDelta.set_label("u", [])])
+        log.commit()
+        after = log.save(tmp_path / "b.jsonl").read_text()
+        assert after.startswith(before)
+
+    def test_replay_matches_batchwise_apply(self):
+        hin = small_hin()
+        log = sample_log()
+        expected = hin
+        for batch in log.batches():
+            expected = apply_batch(expected, batch)
+        replayed = log.replay(hin)
+        assert replayed.tensor == expected.tensor
+        assert replayed.node_names == expected.node_names
+        assert np.array_equal(replayed.label_matrix, expected.label_matrix)
+        assert np.array_equal(
+            replayed.features_dense(), expected.features_dense()
+        )
+
+
+class TestSyntheticWorkload:
+    def test_deterministic(self):
+        hin = small_labeled_hin(seed=3)
+        one = synthetic_delta_log(hin, 40, batch_size=8, seed=11)
+        two = synthetic_delta_log(hin, 40, batch_size=8, seed=11)
+        assert one == two
+        assert one != synthetic_delta_log(hin, 40, batch_size=8, seed=12)
+
+    def test_replayable_and_counts(self):
+        hin = small_labeled_hin(seed=5)
+        log = synthetic_delta_log(hin, 50, batch_size=10, seed=7)
+        assert len(log) == 50
+        mutated = log.replay(hin)  # every delta valid at its position
+        assert mutated.n_nodes >= hin.n_nodes
+        assert mutated.relation_names == hin.relation_names
+
+    def test_mix_override(self):
+        hin = small_labeled_hin(seed=5)
+        log = synthetic_delta_log(
+            hin, 30, seed=1, op_weights={"set_label": 1.0}
+        )
+        assert all(delta.op == "set_label" for delta in log)
+        log.replay(hin)
+
+    def test_save_load_replay_round_trip(self, tmp_path):
+        hin = small_labeled_hin(seed=2)
+        log = synthetic_delta_log(hin, 30, batch_size=6, seed=9)
+        loaded = DeltaLog.load(log.save(tmp_path / "journal.jsonl"))
+        assert loaded == log
+        assert loaded.replay(hin).tensor == log.replay(hin).tensor
