@@ -42,6 +42,7 @@ from repro.core.labels import (
 )
 from repro.errors import NotFittedError, ValidationError
 from repro.hin.graph import HIN
+from repro.obs.health import health_from_history
 from repro.obs.recorder import CHAIN_PHASES, PhaseTimer, get_recorder
 from repro.tensor.transition import build_transition_tensors
 from repro.utils.simplex import project_to_simplex, uniform_distribution
@@ -186,7 +187,11 @@ class TMark:
     ----------
     alpha:
         Restart probability toward the labeled nodes (Eq. 10); the paper
-        uses 0.8 on DBLP and 0.9 elsewhere (section 6.5).
+        uses 0.8 on DBLP and 0.9 elsewhere (section 6.5).  ``alpha=0``
+        is allowed and reproduces a restart-free walk — without the
+        contraction the restart term provides, such chains may never
+        converge (periodic structures oscillate; see
+        :mod:`repro.obs.health`).
     gamma:
         Feature/relation mix in [0, 1]: 0 = relational information only,
         1 = feature information only.  Internally
@@ -234,7 +239,7 @@ class TMark:
         similarity_top_k: int | None = None,
         similarity_metric: str = "cosine",
     ):
-        self.alpha = check_fraction(alpha, "alpha")
+        self.alpha = check_fraction(alpha, "alpha", inclusive_low=True)
         self.gamma = check_probability(gamma, "gamma")
         if tol <= 0:
             raise ValidationError(f"tol must be positive, got {tol}")
@@ -396,11 +401,19 @@ class TMark:
         )
         self._hin = hin
         if rec.enabled:
+            for c, history in enumerate(histories):
+                verdict = health_from_history(
+                    history, class_index=c, label=hin.label_names[c]
+                )
+                rec.emit("chain_health", **verdict.as_event())
+                if not verdict.ok:
+                    rec.count("unhealthy_chains")
             rec.emit(
                 "fit",
                 n_nodes=n,
                 n_classes=q,
                 n_relations=m,
+                tol=self.tol,
                 warm_start=starts is not None,
                 iterations=max(h.n_iterations for h in histories),
                 converged=all(h.converged for h in histories),
@@ -444,13 +457,21 @@ class TMark:
         ``chain_iteration`` event carrying the five
         :data:`~repro.obs.CHAIN_PHASES` wall-clock timings plus one
         ``chain_class`` event per active class with its residual and
-        frozen flag.  The instrumentation only *observes* — timings are
-        taken around the existing statements without reordering any
-        floating-point operation, so traced and untraced fits are
-        bit-identical.
+        frozen flag.  When the recorder additionally asks for probes
+        (``recorder.probes``), every iteration also emits one
+        ``invariant_probe`` event checking the quantities Theorem 1
+        guarantees: the simplex mass drift of the active ``x``/``z``
+        columns (max ``|column sum - 1|``), their minimum entries and
+        negative-entry count, the dangling-mass share the O/R builds
+        had to repair, and the Eq. 12 restart-acceptance count (-1 on
+        iterations where the update is inactive).  The instrumentation
+        only *observes* — timings and probes are taken around/after the
+        existing statements without reordering any floating-point
+        operation, so traced and untraced fits are bit-identical.
         """
         rec = get_recorder() if recorder is None else recorder
         timed = rec.enabled
+        probes_on = timed and rec.probes
         label_matrix = np.asarray(label_matrix, dtype=bool)
         n, q = label_matrix.shape
         m = r_tensor.shape[2]
@@ -480,6 +501,9 @@ class TMark:
         histories = [
             ChainHistory(tol=self.tol, n_anchors=int(mask.sum())) for mask in masks
         ]
+        if probes_on:
+            o_dangling_share = float(o_tensor.dangling_share)
+            r_unlinked_share = float(r_tensor.unlinked_share)
         active = list(range(q))
         for t in range(1, self.max_iter + 1):
             if not active:
@@ -552,6 +576,28 @@ class TMark:
                     )
                     if frozen:
                         rec.count("frozen_columns")
+                if probes_on:
+                    z_active = z_scores[:, active]
+                    if self.update_labels and t > 2:
+                        n_accepted = sum(
+                            histories[c].accepted_history[-1] for c in active
+                        )
+                    else:
+                        n_accepted = -1
+                    rec.emit(
+                        "invariant_probe",
+                        t=t,
+                        n_active=len(active),
+                        x_mass_drift=float(np.abs(x_new.sum(axis=0) - 1.0).max()),
+                        z_mass_drift=float(np.abs(z_active.sum(axis=0) - 1.0).max()),
+                        x_min=float(x_new.min()),
+                        z_min=float(z_active.min()),
+                        n_negative=int((x_new < 0.0).sum() + (z_active < 0.0).sum()),
+                        n_accepted=n_accepted,
+                        o_dangling_share=o_dangling_share,
+                        r_unlinked_share=r_unlinked_share,
+                    )
+                    rec.count("invariant_probes")
             active = still_active
         return x_scores, z_scores, histories
 

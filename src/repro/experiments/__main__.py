@@ -10,6 +10,8 @@ Usage::
     python -m repro.experiments compare table3 [--trials 10]
     python -m repro.experiments tune dblp [--fraction 0.3]
     python -m repro.experiments trace-summary PATH
+    python -m repro.experiments health PATH [--tol 1e-8]
+    python -m repro.experiments trace-diff OLD NEW [--threshold 0.2]
     python -m repro.experiments stream [--deltas 50] [--batch-size 10]
                                        [--journal PATH] [--hin PATH]
                                        [--save-journal PATH] [--save-hin PATH]
@@ -21,7 +23,11 @@ a measured grid against the paper's published numbers; ``tune``
 grid-searches T-Mark's hyper-parameters inside a dataset's labeled set;
 ``--trace`` records chain/harness telemetry as JSONL (see
 :mod:`repro.obs`) and ``trace-summary`` aggregates such a file into a
-phase-time breakdown table.
+phase-time breakdown table.  ``health`` folds a trace's residual series
+into per-class convergence verdicts (exit 4 when any chain is
+unhealthy); ``trace-diff`` compares two traces phase-by-phase with a
+relative-change threshold (exit 3 on regressions) — the CI gate that a
+run has not slowed down or lost convergence.
 """
 
 from __future__ import annotations
@@ -92,6 +98,29 @@ def _build_parser() -> argparse.ArgumentParser:
         help="aggregate a --trace JSONL file into a phase-time breakdown",
     )
     trace_summary.add_argument("path", help="a JSONL trace written by run --trace")
+    health = sub.add_parser(
+        "health",
+        help="per-class convergence verdicts for a --trace JSONL file",
+    )
+    health.add_argument("path", help="a JSONL trace written by run --trace")
+    health.add_argument(
+        "--tol",
+        type=float,
+        default=None,
+        help="fallback tolerance for traces without fit-event tolerances",
+    )
+    trace_diff = sub.add_parser(
+        "trace-diff",
+        help="compare two --trace JSONL files for perf/convergence regressions",
+    )
+    trace_diff.add_argument("old", help="the baseline trace")
+    trace_diff.add_argument("new", help="the candidate trace")
+    trace_diff.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="relative-change threshold for flagging a regression (default 0.2)",
+    )
     stream = sub.add_parser(
         "stream",
         help="replay a delta journal through a warm streaming session",
@@ -212,8 +241,41 @@ def main(argv=None) -> int:
         if not os.path.exists(args.path):
             print(f"no such trace file: {args.path}")
             return 1
-        print(format_trace_summary(summarize_trace(read_trace(args.path))))
+        events = read_trace(args.path, strict=False)
+        print(format_trace_summary(summarize_trace(events)))
         return 0
+    if args.command == "health":
+        import os
+
+        from repro.obs import format_health_report, read_trace, trace_chain_health
+
+        if not os.path.exists(args.path):
+            print(f"no such trace file: {args.path}")
+            return 1
+        verdicts = trace_chain_health(
+            read_trace(args.path, strict=False), tol=args.tol
+        )
+        print(format_health_report(verdicts))
+        return 0 if all(v.ok for v in verdicts) else 4
+    if args.command == "trace-diff":
+        import os
+
+        from repro.obs import diff_traces, format_trace_diff, read_trace
+
+        for path in (args.old, args.new):
+            if not os.path.exists(path):
+                print(f"no such trace file: {path}")
+                return 1
+        kwargs = {}
+        if args.threshold is not None:
+            kwargs["threshold"] = args.threshold
+        diff = diff_traces(
+            read_trace(args.old, strict=False),
+            read_trace(args.new, strict=False),
+            **kwargs,
+        )
+        print(format_trace_diff(diff))
+        return 0 if diff.passed else 3
     targets = experiment_ids() if args.experiment == "all" else [args.experiment]
     if getattr(args, "trace", None):
         from repro.obs import JsonlTraceRecorder, use_recorder

@@ -261,6 +261,7 @@ def run_grid(
     metric: str = "accuracy",
     share_operators: bool = True,
     recorder=None,
+    metrics=None,
 ) -> GridResult:
     """Run the full method x fraction grid of one paper table.
 
@@ -281,8 +282,19 @@ def run_grid(
     ``recorder`` (default: the ambient one) receives one ``grid_cell``
     event per cell with its mean/std and wall clock, on top of the
     per-trial and chain-level events emitted underneath.
+
+    ``metrics`` optionally passes a
+    :class:`~repro.obs.metrics.MetricsRegistry`: the whole grid's
+    telemetry — every cell, trial, fit and chain event — is folded into
+    its instruments via a :class:`~repro.obs.metrics.MetricsRecorder`
+    that forwards to ``recorder``, so one registry aggregates across
+    cells (and, via ``MetricsRegistry.merge``, across grids).
     """
     rec = get_recorder() if recorder is None else recorder
+    if metrics is not None:
+        from repro.obs.metrics import MetricsRecorder
+
+        rec = MetricsRecorder(metrics, forward=rec if rec.enabled else None)
     base_entropy = _grid_base_entropy(seed)
     grid = GridResult(fractions=tuple(float(f) for f in fractions), metric=metric)
     operator_pool: dict | None = {} if share_operators else None

@@ -26,6 +26,33 @@ checks per iteration (bounded <2% by
 ``benchmarks/bench_trace_overhead.py``).
 """
 
+from repro.obs.diff import (
+    TraceDiff,
+    TraceDiffEntry,
+    diff_summaries,
+    diff_traces,
+    format_trace_diff,
+)
+from repro.obs.health import (
+    ChainHealth,
+    HEALTH_STATUSES,
+    chain_health,
+    classify_residuals,
+    estimate_decay_rate,
+    format_health_report,
+    health_from_history,
+    health_from_result,
+    trace_chain_health,
+    worst_status,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRecorder,
+    MetricsRegistry,
+    registry_from_events,
+)
 from repro.obs.recorder import (
     CHAIN_PHASES,
     EVENT_TYPES,
@@ -47,6 +74,7 @@ from repro.obs.trace import JsonlTraceRecorder, read_trace
 __all__ = [
     "CHAIN_PHASES",
     "EVENT_TYPES",
+    "HEALTH_STATUSES",
     "Recorder",
     "NullRecorder",
     "NULL_RECORDER",
@@ -59,4 +87,24 @@ __all__ = [
     "TraceSummary",
     "summarize_trace",
     "format_trace_summary",
+    "ChainHealth",
+    "chain_health",
+    "classify_residuals",
+    "estimate_decay_rate",
+    "format_health_report",
+    "health_from_history",
+    "health_from_result",
+    "trace_chain_health",
+    "worst_status",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRecorder",
+    "MetricsRegistry",
+    "registry_from_events",
+    "TraceDiff",
+    "TraceDiffEntry",
+    "diff_summaries",
+    "diff_traces",
+    "format_trace_diff",
 ]

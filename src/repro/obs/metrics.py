@@ -1,0 +1,419 @@
+"""Counter / Gauge / Histogram registry fed by trace events.
+
+The JSONL trace layer answers "what happened in this run"; this module
+answers "how is the system doing across runs" — the aggregation
+substrate for the future serving path.  A :class:`MetricsRegistry`
+holds named :class:`Counter`, :class:`Gauge` and :class:`Histogram`
+instruments, merges exactly (histograms share fixed bucket edges, so a
+merge is pure integer addition — no re-binning error), round-trips
+through JSON, and renders Prometheus-style text exposition.
+
+:class:`MetricsRecorder` adapts the registry to the
+:class:`~repro.obs.recorder.Recorder` protocol: install it (directly,
+ambiently, or via ``run_grid(..., metrics=registry)``) and the
+instrumented hot paths feed the registry without knowing it exists.
+Events can optionally be forwarded to a second recorder so metrics and
+JSONL tracing compose in one run.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import math
+import re
+
+from repro.errors import ValidationError
+from repro.obs.recorder import Recorder
+
+#: Wall-clock histogram edges (seconds) shared by all *_seconds metrics.
+DEFAULT_TIME_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Metric-value histogram edges for scores in [0, 1].
+DEFAULT_VALUE_BUCKETS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+#: Iteration-count histogram edges.
+DEFAULT_ITERATION_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0)
+
+#: Prometheus metric-name grammar.
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def _check_name(name: str) -> str:
+    if not isinstance(name, str) or not _NAME_RE.match(name):
+        raise ValidationError(
+            f"metric name must match {_NAME_RE.pattern!r}, got {name!r}"
+        )
+    return name
+
+
+def _format_number(value: float) -> str:
+    """Exposition-format a number (integral floats without the dot)."""
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = _check_name(name)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValidationError(
+                f"counter {self.name} cannot decrease (inc by {amount})"
+            )
+        self.value += float(amount)
+
+    def merge(self, other: "Counter") -> None:
+        """Fold another counter in: counts add."""
+        self.value += other.value
+
+    def to_json(self) -> dict:
+        """JSON-serialisable state (see ``MetricsRegistry.to_json``)."""
+        return {"kind": self.kind, "value": self.value}
+
+    def expose(self) -> list[str]:
+        """Prometheus exposition lines for this counter."""
+        return [f"# TYPE {self.name} counter", f"{self.name} {_format_number(self.value)}"]
+
+
+class Gauge:
+    """A last-value-wins instantaneous measurement."""
+
+    __slots__ = ("name", "value", "updated")
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = _check_name(name)
+        self.value = 0.0
+        self.updated = False
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+        self.updated = True
+
+    def set_max(self, value: float) -> None:
+        """Record ``value`` only if it exceeds the current one."""
+        value = float(value)
+        if not self.updated or value > self.value:
+            self.set(value)
+
+    def merge(self, other: "Gauge") -> None:
+        """Fold another gauge in: the other's value wins if it was set."""
+        if other.updated:
+            self.value = other.value
+            self.updated = True
+
+    def to_json(self) -> dict:
+        """JSON-serialisable state (see ``MetricsRegistry.to_json``)."""
+        return {"kind": self.kind, "value": self.value, "updated": self.updated}
+
+    def expose(self) -> list[str]:
+        """Prometheus exposition lines for this gauge."""
+        return [f"# TYPE {self.name} gauge", f"{self.name} {_format_number(self.value)}"]
+
+
+class Histogram:
+    """Fixed-bucket histogram: observations bin exactly, merges are exact.
+
+    ``edges`` are the finite upper bounds (strictly increasing); an
+    implicit ``+Inf`` bucket catches the remainder, so ``counts`` has
+    ``len(edges) + 1`` entries.  Because the edges are fixed at
+    construction, merging two histograms with the same edges is plain
+    integer addition — no re-binning, no approximation.
+    """
+
+    __slots__ = ("name", "edges", "counts", "sum", "count")
+    kind = "histogram"
+
+    def __init__(self, name: str, edges=DEFAULT_TIME_BUCKETS):
+        self.name = _check_name(name)
+        edges = tuple(float(e) for e in edges)
+        if not edges:
+            raise ValidationError(f"histogram {name} needs at least one bucket edge")
+        if any(not math.isfinite(e) for e in edges):
+            raise ValidationError(f"histogram {name} edges must be finite")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValidationError(
+                f"histogram {name} edges must be strictly increasing, got {edges}"
+            )
+        self.edges = edges
+        self.counts = [0] * (len(edges) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.counts[bisect.bisect_left(self.edges, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram in; edges must match exactly."""
+        if other.edges != self.edges:
+            raise ValidationError(
+                f"cannot merge histogram {self.name}: bucket edges differ "
+                f"({self.edges} vs {other.edges})"
+            )
+        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        self.sum += other.sum
+        self.count += other.count
+
+    def to_json(self) -> dict:
+        """JSON-serialisable state (see ``MetricsRegistry.to_json``)."""
+        return {
+            "kind": self.kind,
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+    def expose(self) -> list[str]:
+        """Prometheus exposition: cumulative ``_bucket`` lines + sum/count."""
+        lines = [f"# TYPE {self.name} histogram"]
+        cumulative = 0
+        for edge, count in zip(self.edges, self.counts):
+            cumulative += count
+            lines.append(
+                f'{self.name}_bucket{{le="{_format_number(edge)}"}} {cumulative}'
+            )
+        lines.append(f'{self.name}_bucket{{le="+Inf"}} {self.count}')
+        lines.append(f"{self.name}_sum {_format_number(self.sum)}")
+        lines.append(f"{self.name}_count {self.count}")
+        return lines
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges and histograms.
+
+    Instruments are created on first access (``counter(name)`` etc.) and
+    keep insertion order.  Asking for an existing name with a different
+    instrument kind — or a histogram with different edges — raises
+    :class:`~repro.errors.ValidationError` rather than silently forking
+    the metric.
+    """
+
+    def __init__(self):
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> list[str]:
+        """Registered metric names in insertion order."""
+        return list(self._metrics)
+
+    def get(self, name: str):
+        """The instrument registered under ``name`` (KeyError if absent)."""
+        return self._metrics[name]
+
+    def _get_or_create(self, name: str, factory, kind: str):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif metric.kind != kind:
+            raise ValidationError(
+                f"metric {name!r} is a {metric.kind}, not a {kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get_or_create(name, lambda: Counter(name), "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get_or_create(name, lambda: Gauge(name), "gauge")
+
+    def histogram(self, name: str, edges=DEFAULT_TIME_BUCKETS) -> Histogram:
+        """Get or create the histogram ``name`` with fixed ``edges``."""
+        metric = self._get_or_create(name, lambda: Histogram(name, edges), "histogram")
+        if metric.edges != tuple(float(e) for e in edges):
+            raise ValidationError(
+                f"histogram {name!r} already registered with edges "
+                f"{metric.edges}, requested {tuple(edges)}"
+            )
+        return metric
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry in (exactly) and return ``self``.
+
+        Counters and histograms add; gauges take the other's value when
+        it was set.  Names present only in ``other`` are copied in via a
+        fresh instrument plus a merge, so the two registries never share
+        mutable state.
+        """
+        for name, metric in other._metrics.items():
+            if metric.kind == "counter":
+                self.counter(name).merge(metric)
+            elif metric.kind == "gauge":
+                self.gauge(name).merge(metric)
+            else:
+                self.histogram(name, metric.edges).merge(metric)
+        return self
+
+    def to_json(self) -> str:
+        """Serialise the registry as a JSON object string."""
+        return json.dumps(
+            {name: metric.to_json() for name, metric in self._metrics.items()},
+            indent=2,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "MetricsRegistry":
+        """Rebuild a registry serialised by :meth:`to_json`."""
+        registry = cls()
+        for name, payload in json.loads(text).items():
+            kind = payload.get("kind")
+            if kind == "counter":
+                registry.counter(name).value = float(payload["value"])
+            elif kind == "gauge":
+                gauge = registry.gauge(name)
+                gauge.value = float(payload["value"])
+                gauge.updated = bool(payload.get("updated", True))
+            elif kind == "histogram":
+                histogram = registry.histogram(name, payload["edges"])
+                counts = [int(c) for c in payload["counts"]]
+                if len(counts) != len(histogram.counts):
+                    raise ValidationError(
+                        f"histogram {name!r} payload has {len(counts)} counts "
+                        f"for {len(histogram.counts)} buckets"
+                    )
+                histogram.counts = counts
+                histogram.sum = float(payload["sum"])
+                histogram.count = int(payload["count"])
+            else:
+                raise ValidationError(f"unknown metric kind {kind!r} for {name!r}")
+        return registry
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition of every registered instrument."""
+        lines = []
+        for metric in self._metrics.values():
+            lines.extend(metric.expose())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+class MetricsRecorder(Recorder):
+    """A :class:`Recorder` sink that folds events into a registry.
+
+    Every known event type updates a fixed set of ``tmark_*``-prefixed
+    instruments (durations into shared-edge histograms, counts into
+    counters, level-style measurements into gauges); ``count`` calls
+    land in ``tmark_<name>_total`` counters.  Unknown event types still
+    count in ``tmark_events_total`` so nothing is silently dropped.
+
+    ``forward`` optionally chains a second recorder (e.g. a
+    :class:`~repro.obs.trace.JsonlTraceRecorder`): events and counts
+    pass through after being observed, so one run can feed metrics and a
+    trace simultaneously.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None, *, forward=None):
+        super().__init__()
+        self.registry = MetricsRegistry() if registry is None else registry
+        self.forward = forward
+        if forward is not None:
+            # Probe emission follows the forwarded sink's preference so
+            # wrapping a probe-less tracer does not re-enable probes.
+            self.probes = bool(getattr(forward, "probes", True))
+
+    def emit(self, event: str, **fields) -> None:
+        self._observe(event, fields)
+        if self.forward is not None and self.forward.enabled:
+            self.forward.emit(event, **fields)
+
+    def count(self, name: str, n: int = 1) -> None:
+        super().count(name, n)
+        self.registry.counter(f"tmark_{name}_total").inc(n)
+        if self.forward is not None and self.forward.enabled:
+            self.forward.count(name, n)
+
+    # ------------------------------------------------------------------
+    # Event -> instrument mapping
+    # ------------------------------------------------------------------
+    def _observe(self, event: str, fields: dict) -> None:
+        registry = self.registry
+        registry.counter("tmark_events_total").inc()
+        seconds = fields.get("seconds")
+        if event == "fit":
+            registry.histogram("tmark_fit_seconds").observe(seconds or 0.0)
+            registry.histogram(
+                "tmark_fit_iterations", DEFAULT_ITERATION_BUCKETS
+            ).observe(fields.get("iterations", 0))
+            if not fields.get("converged", True):
+                registry.counter("tmark_unconverged_fits_total").inc()
+        elif event == "chain_iteration":
+            phases = fields.get("phases", {})
+            registry.histogram("tmark_iteration_seconds").observe(
+                sum(phases.values()) if phases else 0.0
+            )
+            registry.gauge("tmark_active_classes").set(fields.get("n_active", 0))
+        elif event == "trial":
+            registry.histogram("tmark_trial_seconds").observe(seconds or 0.0)
+            registry.histogram(
+                "tmark_trial_value", DEFAULT_VALUE_BUCKETS
+            ).observe(fields.get("value", 0.0))
+        elif event == "grid_cell":
+            registry.histogram("tmark_grid_cell_seconds").observe(seconds or 0.0)
+            registry.gauge("tmark_last_cell_mean").set(fields.get("mean", 0.0))
+        elif event == "operator_build":
+            registry.histogram("tmark_operator_build_seconds").observe(
+                float(fields.get("transition_seconds", 0.0))
+                + float(fields.get("feature_seconds", 0.0))
+            )
+        elif event == "delta_apply":
+            registry.histogram("tmark_delta_apply_seconds").observe(seconds or 0.0)
+            registry.counter("tmark_deltas_total").inc(fields.get("n_deltas", 0))
+        elif event == "operator_patch":
+            registry.histogram("tmark_operator_patch_seconds").observe(seconds or 0.0)
+        elif event == "reconverge":
+            registry.histogram("tmark_reconverge_seconds").observe(seconds or 0.0)
+            registry.histogram(
+                "tmark_reconverge_iterations", DEFAULT_ITERATION_BUCKETS
+            ).observe(fields.get("iterations", 0))
+        elif event == "chain_health":
+            status = fields.get("status", "healthy")
+            registry.counter(f"tmark_chain_health_{status}_total").inc()
+        elif event == "invariant_probe":
+            registry.gauge("tmark_max_mass_drift").set_max(
+                max(
+                    float(fields.get("x_mass_drift", 0.0)),
+                    float(fields.get("z_mass_drift", 0.0)),
+                )
+            )
+            if fields.get("n_negative", 0):
+                registry.counter("tmark_negative_entries_total").inc(
+                    fields["n_negative"]
+                )
+        elif event == "counters":
+            for name, value in fields.get("counters", {}).items():
+                registry.counter(f"tmark_{name}_total").inc(value)
+
+
+def registry_from_events(events) -> MetricsRegistry:
+    """Fold a parsed trace (``read_trace`` output) into a fresh registry."""
+    recorder = MetricsRecorder()
+    for event in events:
+        fields = {k: v for k, v in event.items() if k not in ("event", "ts")}
+        recorder.emit(event.get("event", "?"), **fields)
+    return recorder.registry

@@ -27,6 +27,8 @@ EVENT_TYPES = (
     "delta_apply",      # one per streaming delta batch: size + op mix
     "operator_patch",   # incremental O/R/W patch: touched columns/fibres
     "reconverge",       # warm refit after a batch: iterations + wall clock
+    "chain_health",     # per-class convergence verdict (repro.obs.health)
+    "invariant_probe",  # per-iteration simplex/negativity/dangling probes
 )
 
 #: The five per-iteration phases of ``TMark._run_chains_batched``.
@@ -48,11 +50,19 @@ class Recorder:
         Hot paths hoist this flag once per fit; when ``False`` they skip
         all timer reads and ``emit`` calls, so a disabled recorder costs
         only a few branch checks per iteration.
+    probes:
+        Whether an enabled recorder also wants the per-iteration
+        ``invariant_probe`` events (simplex mass drift, negativity,
+        dangling-mass share — see :mod:`repro.obs.health`).  The probes
+        cost a few extra array reductions per iteration on top of the
+        phase timings, so sinks that only need timings can opt out;
+        ignored while ``enabled`` is ``False``.
     counters:
         Monotonic named counters maintained by :meth:`count`.
     """
 
     enabled: bool = True
+    probes: bool = True
 
     def __init__(self) -> None:
         self.counters: dict[str, int] = {}
@@ -70,6 +80,7 @@ class NullRecorder(Recorder):
     """The zero-overhead default: drops everything, ``enabled`` False."""
 
     enabled = False
+    probes = False
 
     def emit(self, event: str, **fields) -> None:
         pass
@@ -86,9 +97,10 @@ class ListRecorder(Recorder):
     emission when disabled.
     """
 
-    def __init__(self, *, enabled: bool = True):
+    def __init__(self, *, enabled: bool = True, probes: bool = True):
         super().__init__()
         self.enabled = bool(enabled)
+        self.probes = bool(probes)
         self.events: list[dict] = []
 
     def emit(self, event: str, **fields) -> None:

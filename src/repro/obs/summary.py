@@ -9,6 +9,7 @@ telemetry.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.obs.recorder import CHAIN_PHASES
@@ -33,6 +34,10 @@ class TraceSummary:
     patch_seconds: float = 0.0
     reconverge_iterations: int = 0
     reconverge_seconds: float = 0.0
+    health_statuses: dict[str, int] = field(default_factory=dict)
+    n_probes: int = 0
+    max_mass_drift: float = 0.0
+    min_probe_entry: float | None = None
     counters: dict[str, int] = field(default_factory=dict)
 
     @property
@@ -86,6 +91,28 @@ def summarize_trace(events) -> TraceSummary:
         elif kind == "reconverge":
             summary.reconverge_iterations += int(event.get("iterations", 0))
             summary.reconverge_seconds += float(event.get("seconds", 0.0))
+        elif kind == "chain_health":
+            status = str(event.get("status", "?"))
+            summary.health_statuses[status] = (
+                summary.health_statuses.get(status, 0) + 1
+            )
+        elif kind == "invariant_probe":
+            summary.n_probes += 1
+            summary.max_mass_drift = max(
+                summary.max_mass_drift,
+                float(event.get("x_mass_drift", 0.0)),
+                float(event.get("z_mass_drift", 0.0)),
+            )
+            entry_min = min(
+                float(event.get("x_min", float("inf"))),
+                float(event.get("z_min", float("inf"))),
+            )
+            if math.isfinite(entry_min):
+                summary.min_probe_entry = (
+                    entry_min
+                    if summary.min_probe_entry is None
+                    else min(summary.min_probe_entry, entry_min)
+                )
         elif kind == "counters":
             for name, value in event.get("counters", {}).items():
                 summary.counters[name] = summary.counters.get(name, 0) + int(value)
@@ -119,9 +146,10 @@ def format_trace_summary(summary: TraceSummary) -> str:
         lines.append("total".ljust(18) + f"{phase_seconds:10.4f}")
     if summary.n_fits:
         coverage = summary.phase_coverage
+        coverage_text = "n/a" if math.isnan(coverage) else f"{coverage:.1%}"
         lines.append(
             f"fit wall-clock: {summary.fit_seconds:.4f}s over "
-            f"{summary.n_fits} fit(s); phase coverage {coverage:.1%}"
+            f"{summary.n_fits} fit(s); phase coverage {coverage_text}"
         )
     if summary.operator_seconds:
         lines.append(f"operator builds: {summary.operator_seconds:.4f}s")
@@ -145,6 +173,24 @@ def format_trace_summary(summary: TraceSummary) -> str:
         )
     if summary.n_frozen_events:
         lines.append(f"frozen-column events: {summary.n_frozen_events}")
+    if summary.health_statuses:
+        lines.append(
+            "chain health: "
+            + ", ".join(
+                f"{status}={count}"
+                for status, count in sorted(summary.health_statuses.items())
+            )
+        )
+    if summary.n_probes:
+        min_entry = (
+            "n/a"
+            if summary.min_probe_entry is None
+            else f"{summary.min_probe_entry:.1e}"
+        )
+        lines.append(
+            f"invariant probes: {summary.n_probes}; max simplex drift "
+            f"{summary.max_mass_drift:.1e}; min entry {min_entry}"
+        )
     if summary.counters:
         lines.append(
             "counters: "

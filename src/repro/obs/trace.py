@@ -11,10 +11,17 @@ from __future__ import annotations
 
 import json
 import time
+import warnings
 from pathlib import Path
 
 from repro.errors import ValidationError
 from repro.obs.recorder import Recorder
+
+#: Run-summary event types that trigger an immediate flush: they close a
+#: unit of work, so a crash right after one loses no completed results.
+FLUSH_EVENTS = frozenset(
+    {"fit", "trial", "grid_cell", "reconverge", "chain_health", "counters"}
+)
 
 
 def _jsonable(value):
@@ -43,20 +50,36 @@ class JsonlTraceRecorder(Recorder):
     (monotonic seconds since the recorder was opened).  On :meth:`close`
     the accumulated counters are flushed as a final ``counters`` event.
     Usable as a context manager.
+
+    The stream is flushed to the OS every ``flush_every`` events and
+    after every run-summary event (:data:`FLUSH_EVENTS`), so a killed
+    run loses at most ``flush_every`` buffered events — and never a
+    completed fit/trial/cell summary.  ``probes=False`` opts out of the
+    per-iteration ``invariant_probe`` events while keeping the phase
+    timings (see :attr:`~repro.obs.recorder.Recorder.probes`).
     """
 
-    def __init__(self, path):
+    def __init__(self, path, *, flush_every: int = 64, probes: bool = True):
         super().__init__()
+        from repro.utils.validation import check_positive_int
+
+        self.flush_every = check_positive_int(flush_every, "flush_every")
+        self.probes = bool(probes)
         self.path = Path(path)
         self._handle = open(self.path, "w", encoding="utf-8")
         self._opened = time.perf_counter()
         self.n_events = 0
+        self._unflushed = 0
 
     def emit(self, event: str, **fields) -> None:
         record = {"event": event, "ts": time.perf_counter() - self._opened}
         record.update(_jsonable(fields))
         self._handle.write(json.dumps(record) + "\n")
         self.n_events += 1
+        self._unflushed += 1
+        if self._unflushed >= self.flush_every or event in FLUSH_EVENTS:
+            self._handle.flush()
+            self._unflushed = 0
 
     def close(self) -> None:
         """Flush counters (if any) and close the file; idempotent."""
@@ -74,23 +97,42 @@ class JsonlTraceRecorder(Recorder):
         self.close()
 
 
-def read_trace(path) -> list[dict]:
+def read_trace(path, *, strict: bool = True) -> list[dict]:
     """Parse a JSONL trace file back into a list of event dicts.
 
     Blank lines are skipped; a malformed line raises
     :class:`~repro.errors.ValidationError` naming its line number.
+
+    With ``strict=False`` a malformed *final* line — the signature of a
+    writer killed mid-record — is skipped with a warning instead of
+    raising, so post-mortem tooling (``trace-summary``, ``health``,
+    ``trace-diff``) can still read everything the run completed.
+    Malformed lines anywhere else are real corruption and raise in both
+    modes.
     """
     path = Path(path)
-    events = []
     with open(path, encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
+        lines = handle.readlines()
+    last_content = max(
+        (i for i, line in enumerate(lines) if line.strip()), default=-1
+    )
+    events = []
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as error:
+            if not strict and index == last_content:
+                warnings.warn(
+                    f"{path}:{index + 1} is truncated (crash mid-write?); "
+                    f"skipping the partial final event",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
                 continue
-            try:
-                events.append(json.loads(line))
-            except json.JSONDecodeError as error:
-                raise ValidationError(
-                    f"{path}:{lineno} is not valid JSON: {error}"
-                ) from None
+            raise ValidationError(
+                f"{path}:{index + 1} is not valid JSON: {error}"
+            ) from None
     return events

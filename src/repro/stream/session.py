@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.tmark import TMark, TMarkResult
 from repro.errors import ValidationError
 from repro.hin.graph import HIN
+from repro.obs.health import health_from_result, worst_status
 from repro.obs.recorder import get_recorder
 from repro.stream.delta import as_batch
 from repro.stream.journal import DeltaLog
@@ -51,6 +52,10 @@ class StreamUpdate:
         state (``False`` only for the first fit of a fresh session).
     apply_seconds, fit_seconds:
         Wall-clock split between the operator patch and the refit.
+    health:
+        Per-class convergence verdicts from :mod:`repro.obs.health`,
+        mapping label name to status (``healthy`` / ``stalled`` /
+        ``oscillating`` / ``diverging``).  Empty when ``refit=False``.
     """
 
     batch_index: int
@@ -63,6 +68,12 @@ class StreamUpdate:
     warm: bool = False
     apply_seconds: float = 0.0
     fit_seconds: float = 0.0
+    health: dict = field(default_factory=dict)
+
+    @property
+    def worst_health(self) -> str:
+        """The most severe per-class status (``healthy`` when empty)."""
+        return worst_status(self.health.values())
 
 
 class StreamingSession:
@@ -169,6 +180,7 @@ class StreamingSession:
         converged = False
         warm = False
         fit_seconds = 0.0
+        health: dict[str, str] = {}
         if refit:
             starts = self._warm_starts(n_new)
             warm = starts is not None
@@ -185,6 +197,10 @@ class StreamingSession:
                 h.n_iterations for h in self._result.histories
             )
             converged = all(h.converged for h in self._result.histories)
+            health = {
+                verdict.label: verdict.status
+                for verdict in health_from_result(self._result)
+            }
             if rec.enabled:
                 rec.emit(
                     "reconverge",
@@ -194,6 +210,8 @@ class StreamingSession:
                     converged=converged,
                     n_nodes=n_new,
                     seconds=fit_seconds,
+                    health=health,
+                    worst_health=worst_status(health.values()),
                 )
                 rec.count("reconverges")
         update = StreamUpdate(
@@ -207,6 +225,7 @@ class StreamingSession:
             warm=warm,
             apply_seconds=apply_seconds,
             fit_seconds=fit_seconds,
+            health=health,
         )
         self._n_batches += 1
         return update

@@ -137,6 +137,17 @@ class NodeTransitionTensor:
         """Number of dangling ``(j, k)`` columns (uniform 1/n fibres)."""
         return self._n * self._m - self._nondangling_cols.size
 
+    @property
+    def dangling_share(self) -> float:
+        """Fraction of the ``n * m`` mode-1 columns that are dangling.
+
+        The share of the walk's conditional distributions the O-build
+        had to repair with the analytic uniform ``1/n`` fibre; reported
+        by the ``invariant_probe`` diagnostics so a network whose
+        propagation is dominated by the uniform correction is visible.
+        """
+        return self.n_dangling / (self._n * self._m)
+
     def matricized(self) -> sp.csr_matrix:
         """The sparse part of the mode-1 matricization (dangling cols zero)."""
         return self._matricized().copy()
@@ -292,6 +303,18 @@ class RelationTransitionTensor:
     def n_linked_pairs(self) -> int:
         """Number of ``(i, j)`` pairs connected by at least one relation."""
         return self._pair_i.size
+
+    @property
+    def unlinked_share(self) -> float:
+        """Fraction of the ``n^2`` node pairs with no relation at all.
+
+        Those pairs are the ``R`` dangling fibres carrying the uniform
+        ``1/m`` correction; the share is near 1 on any sparse network
+        (every absent link is one), so the ``invariant_probe``
+        diagnostics report it alongside the O-side dangling share to
+        show how much of Eq. 8's mass flows through the correction.
+        """
+        return 1.0 - self.n_linked_pairs / (self._n * self._n)
 
     def propagate(self, x: np.ndarray, y: np.ndarray | None = None) -> np.ndarray:
         """Compute ``R x-bar_1 x x-bar_2 y`` (the contraction in Eq. 8).

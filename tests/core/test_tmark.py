@@ -53,7 +53,7 @@ class TestParameters:
     @pytest.mark.parametrize(
         "kwargs",
         [
-            {"alpha": 0.0},
+            {"alpha": -0.1},
             {"alpha": 1.0},
             {"gamma": -0.1},
             {"gamma": 1.1},

@@ -119,3 +119,93 @@ class TestTraceFlag:
         assert main(["run", "example"]) == 0
         out = capsys.readouterr().out
         assert "p3" in out and "p4" in out
+
+
+@pytest.fixture(scope="module")
+def example_trace(tmp_path_factory):
+    """One traced example run shared by the diagnostics-command tests."""
+    trace = tmp_path_factory.mktemp("diag") / "trace.jsonl"
+    assert main(["run", "example", "--trace", str(trace)]) == 0
+    return trace
+
+
+class TestHealthCommand:
+    def test_healthy_trace_exits_zero(self, capsys, example_trace):
+        capsys.readouterr()
+        assert main(["health", str(example_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "overall: healthy" in out
+
+    def test_unhealthy_trace_exits_four(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "bad.jsonl"
+        events = [
+            {"event": "chain_class", "t": t, "class_index": 0,
+             "residual": 2.0, "frozen": False}
+            for t in range(1, 11)
+        ] + [{"event": "fit", "seconds": 0.01, "tol": 1e-8, "iterations": 10,
+              "converged": False}]
+        trace.write_text(
+            "".join(json.dumps(e) + "\n" for e in events), encoding="utf-8"
+        )
+        assert main(["health", str(trace)]) == 4
+        out = capsys.readouterr().out
+        assert "oscillating" in out
+
+    def test_missing_file_exits_one(self, capsys, tmp_path):
+        assert main(["health", str(tmp_path / "nope.jsonl")]) == 1
+        assert "no such trace file" in capsys.readouterr().out
+
+    def test_tol_flag_is_accepted(self, capsys, example_trace):
+        assert main(["health", str(example_trace), "--tol", "1e-6"]) == 0
+
+
+class TestTraceDiffCommand:
+    def test_trace_diffed_against_itself_passes(self, capsys, example_trace):
+        capsys.readouterr()
+        assert main(["trace-diff", str(example_trace), str(example_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "0 regression(s)" in out and "PASS" in out
+
+    def test_regressed_trace_exits_three(self, capsys, tmp_path):
+        import json
+
+        old = tmp_path / "old.jsonl"
+        new = tmp_path / "new.jsonl"
+        for path, seconds in ((old, 0.05), (new, 0.5)):
+            path.write_text(
+                json.dumps({"event": "fit", "seconds": seconds}) + "\n",
+                encoding="utf-8",
+            )
+        assert main(["trace-diff", str(old), str(new)]) == 3
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_threshold_flag_relaxes_the_gate(self, capsys, tmp_path):
+        import json
+
+        old = tmp_path / "old.jsonl"
+        new = tmp_path / "new.jsonl"
+        for path, seconds in ((old, 0.05), (new, 0.06)):
+            path.write_text(
+                json.dumps({"event": "fit", "seconds": seconds}) + "\n",
+                encoding="utf-8",
+            )
+        assert main(["trace-diff", str(old), str(new), "--threshold", "0.5"]) == 0
+        assert main(["trace-diff", str(old), str(new), "--threshold", "0.1"]) == 3
+
+    def test_missing_file_exits_one(self, capsys, tmp_path, example_trace):
+        missing = tmp_path / "nope.jsonl"
+        assert main(["trace-diff", str(example_trace), str(missing)]) == 1
+        assert "no such trace file" in capsys.readouterr().out
+
+    def test_reads_truncated_traces_leniently(self, capsys, example_trace, tmp_path):
+        truncated = tmp_path / "truncated.jsonl"
+        text = example_trace.read_text(encoding="utf-8")
+        truncated.write_text(text + '{"event": "coun', encoding="utf-8")
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            assert main(["trace-diff", str(example_trace), str(truncated)]) == 0
+            assert main(["health", str(truncated)]) == 0

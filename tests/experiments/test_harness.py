@@ -257,3 +257,62 @@ class TestMacroF1Metric:
             hin, tmark_factory, 0.2, n_trials=1, seed=5, metric="macro_f1"
         )
         assert acc.mean != f1.mean or acc.mean in (0.0, 1.0)
+
+
+class TestGridMetricsAggregation:
+    def test_metrics_registry_collects_the_whole_grid(self, hin):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        run_grid(
+            hin,
+            [("tmark", tmark_factory)],
+            fractions=(0.2, 0.4),
+            n_trials=2,
+            seed=0,
+            metrics=registry,
+        )
+        assert registry.get("tmark_grid_cells_total").value == 2.0
+        assert registry.get("tmark_trials_total").value == 4.0
+        assert registry.get("tmark_fits_total").value == 4.0
+        assert registry.get("tmark_fit_seconds").count == 4
+        assert registry.get("tmark_trial_value").count == 4
+        # Chain-level telemetry flows into the same registry.
+        assert registry.get("tmark_iteration_seconds").count > 0
+
+    def test_metrics_forward_to_an_explicit_recorder(self, hin):
+        from repro.obs import ListRecorder, MetricsRegistry
+
+        registry = MetricsRegistry()
+        recorder = ListRecorder()
+        run_grid(
+            hin,
+            [("tmark", tmark_factory)],
+            fractions=(0.3,),
+            n_trials=1,
+            seed=0,
+            recorder=recorder,
+            metrics=registry,
+        )
+        assert registry.get("tmark_grid_cells_total").value == 1.0
+        assert recorder.events_of("grid_cell")
+        assert recorder.events_of("trial")
+
+    def test_registries_merge_across_grids(self, hin):
+        from repro.obs import MetricsRegistry
+
+        def one_grid():
+            registry = MetricsRegistry()
+            run_grid(
+                hin,
+                [("tmark", tmark_factory)],
+                fractions=(0.3,),
+                n_trials=1,
+                seed=0,
+                metrics=registry,
+            )
+            return registry
+
+        combined = MetricsRegistry().merge(one_grid()).merge(one_grid())
+        assert combined.get("tmark_fits_total").value == 2.0
+        assert combined.get("tmark_fit_seconds").count == 2

@@ -103,6 +103,63 @@ class TestChainInstrumentation:
         assert explicit.events_of("fit")
 
 
+class TestProbeInstrumentation:
+    def test_chain_health_event_per_class(self, hin):
+        recorder = ListRecorder()
+        model = _fit(hin, recorder=recorder)
+        health_events = recorder.events_of("chain_health")
+        assert len(health_events) == hin.n_labels
+        assert [e["class_index"] for e in health_events] == list(range(hin.n_labels))
+        assert [e["label"] for e in health_events] == list(hin.label_names)
+        for event, history in zip(health_events, model.result_.histories):
+            assert event["converged"] == history.converged
+            assert event["n_iterations"] == history.n_iterations
+
+    def test_fit_event_carries_tol(self, hin):
+        recorder = ListRecorder()
+        model = _fit(hin, recorder=recorder)
+        (fit_event,) = recorder.events_of("fit")
+        assert fit_event["tol"] == model.tol
+
+    def test_one_probe_per_iteration_with_clean_invariants(self, hin):
+        recorder = ListRecorder()
+        _fit(hin, recorder=recorder)
+        probes = recorder.events_of("invariant_probe")
+        assert len(probes) == len(recorder.events_of("chain_iteration"))
+        assert recorder.counters["invariant_probes"] == len(probes)
+        for probe in probes:
+            # Columns live on the simplex: mass drift at float epsilon,
+            # no negative entries anywhere.
+            assert probe["x_mass_drift"] < 1e-9
+            assert probe["z_mass_drift"] < 1e-9
+            assert probe["n_negative"] == 0
+            assert probe["x_min"] >= 0.0 and probe["z_min"] >= 0.0
+            assert 0.0 <= probe["o_dangling_share"] <= 1.0
+            assert 0.0 <= probe["r_unlinked_share"] <= 1.0
+
+    def test_probes_off_keeps_phase_timings(self, hin):
+        recorder = ListRecorder(probes=False)
+        _fit(hin, recorder=recorder)
+        assert recorder.events_of("invariant_probe") == []
+        assert recorder.events_of("chain_health")  # verdicts are not probes
+        iterations = recorder.events_of("chain_iteration")
+        assert iterations
+        assert all(set(e["phases"]) == set(CHAIN_PHASES) for e in iterations)
+
+    def test_probes_never_change_scores(self, hin):
+        probed, unprobed = ListRecorder(probes=True), ListRecorder(probes=False)
+        with_probes = _fit(hin, recorder=probed)
+        without = _fit(hin, recorder=unprobed)
+        plain = _fit(hin)
+        for other in (without, plain):
+            assert np.array_equal(
+                with_probes.result_.node_scores, other.result_.node_scores
+            )
+            assert np.array_equal(
+                with_probes.result_.relation_scores, other.result_.relation_scores
+            )
+
+
 class TestHarnessInstrumentation:
     def test_trial_and_grid_cell_events(self, hin):
         from repro.experiments.harness import run_grid

@@ -1,0 +1,229 @@
+"""Tests for the metrics registry and its Recorder adapter."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    ListRecorder,
+    MetricsRecorder,
+    MetricsRegistry,
+    registry_from_events,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("tmark_fits_total")
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError, match="cannot decrease"):
+            Counter("c").inc(-1)
+
+    def test_rejects_bad_name(self):
+        with pytest.raises(ValidationError, match="metric name"):
+            Counter("bad name!")
+
+
+class TestGauge:
+    def test_last_value_wins(self):
+        gauge = Gauge("g")
+        gauge.set(2.0)
+        gauge.set(1.0)
+        assert gauge.value == 1.0
+
+    def test_set_max_keeps_peak(self):
+        gauge = Gauge("g")
+        gauge.set_max(0.5)
+        gauge.set_max(0.1)
+        assert gauge.value == 0.5
+
+    def test_set_max_records_first_value_even_if_negative(self):
+        gauge = Gauge("g")
+        gauge.set_max(-1.0)
+        assert gauge.value == -1.0 and gauge.updated
+
+    def test_merge_skips_never_set(self):
+        gauge = Gauge("g")
+        gauge.set(3.0)
+        gauge.merge(Gauge("g"))
+        assert gauge.value == 3.0
+
+
+class TestHistogram:
+    def test_observations_bin_by_upper_edge(self):
+        hist = Histogram("h", edges=(1.0, 2.0))
+        for value in (0.5, 1.0, 1.5, 99.0):
+            hist.observe(value)
+        # bisect_left: an observation equal to an edge lands in that bucket.
+        assert hist.counts == [2, 1, 1]
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(102.0)
+
+    def test_merge_is_exact_integer_addition(self):
+        a = Histogram("h", edges=(1.0, 2.0))
+        b = Histogram("h", edges=(1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(5.0)
+        a.merge(b)
+        assert a.counts == [1, 1, 1]
+        assert a.count == 3
+
+    def test_merge_rejects_different_edges(self):
+        a = Histogram("h", edges=(1.0, 2.0))
+        b = Histogram("h", edges=(1.0, 3.0))
+        with pytest.raises(ValidationError, match="bucket edges differ"):
+            a.merge(b)
+
+    @pytest.mark.parametrize(
+        "edges", [(), (2.0, 1.0), (1.0, 1.0), (float("inf"),)]
+    )
+    def test_rejects_bad_edges(self, edges):
+        with pytest.raises(ValidationError):
+            Histogram("h", edges=edges)
+
+    def test_prometheus_buckets_are_cumulative(self):
+        hist = Histogram("h", edges=(1.0, 2.0))
+        for value in (0.5, 1.5, 99.0):
+            hist.observe(value)
+        lines = hist.expose()
+        assert 'h_bucket{le="1"} 1' in lines
+        assert 'h_bucket{le="2"} 2' in lines
+        assert 'h_bucket{le="+Inf"} 3' in lines
+        assert "h_sum 101" in lines
+        assert "h_count 3" in lines
+
+
+class TestMetricsRegistry:
+    def test_instruments_create_on_first_access(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.gauge("b").set(1.0)
+        registry.histogram("c").observe(0.1)
+        assert registry.names() == ["a", "b", "c"]
+        assert "a" in registry and len(registry) == 3
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ValidationError, match="is a counter"):
+            registry.gauge("a")
+
+    def test_histogram_edge_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", edges=(1.0, 2.0))
+        with pytest.raises(ValidationError, match="already registered"):
+            registry.histogram("h", edges=(1.0, 3.0))
+
+    def test_merge_folds_all_kinds(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(2)
+        b.counter("c").inc(3)
+        b.gauge("g").set(7.0)
+        b.histogram("h", edges=(1.0,)).observe(0.5)
+        a.merge(b)
+        assert a.get("c").value == 5.0
+        assert a.get("g").value == 7.0
+        assert a.get("h").count == 1
+        # Copied-in instruments never share state with the source.
+        b.get("h").observe(0.5)
+        assert a.get("h").count == 1
+
+    def test_json_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(0.25)
+        registry.histogram("h", edges=(1.0, 2.0)).observe(1.5)
+        rebuilt = MetricsRegistry.from_json(registry.to_json())
+        assert rebuilt.get("c").value == 2.0
+        assert rebuilt.get("g").value == 0.25
+        assert rebuilt.get("h").counts == [0, 1, 0]
+        assert rebuilt.to_json() == registry.to_json()
+
+    def test_prometheus_exposition_covers_all_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("tmark_fits_total").inc()
+        registry.gauge("tmark_active_classes").set(3)
+        text = registry.to_prometheus()
+        assert "# TYPE tmark_fits_total counter" in text
+        assert "tmark_fits_total 1" in text
+        assert "# TYPE tmark_active_classes gauge" in text
+        assert text.endswith("\n")
+
+    def test_empty_exposition(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+
+class TestMetricsRecorder:
+    def test_fit_events_feed_histograms_and_counters(self):
+        recorder = MetricsRecorder()
+        recorder.emit("fit", seconds=0.05, iterations=12, converged=False)
+        registry = recorder.registry
+        assert registry.get("tmark_fit_seconds").count == 1
+        assert registry.get("tmark_fit_iterations").count == 1
+        assert registry.get("tmark_unconverged_fits_total").value == 1.0
+        assert registry.get("tmark_events_total").value == 1.0
+
+    def test_chain_health_counts_by_status(self):
+        recorder = MetricsRecorder()
+        recorder.emit("chain_health", status="healthy")
+        recorder.emit("chain_health", status="diverging")
+        recorder.emit("chain_health", status="diverging")
+        assert recorder.registry.get("tmark_chain_health_healthy_total").value == 1.0
+        assert recorder.registry.get("tmark_chain_health_diverging_total").value == 2.0
+
+    def test_invariant_probe_tracks_peak_drift_and_negativity(self):
+        recorder = MetricsRecorder()
+        recorder.emit("invariant_probe", x_mass_drift=1e-12, z_mass_drift=3e-10)
+        recorder.emit("invariant_probe", x_mass_drift=1e-16, z_mass_drift=0.0,
+                      n_negative=2)
+        assert recorder.registry.get("tmark_max_mass_drift").value == 3e-10
+        assert recorder.registry.get("tmark_negative_entries_total").value == 2.0
+
+    def test_unknown_events_still_count(self):
+        recorder = MetricsRecorder()
+        recorder.emit("mystery", foo=1)
+        assert recorder.registry.get("tmark_events_total").value == 1.0
+
+    def test_count_lands_in_total_counter(self):
+        recorder = MetricsRecorder()
+        recorder.count("fits", 2)
+        assert recorder.registry.get("tmark_fits_total").value == 2.0
+        assert recorder.counters == {"fits": 2}
+
+    def test_forward_chains_events_and_counts(self):
+        sink = ListRecorder()
+        recorder = MetricsRecorder(forward=sink)
+        recorder.emit("fit", seconds=0.1)
+        recorder.count("fits")
+        assert [e["event"] for e in sink.events] == ["fit"]
+        assert sink.counters == {"fits": 1}
+
+    def test_forward_inherits_probe_preference(self):
+        assert MetricsRecorder(forward=ListRecorder(probes=False)).probes is False
+        assert MetricsRecorder(forward=ListRecorder(probes=True)).probes is True
+
+    def test_external_registry_is_used(self):
+        registry = MetricsRegistry()
+        MetricsRecorder(registry).emit("fit", seconds=0.1)
+        assert registry.get("tmark_fit_seconds").count == 1
+
+
+class TestRegistryFromEvents:
+    def test_folds_a_parsed_trace(self):
+        events = [
+            {"event": "fit", "ts": 0.1, "seconds": 0.05, "iterations": 3,
+             "converged": True},
+            {"event": "trial", "ts": 0.2, "seconds": 0.02, "value": 0.9},
+            {"event": "counters", "ts": 0.3, "counters": {"fits": 1}},
+        ]
+        registry = registry_from_events(events)
+        assert registry.get("tmark_fit_seconds").count == 1
+        assert registry.get("tmark_trial_value").count == 1
+        assert registry.get("tmark_fits_total").value == 1.0

@@ -46,11 +46,24 @@ class TestRecorderProtocol:
         assert [e["event"] for e in recorder.events] == ["fit", "trial", "fit"]
         assert [e["seconds"] for e in recorder.events_of("fit")] == [0.5, 0.7]
 
+    def test_events_of_unknown_name_is_empty(self):
+        recorder = ListRecorder()
+        recorder.emit("fit", seconds=0.5)
+        assert recorder.events_of("no_such_event") == []
+        assert recorder.events_of("") == []
+
     def test_list_recorder_can_be_constructed_disabled(self):
         assert ListRecorder(enabled=False).enabled is False
 
+    def test_probes_toggle(self):
+        assert ListRecorder().probes is True
+        assert ListRecorder(probes=False).probes is False
+        assert NullRecorder().probes is False
+
     def test_event_vocabulary_is_fixed(self):
         assert "chain_iteration" in EVENT_TYPES
+        assert "chain_health" in EVENT_TYPES
+        assert "invariant_probe" in EVENT_TYPES
         assert len(CHAIN_PHASES) == 5
 
 

@@ -56,6 +56,27 @@ class TestSummarizeTrace:
         summary = summarize_trace([])
         assert set(summary.phase_totals) == set(CHAIN_PHASES)
 
+    def test_folds_health_and_probe_events(self):
+        events = _sample_events() + [
+            {"event": "chain_health", "status": "healthy", "class_index": 0},
+            {"event": "chain_health", "status": "stalled", "class_index": 1},
+            {"event": "chain_health", "status": "healthy", "class_index": 2},
+            {"event": "invariant_probe", "t": 1, "x_mass_drift": 1e-15,
+             "z_mass_drift": 4e-12, "x_min": 1e-6, "z_min": 3e-5},
+            {"event": "invariant_probe", "t": 2, "x_mass_drift": 2e-16,
+             "z_mass_drift": 0.0, "x_min": 2e-6, "z_min": 5e-7},
+        ]
+        summary = summarize_trace(events)
+        assert summary.health_statuses == {"healthy": 2, "stalled": 1}
+        assert summary.n_probes == 2
+        assert summary.max_mass_drift == 4e-12
+        assert summary.min_probe_entry == 5e-7
+
+    def test_probe_without_entry_fields_keeps_min_none(self):
+        summary = summarize_trace([{"event": "invariant_probe", "t": 1}])
+        assert summary.n_probes == 1
+        assert summary.min_probe_entry is None
+
 
 class TestFormatTraceSummary:
     def test_renders_breakdown_and_coverage(self):
@@ -68,3 +89,31 @@ class TestFormatTraceSummary:
 
     def test_empty_trace_renders(self):
         assert "0 events" in format_trace_summary(summarize_trace([]))
+
+    def test_nan_coverage_renders_as_na(self):
+        # A fit event that carries no wall-clock (e.g. a hand-built
+        # trace) yields nan coverage; the report must say "n/a", not
+        # crash on the percent format.
+        summary = summarize_trace([{"event": "fit"}])
+        text = format_trace_summary(summary)
+        assert "phase coverage n/a" in text
+        assert "nan" not in text
+
+    def test_no_fits_means_no_coverage_line(self):
+        text = format_trace_summary(
+            summarize_trace([{"event": "trial", "seconds": 0.1}])
+        )
+        assert "phase coverage" not in text
+
+    def test_renders_health_and_probe_lines(self):
+        events = _sample_events() + [
+            {"event": "chain_health", "status": "healthy"},
+            {"event": "chain_health", "status": "diverging"},
+            {"event": "invariant_probe", "x_mass_drift": 2e-15, "z_mass_drift": 0.0,
+             "x_min": 1e-9, "z_min": 1e-8},
+        ]
+        text = format_trace_summary(summarize_trace(events))
+        assert "chain health: diverging=1, healthy=1" in text
+        assert "invariant probes: 1" in text
+        assert "max simplex drift 2.0e-15" in text
+        assert "min entry 1.0e-09" in text

@@ -1,6 +1,7 @@
 """Tests for the JSONL trace recorder and reader."""
 
 import json
+import warnings
 
 import numpy as np
 import pytest
@@ -72,6 +73,64 @@ class TestJsonlTraceRecorder:
         assert recorder.n_events == 2
 
 
+class TestFlushing:
+    def test_summary_events_are_readable_before_close(self, tmp_path):
+        # A monitoring process tails the file while the run is alive: the
+        # fit summary must be on disk the moment it is emitted.
+        path = tmp_path / "trace.jsonl"
+        recorder = JsonlTraceRecorder(path, flush_every=1000)
+        try:
+            recorder.emit("chain_iteration", t=0)
+            recorder.emit("fit", seconds=0.1)
+            events = read_trace(path)
+            assert [e["event"] for e in events] == ["chain_iteration", "fit"]
+        finally:
+            recorder.close()
+
+    def test_buffered_events_flush_at_flush_every(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        recorder = JsonlTraceRecorder(path, flush_every=3)
+        try:
+            recorder.emit("chain_iteration", t=0)
+            recorder.emit("chain_iteration", t=1)
+            flushed_early = len(read_trace(path))
+            recorder.emit("chain_iteration", t=2)
+            assert len(read_trace(path)) == 3
+            # Small buffered batches may or may not hit the OS early
+            # depending on libc buffering; the contract is only that the
+            # third event forces everything out.
+            assert flushed_early <= 2
+        finally:
+            recorder.close()
+
+    @pytest.mark.parametrize("flush_every", [0, -1, True, 2.5])
+    def test_flush_every_must_be_a_positive_int(self, tmp_path, flush_every):
+        with pytest.raises(ValidationError):
+            JsonlTraceRecorder(tmp_path / "t.jsonl", flush_every=flush_every)
+
+
+class TestJsonable:
+    def test_nested_containers_of_numpy_scalars(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceRecorder(path) as recorder:
+            recorder.emit(
+                "fit",
+                nested=[{"a": np.float32(0.5)}, {"b": [np.int64(3), np.bool_(False)]}],
+                tuple_field=(np.float64(1.5), 2),
+            )
+        (event,) = read_trace(path)
+        assert event["nested"] == [{"a": 0.5}, {"b": [3, False]}]
+        assert event["tuple_field"] == [1.5, 2]
+
+    def test_scalar_types_round_trip_as_native(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceRecorder(path) as recorder:
+            recorder.emit("fit", f32=np.float32(0.25), i64=np.int64(-7))
+        (event,) = read_trace(path)
+        assert type(event["f32"]) is float and event["f32"] == 0.25
+        assert type(event["i64"]) is int and event["i64"] == -7
+
+
 class TestReadTrace:
     def test_skips_blank_lines(self, tmp_path):
         path = tmp_path / "trace.jsonl"
@@ -83,3 +142,36 @@ class TestReadTrace:
         path.write_text('{"event": "fit"}\nnot json\n')
         with pytest.raises(ValidationError, match=r":2 is not valid JSON"):
             read_trace(path)
+
+    @staticmethod
+    def _truncated_trace(tmp_path):
+        """A trace whose writer was killed mid-record on the final line."""
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"event": "fit", "seconds": 0.1}\n'
+            '{"event": "trial", "value": 0.9}\n'
+            '{"event": "counters", "coun'
+        )
+        return path
+
+    def test_truncated_final_line_raises_by_default(self, tmp_path):
+        with pytest.raises(ValidationError, match=r":3 is not valid JSON"):
+            read_trace(self._truncated_trace(tmp_path))
+
+    def test_lenient_mode_skips_truncated_final_line_with_warning(self, tmp_path):
+        with pytest.warns(RuntimeWarning, match="truncated"):
+            events = read_trace(self._truncated_trace(tmp_path), strict=False)
+        assert [e["event"] for e in events] == ["fit", "trial"]
+
+    def test_lenient_mode_still_raises_on_mid_file_corruption(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"event": "fit"}\ngarbage\n{"event": "trial"}\n')
+        with pytest.raises(ValidationError, match=r":2 is not valid JSON"):
+            read_trace(path, strict=False)
+
+    def test_lenient_mode_on_clean_trace_warns_nothing(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"event": "fit"}\n')
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert len(read_trace(path, strict=False)) == 1

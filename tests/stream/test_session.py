@@ -164,6 +164,39 @@ class TestObservability:
         assert recorder.events == []
 
 
+class TestUpdateHealth:
+    def test_update_carries_per_class_verdicts(self):
+        session = make_session()
+        session.fit()
+        update = session.apply([GraphDelta.set_label("v3", ["c1"])])
+        assert set(update.health) == set(session.hin.label_names)
+        assert all(
+            status in ("healthy", "stalled", "oscillating", "diverging")
+            for status in update.health.values()
+        )
+        assert update.worst_health == "healthy"
+
+    def test_reconverge_event_carries_health(self):
+        recorder = ListRecorder()
+        session = make_session()
+        session.fit(recorder=recorder)
+        session.apply(
+            [GraphDelta.add_link("v0", "v7", "r1")], recorder=recorder
+        )
+        (event,) = recorder.events_of("reconverge")
+        assert set(event["health"]) == set(session.hin.label_names)
+        assert event["worst_health"] == "healthy"
+
+    def test_refit_false_leaves_health_empty(self):
+        session = make_session()
+        session.fit()
+        update = session.apply(
+            [GraphDelta.add_node("x", features=[0.1] * 5)], refit=False
+        )
+        assert update.health == {}
+        assert update.worst_health == "healthy"
+
+
 class TestResume:
     def test_round_trip_through_persistence(self, tmp_path):
         session = make_session(seed=9)
