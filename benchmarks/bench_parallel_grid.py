@@ -1,0 +1,200 @@
+"""Parallel-grid benchmark: the worker pool must pay for itself.
+
+:func:`repro.experiments.harness.run_grid` with ``workers=N`` farms the
+grid cells out to a fork-based process pool
+(:mod:`repro.experiments.parallel`).  Because every cell derives its RNG
+from a position-independent :func:`cell_seed_sequence`, the parallel
+grid is *bit-identical* to the serial one — parallelism buys wall-clock
+only.  This bench pins both halves of that promise on a ``q = 12``
+synthetic workload (12 classes, ~600 nodes, 12 grid cells):
+
+1. **Same answers, always.**  Every ``(method, fraction)`` cell of the
+   4-worker grid must match the serial grid bit-for-bit (mean *and*
+   sample std), on any machine.
+2. **Speedup >= 2x, when the cores exist.**  With at least 4 usable
+   cores, the 4-worker grid must run the 12 cells at least 2x faster
+   than the serial loop.  On smaller machines (CI runners with 1-2
+   cores) the timing half is recorded but not asserted — the entry's
+   ``multicore`` field gates the guard (see
+   ``benchmarks/check_trajectory.py``).
+
+Results append to ``BENCH_parallel_grid.json`` at the repo root.
+
+Run standalone (nightly CI does this)::
+
+    PYTHONPATH=src python -m benchmarks.bench_parallel_grid --assert
+
+or under pytest as part of the bench suite.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.tmark import TMark
+from repro.datasets.synthetic import RelationSpec, make_synthetic_hin
+from repro.experiments.harness import run_grid
+from repro.experiments.parallel import available_workers, fork_available
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_parallel_grid.json"
+
+#: Workers used for the parallel half of the comparison.
+N_WORKERS = 4
+
+#: The timing guard only applies when the pool can actually run
+#: N_WORKERS cells concurrently.
+SPEEDUP_FLOOR = 2.0
+
+FRACTIONS = (0.1, 0.3, 0.5, 0.7)
+
+
+def _workload(seed: int = 0, n_nodes: int = 600, n_classes: int = 12):
+    """A q=12 HIN plus a 3-method roster -> 12 grid cells."""
+    label_names = [f"c{c}" for c in range(n_classes)]
+    hin = make_synthetic_hin(
+        n_nodes,
+        label_names,
+        [
+            RelationSpec("cites", n_links=4 * n_nodes, homophily=0.85),
+            RelationSpec("co_author", n_links=3 * n_nodes, homophily=0.75),
+        ],
+        vocab_size=4000,
+        seed=seed,
+    )
+    methods = [
+        ("TMark", lambda: TMark(alpha=0.85, gamma=0.4, tol=1e-8)),
+        ("TMark-a7", lambda: TMark(alpha=0.7, gamma=0.4, tol=1e-8)),
+        ("TMark-g2", lambda: TMark(alpha=0.85, gamma=0.2, tol=1e-8)),
+    ]
+    return hin, methods
+
+
+def _cells(grid):
+    """Flatten a GridResult into {(method, fraction): (mean, std)}."""
+    return {
+        (method, fraction): (cell.mean, cell.std)
+        for method, cells in grid.cells.items()
+        for fraction, cell in zip(grid.fractions, cells)
+    }
+
+
+def run_bench(seed: int = 0, assert_results: bool = True) -> dict:
+    """Run the grid serially and with 4 workers; record the comparison."""
+    hin, methods = _workload(seed)
+    multicore = fork_available() and available_workers() >= N_WORKERS
+
+    # Warm the kernels (operator build + one fit) outside the timings.
+    run_grid(hin, methods[:1], (FRACTIONS[0],), n_trials=1, seed=seed)
+
+    # Best-of-repeats per path, so one background-load spike does not
+    # decide the comparison.
+    repeats = 2
+    serial_seconds, serial_grid = float("inf"), None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        grid = run_grid(hin, methods, FRACTIONS, n_trials=2, seed=seed)
+        serial_seconds = min(serial_seconds, time.perf_counter() - started)
+        serial_grid = grid
+
+    parallel_seconds, parallel_grid = float("inf"), None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        grid = run_grid(
+            hin, methods, FRACTIONS, n_trials=2, seed=seed, workers=N_WORKERS
+        )
+        parallel_seconds = min(parallel_seconds, time.perf_counter() - started)
+        parallel_grid = grid
+
+    serial_cells = _cells(serial_grid)
+    parallel_cells = _cells(parallel_grid)
+    mismatched = sorted(
+        f"{method}@{fraction:g}"
+        for key in set(serial_cells) | set(parallel_cells)
+        if serial_cells.get(key) != parallel_cells.get(key)
+        for method, fraction in [key]
+    )
+    speedup = serial_seconds / parallel_seconds
+
+    results = {
+        "n_nodes": hin.n_nodes,
+        "n_classes": hin.n_labels,
+        "n_cells": len(serial_cells),
+        "n_workers": N_WORKERS,
+        "usable_cores": available_workers(),
+        "multicore": bool(multicore),
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": speedup,
+        "cells_identical": not mismatched,
+        "n_mismatched_cells": len(mismatched),
+    }
+    _record(results)
+    if assert_results:
+        assert not mismatched, (
+            f"parallel grid diverged from serial in {len(mismatched)} "
+            f"cell(s): {', '.join(mismatched)}"
+        )
+        if multicore:
+            assert speedup >= SPEEDUP_FLOOR, (
+                f"{N_WORKERS}-worker grid only {speedup:.2f}x faster than "
+                f"serial (required: >= {SPEEDUP_FLOOR}x on "
+                f"{available_workers()} cores)"
+            )
+    return results
+
+
+def _record(results: dict) -> Path:
+    """Append one entry to the ``BENCH_parallel_grid.json`` trajectory."""
+    if BENCH_PATH.exists():
+        payload = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+    else:
+        payload = {
+            "bench": "parallel_grid",
+            # Nightly CI re-checks every entry against these bounds
+            # (benchmarks/check_trajectory.py).  The speedup guard is
+            # gated on the entry's ``multicore`` flag: single-core
+            # runners record timings but cannot meaningfully assert
+            # them.
+            "guards": [
+                {"field": "cells_identical", "equals": True},
+                {"field": "speedup", "min": SPEEDUP_FLOOR, "gate": "multicore"},
+            ],
+            "entries": [],
+        }
+    entry = {"timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"), **results}
+    payload["entries"].append(entry)
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return BENCH_PATH
+
+
+def test_parallel_grid_identical():
+    """Bench-suite entry: bit-identical cells (+ speedup on multicore)."""
+    results = run_bench(assert_results=True)
+    assert results["n_cells"] == 12
+    assert results["cells_identical"]
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--assert",
+        dest="assert_results",
+        action="store_true",
+        help="fail (non-zero exit) when a threshold is violated",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    results = run_bench(seed=args.seed, assert_results=args.assert_results)
+    for key, value in results.items():
+        print(f"{key}: {value}")
+    print(f"[recorded -> {BENCH_PATH}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

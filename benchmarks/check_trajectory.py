@@ -1,0 +1,109 @@
+"""Gate the nightly bench run on the committed BENCH_*.json guards.
+
+Each ``BENCH_*.json`` trajectory at the repo root may carry a top-level
+``guards`` list.  A guard pins one numeric or boolean field of every
+entry::
+
+    {"field": "speedup", "min": 3.0}
+    {"field": "cells_identical", "equals": true}
+    {"field": "speedup", "min": 2.0, "gate": "multicore"}
+
+* ``min`` / ``max`` — inclusive bounds on a numeric field.
+* ``equals`` — exact match (booleans, counts).
+* ``gate`` — name of a boolean entry field; when the entry's gate field
+  is absent or falsy the guard is skipped for that entry.  This is how
+  hardware-dependent guards (a parallel speedup needs >= 4 cores)
+  coexist with single-core CI runners: the timing is still *recorded*,
+  it just is not *asserted*.
+
+Entries missing a guarded field fail — a renamed field silently
+un-guarding a trajectory is exactly the regression mode this script
+exists to catch.
+
+Usage (nightly CI)::
+
+    python benchmarks/check_trajectory.py BENCH_*.json
+
+Exit status 1 when any guard is violated, with one line per violation.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def check_file(path: Path) -> list[str]:
+    """All guard violations in one trajectory file (empty = clean)."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    guards = payload.get("guards", [])
+    entries = payload.get("entries", [])
+    violations = []
+    if not entries:
+        violations.append(f"{path.name}: trajectory has no entries")
+    for guard in guards:
+        field = guard.get("field")
+        if not field:
+            violations.append(f"{path.name}: guard without a 'field': {guard!r}")
+            continue
+        for index, entry in enumerate(entries):
+            stamp = entry.get("timestamp", f"entry {index}")
+            gate = guard.get("gate")
+            if gate is not None and not entry.get(gate):
+                continue
+            if field not in entry:
+                violations.append(
+                    f"{path.name} [{stamp}]: guarded field {field!r} missing"
+                )
+                continue
+            value = entry[field]
+            if "equals" in guard and value != guard["equals"]:
+                violations.append(
+                    f"{path.name} [{stamp}]: {field} = {value!r}, "
+                    f"required == {guard['equals']!r}"
+                )
+            if "min" in guard and not value >= guard["min"]:
+                violations.append(
+                    f"{path.name} [{stamp}]: {field} = {value}, "
+                    f"required >= {guard['min']}"
+                )
+            if "max" in guard and not value <= guard["max"]:
+                violations.append(
+                    f"{path.name} [{stamp}]: {field} = {value}, "
+                    f"required <= {guard['max']}"
+                )
+    return violations
+
+
+def main(argv=None) -> int:
+    paths = [Path(arg) for arg in (argv if argv is not None else sys.argv[1:])]
+    if not paths:
+        print("usage: check_trajectory.py BENCH_*.json")
+        return 2
+    missing = [path for path in paths if not path.exists()]
+    if missing:
+        for path in missing:
+            print(f"no such trajectory file: {path}")
+        return 2
+    all_violations = []
+    for path in paths:
+        violations = check_file(path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        n_guards = len(payload.get("guards", []))
+        n_entries = len(payload.get("entries", []))
+        status = "FAIL" if violations else "ok"
+        print(
+            f"{path.name}: {n_entries} entries x {n_guards} guards — {status}"
+        )
+        all_violations.extend(violations)
+    if all_violations:
+        print()
+        for violation in all_violations:
+            print(f"VIOLATION: {violation}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,7 +31,6 @@ import time
 from dataclasses import dataclass
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.core.convergence import ChainHistory
 from repro.core.features import feature_transition_matrix

@@ -17,8 +17,6 @@ Tag names are the paper's own Tables 6 and 7 lists.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.datasets.synthetic import (
     RelationSpec,
     sample_labels,

@@ -25,6 +25,12 @@ from repro.experiments.harness import (
 )
 from repro.experiments.methods import method_roster, tmark_params
 from repro.experiments.paper import PAPER_GRIDS, compare_with_paper
+from repro.experiments.parallel import (
+    WorkerError,
+    available_workers,
+    graph_fingerprint,
+    run_grid_parallel,
+)
 from repro.experiments.registry import (
     ExperimentReport,
     experiment_ids,
@@ -41,6 +47,10 @@ __all__ = [
     "scores_to_predictions",
     "scores_to_multilabel",
     "shared_tmark_operators",
+    "WorkerError",
+    "available_workers",
+    "graph_fingerprint",
+    "run_grid_parallel",
     "method_roster",
     "tmark_params",
     "PAPER_GRIDS",

@@ -54,6 +54,12 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--scale", type=float, default=1.0)
     compare.add_argument("--seed", type=int, default=0)
     compare.add_argument("--trials", type=int, default=3)
+    compare.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="grid-cell worker processes (1 = serial; results are identical)",
+    )
     tune = sub.add_parser(
         "tune", help="grid-search T-Mark's alpha/gamma/lambda on a dataset"
     )
@@ -92,6 +98,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="record chain/harness telemetry to this JSONL file (repro.obs)",
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="grid-cell worker processes (1 = serial; results are identical)",
     )
     trace_summary = sub.add_parser(
         "trace-summary",
@@ -158,6 +170,8 @@ def _run_one(experiment_id: str, args) -> None:
         kwargs["fast"] = not args.full
     if "with_std" in signature.parameters and getattr(args, "std", False):
         kwargs["with_std"] = True
+    if "workers" in signature.parameters:
+        kwargs["workers"] = getattr(args, "workers", 1)
     started = time.perf_counter()
     report = run_experiment(experiment_id, **kwargs)
     elapsed = time.perf_counter() - started
@@ -211,11 +225,18 @@ def main(argv=None) -> int:
                 f"available: {', '.join(sorted(PAPER_GRIDS))}"
             )
             return 1
+        import inspect
+
+        compare_kwargs = {}
+        runner = get_experiment(args.experiment).runner
+        if "workers" in inspect.signature(runner).parameters:
+            compare_kwargs["workers"] = args.workers
         report = run_experiment(
             args.experiment,
             scale=args.scale,
             seed=args.seed,
             n_trials=args.trials,
+            **compare_kwargs,
         )
         print(report)
         comparison = compare_with_paper(args.experiment, report.data["grid"])

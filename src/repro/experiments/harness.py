@@ -118,6 +118,67 @@ def shared_tmark_operators(hin: HIN, model: TMark, pool: dict):
     return operators
 
 
+def run_single_trial(
+    hin: HIN,
+    method_factory: Callable[[], object],
+    fraction: float,
+    *,
+    trial: int,
+    split_rng: np.random.Generator,
+    method_rng: np.random.Generator,
+    metric: str = "accuracy",
+    operator_pool: dict | None = None,
+    recorder=None,
+    method_name: str | None = None,
+) -> float:
+    """One split -> fit -> score trial of :func:`evaluate_method`.
+
+    The exact body of the serial trial loop, factored out so the
+    process-pool path (:mod:`repro.experiments.parallel`) runs the
+    byte-identical code per trial.  ``split_rng`` / ``method_rng`` are
+    the two generators ``evaluate_method`` spawns per trial; ``trial``
+    is only carried onto the emitted ``trial`` event.
+    """
+    rec = get_recorder() if recorder is None else recorder
+    trial_started = time.perf_counter() if rec.enabled else 0.0
+    if metric == "multilabel_macro_f1":
+        mask = multilabel_fraction_split(hin.label_matrix, fraction, rng=split_rng)
+    else:
+        mask = stratified_fraction_split(hin.y, fraction, rng=split_rng)
+    train_hin = hin.masked(mask)
+    model = method_factory()
+    with use_recorder(rec):
+        if operator_pool is not None and isinstance(model, TMark):
+            operators = shared_tmark_operators(hin, model, operator_pool)
+            scores = model.fit_predict(
+                train_hin, rng=method_rng, operators=operators
+            )
+        else:
+            scores = model.fit_predict(train_hin, rng=method_rng)
+    test = ~mask
+    if metric == "multilabel_macro_f1":
+        predicted = scores_to_multilabel(scores, train_hin.label_matrix)
+        value = multilabel_macro_f1(hin.label_matrix[test], predicted[test])
+    elif metric == "macro_f1":
+        predicted = scores_to_predictions(scores)
+        value = macro_f1(hin.y[test], predicted[test], n_classes=hin.n_labels)
+    else:
+        predicted = scores_to_predictions(scores)
+        value = accuracy(hin.y[test], predicted[test])
+    if rec.enabled:
+        rec.emit(
+            "trial",
+            method=method_name,
+            fraction=float(fraction),
+            trial=trial,
+            metric=metric,
+            value=float(value),
+            seconds=time.perf_counter() - trial_started,
+        )
+        rec.count("trials")
+    return float(value)
+
+
 def evaluate_method(
     hin: HIN,
     method_factory: Callable[[], object],
@@ -129,6 +190,7 @@ def evaluate_method(
     operator_pool: dict | None = None,
     recorder=None,
     method_name: str | None = None,
+    workers: int = 1,
 ) -> CellResult:
     """Mean/std metric of one method at one label fraction.
 
@@ -160,6 +222,12 @@ def evaluate_method(
     method_name:
         Optional display name carried on the emitted ``trial`` events
         (``run_grid`` passes the roster name).
+    workers:
+        Process-pool width for the trial loop; the default 1 is the
+        serial path.  With ``workers > 1`` the trials are dispatched to
+        :func:`repro.experiments.parallel.run_trials_parallel` — every
+        trial keeps its own pre-spawned RNG pair, so the values (and
+        hence mean/std) are bit-identical to the serial loop.
 
     The returned std is the sample statistic (``ddof=1``); a single
     trial reports 0.0.
@@ -167,48 +235,40 @@ def evaluate_method(
     if metric not in METRICS:
         raise ValidationError(f"metric must be one of {METRICS}, got {metric!r}")
     check_positive_int(n_trials, "n_trials")
+    check_positive_int(workers, "workers")
     rec = get_recorder() if recorder is None else recorder
     rngs = spawn_rngs(seed, 2 * n_trials)
-    values = []
-    for trial in range(n_trials):
-        trial_started = time.perf_counter() if rec.enabled else 0.0
-        split_rng, method_rng = rngs[2 * trial], rngs[2 * trial + 1]
-        if metric == "multilabel_macro_f1":
-            mask = multilabel_fraction_split(hin.label_matrix, fraction, rng=split_rng)
-        else:
-            mask = stratified_fraction_split(hin.y, fraction, rng=split_rng)
-        train_hin = hin.masked(mask)
-        model = method_factory()
-        with use_recorder(rec):
-            if operator_pool is not None and isinstance(model, TMark):
-                operators = shared_tmark_operators(hin, model, operator_pool)
-                scores = model.fit_predict(
-                    train_hin, rng=method_rng, operators=operators
-                )
-            else:
-                scores = model.fit_predict(train_hin, rng=method_rng)
-        test = ~mask
-        if metric == "multilabel_macro_f1":
-            predicted = scores_to_multilabel(scores, train_hin.label_matrix)
-            value = multilabel_macro_f1(hin.label_matrix[test], predicted[test])
-        elif metric == "macro_f1":
-            predicted = scores_to_predictions(scores)
-            value = macro_f1(hin.y[test], predicted[test], n_classes=hin.n_labels)
-        else:
-            predicted = scores_to_predictions(scores)
-            value = accuracy(hin.y[test], predicted[test])
-        values.append(value)
-        if rec.enabled:
-            rec.emit(
-                "trial",
-                method=method_name,
-                fraction=float(fraction),
+    values = None
+    if workers != 1:
+        from repro.experiments.parallel import run_trials_parallel
+
+        values = run_trials_parallel(
+            hin,
+            method_factory,
+            fraction,
+            rngs=rngs,
+            metric=metric,
+            share_operators=operator_pool is not None,
+            recorder=rec,
+            method_name=method_name,
+            workers=workers,
+        )
+    if values is None:
+        values = [
+            run_single_trial(
+                hin,
+                method_factory,
+                fraction,
                 trial=trial,
+                split_rng=rngs[2 * trial],
+                method_rng=rngs[2 * trial + 1],
                 metric=metric,
-                value=float(value),
-                seconds=time.perf_counter() - trial_started,
+                operator_pool=operator_pool,
+                recorder=rec,
+                method_name=method_name,
             )
-            rec.count("trials")
+            for trial in range(n_trials)
+        ]
     values = np.asarray(values)
     std = float(values.std(ddof=1)) if n_trials > 1 else 0.0
     return CellResult(mean=float(values.mean()), std=std, n_trials=n_trials)
@@ -262,6 +322,7 @@ def run_grid(
     share_operators: bool = True,
     recorder=None,
     metrics=None,
+    workers: int = 1,
 ) -> GridResult:
     """Run the full method x fraction grid of one paper table.
 
@@ -289,7 +350,29 @@ def run_grid(
     its instruments via a :class:`~repro.obs.metrics.MetricsRecorder`
     that forwards to ``recorder``, so one registry aggregates across
     cells (and, via ``MetricsRegistry.merge``, across grids).
+
+    ``workers`` selects the execution layer: the default 1 runs the
+    serial loop below; ``workers > 1`` dispatches the cells to the
+    process pool of :func:`repro.experiments.parallel.run_grid_parallel`
+    with bit-identical cell results — the per-cell seeding above is
+    position-independent precisely so cells may run anywhere.
     """
+    check_positive_int(workers, "workers")
+    if workers != 1:
+        from repro.experiments.parallel import run_grid_parallel
+
+        return run_grid_parallel(
+            hin,
+            methods,
+            fractions,
+            n_trials=n_trials,
+            seed=seed,
+            metric=metric,
+            share_operators=share_operators,
+            recorder=recorder,
+            metrics=metrics,
+            workers=workers,
+        )
     rec = get_recorder() if recorder is None else recorder
     if metrics is not None:
         from repro.obs.metrics import MetricsRecorder

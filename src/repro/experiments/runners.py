@@ -23,7 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core import TMark
-from repro.datasets.dblp import DBLP_AREAS, DBLP_CONFERENCES
+from repro.datasets.dblp import DBLP_AREAS
 from repro.datasets.movies import MOVIE_GENRES
 from repro.datasets.nus import NUS_CLASSES, TAGSET1, TAGSET2
 from repro.experiments.harness import PAPER_FRACTIONS, run_grid
@@ -39,12 +39,13 @@ from repro.utils.rng import ensure_rng
 # ----------------------------------------------------------------------
 # Dataset factories (single scale knob, shared with user code)
 # ----------------------------------------------------------------------
+# isort: split
 from repro.datasets.registry import (  # noqa: E402 (grouped with usage)
     scaled_acm as _scaled_acm,
     scaled_dblp as _scaled_dblp,
     scaled_movies as _scaled_movies,
+    scaled_nus as _registry_scaled_nus,
 )
-from repro.datasets.registry import scaled_nus as _registry_scaled_nus  # noqa: E402
 
 
 def _scaled_nus(tagset: str, scale: float, seed):
@@ -119,11 +120,13 @@ def _grid_report(
     fast: bool,
     metric: str = "accuracy",
     with_std: bool = False,
+    workers: int = 1,
 ) -> ExperimentReport:
     fractions = PAPER_FRACTIONS if fractions is None else tuple(fractions)
     methods = method_roster(dataset, fast=fast)
     grid = run_grid(
-        hin, methods, fractions, n_trials=n_trials, seed=seed, metric=metric
+        hin, methods, fractions, n_trials=n_trials, seed=seed, metric=metric,
+        workers=workers,
     )
     text = format_grid(grid, title=title, with_std=with_std)
     return ExperimentReport(experiment_id, title, text, data={"grid": grid})
@@ -131,7 +134,7 @@ def _grid_report(
 
 def run_table3(
     *, scale: float = 1.0, seed=0, n_trials: int = 3, fractions=None,
-    fast: bool = True, with_std: bool = False,
+    fast: bool = True, with_std: bool = False, workers: int = 1,
 ) -> ExperimentReport:
     """Table 3: node classification accuracy on DBLP, 9 methods."""
     hin = _scaled_dblp(scale, seed)
@@ -145,12 +148,13 @@ def run_table3(
         fractions=fractions,
         fast=fast,
         with_std=with_std,
+        workers=workers,
     )
 
 
 def run_table4(
     *, scale: float = 1.0, seed=0, n_trials: int = 3, fractions=None,
-    fast: bool = True, with_std: bool = False,
+    fast: bool = True, with_std: bool = False, workers: int = 1,
 ) -> ExperimentReport:
     """Table 4: node classification accuracy on Movies, 9 methods."""
     hin = _scaled_movies(scale, seed)
@@ -164,12 +168,13 @@ def run_table4(
         fractions=fractions,
         fast=fast,
         with_std=with_std,
+        workers=workers,
     )
 
 
 def run_table11(
     *, scale: float = 1.0, seed=0, n_trials: int = 3, fractions=None,
-    fast: bool = True, with_std: bool = False,
+    fast: bool = True, with_std: bool = False, workers: int = 1,
 ) -> ExperimentReport:
     """Table 11: multi-label Macro-F1 on ACM, 9 methods."""
     hin = _scaled_acm(scale, seed)
@@ -184,6 +189,7 @@ def run_table11(
         fast=fast,
         metric="multilabel_macro_f1",
         with_std=with_std,
+        workers=workers,
     )
 
 
@@ -255,7 +261,8 @@ def run_table6_7(*, scale: float = 1.0, seed=0) -> ExperimentReport:
 # Table 8 — T-Mark accuracy on the two NUS link sets
 # ----------------------------------------------------------------------
 def run_table8(
-    *, scale: float = 1.0, seed=0, n_trials: int = 3, fractions=None
+    *, scale: float = 1.0, seed=0, n_trials: int = 3, fractions=None,
+    workers: int = 1,
 ) -> ExperimentReport:
     """Table 8: T-Mark accuracy, Tagset1 HIN vs Tagset2 HIN."""
     fractions = PAPER_FRACTIONS if fractions is None else tuple(fractions)
@@ -268,7 +275,8 @@ def run_table8(
     for name, factory in methods:
         hin = _scaled_nus(name.lower(), scale, seed)
         grids[name] = run_grid(
-            hin, [(name, factory)], fractions, n_trials=n_trials, seed=seed
+            hin, [(name, factory)], fractions, n_trials=n_trials, seed=seed,
+            workers=workers,
         )
     merged = grids["Tagset1"]
     merged.cells["Tagset2"] = grids["Tagset2"].cells["Tagset2"]
@@ -557,7 +565,8 @@ def run_example(*, scale: float = 1.0, seed=0) -> ExperimentReport:
 
 
 def run_extensions(
-    *, scale: float = 1.0, seed=0, n_trials: int = 3, fractions=None
+    *, scale: float = 1.0, seed=0, n_trials: int = 3, fractions=None,
+    workers: int = 1,
 ) -> ExperimentReport:
     """Extension baselines vs T-Mark on DBLP.
 

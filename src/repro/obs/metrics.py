@@ -405,6 +405,14 @@ class MetricsRecorder(Recorder):
                 registry.counter("tmark_negative_entries_total").inc(
                     fields["n_negative"]
                 )
+        elif event == "pool_start":
+            registry.gauge("tmark_pool_workers").set(fields.get("workers", 0))
+            registry.counter("tmark_pools_total").inc()
+        elif event == "cell_dispatch":
+            registry.counter("tmark_cells_dispatched_total").inc()
+        elif event == "cell_done":
+            registry.counter("tmark_cells_merged_total").inc()
+            registry.histogram("tmark_cell_worker_seconds").observe(seconds or 0.0)
         elif event == "counters":
             for name, value in fields.get("counters", {}).items():
                 registry.counter(f"tmark_{name}_total").inc(value)

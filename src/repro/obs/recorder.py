@@ -29,6 +29,9 @@ EVENT_TYPES = (
     "reconverge",       # warm refit after a batch: iterations + wall clock
     "chain_health",     # per-class convergence verdict (repro.obs.health)
     "invariant_probe",  # per-iteration simplex/negativity/dangling probes
+    "pool_start",       # parallel pool opened: workers + cell count
+    "cell_dispatch",    # one grid cell / trial handed to the pool
+    "cell_done",        # one grid cell / trial merged back from a worker
 )
 
 #: The five per-iteration phases of ``TMark._run_chains_batched``.

@@ -38,6 +38,11 @@ class TraceSummary:
     n_probes: int = 0
     max_mass_drift: float = 0.0
     min_probe_entry: float | None = None
+    pool_workers: int = 0
+    n_dispatched: int = 0
+    n_pool_done: int = 0
+    pool_cell_seconds: float = 0.0
+    pool_worker_pids: set = field(default_factory=set)
     counters: dict[str, int] = field(default_factory=dict)
 
     @property
@@ -113,6 +118,17 @@ def summarize_trace(events) -> TraceSummary:
                     if summary.min_probe_entry is None
                     else min(summary.min_probe_entry, entry_min)
                 )
+        elif kind == "pool_start":
+            summary.pool_workers = max(
+                summary.pool_workers, int(event.get("workers", 0))
+            )
+        elif kind == "cell_dispatch":
+            summary.n_dispatched += 1
+        elif kind == "cell_done":
+            summary.n_pool_done += 1
+            summary.pool_cell_seconds += float(event.get("seconds", 0.0))
+            if "worker" in event:
+                summary.pool_worker_pids.add(int(event["worker"]))
         elif kind == "counters":
             for name, value in event.get("counters", {}).items():
                 summary.counters[name] = summary.counters.get(name, 0) + int(value)
@@ -170,6 +186,13 @@ def format_trace_summary(summary: TraceSummary) -> str:
             f"{summary.patch_seconds:.4f}s; reconvergence "
             f"{summary.reconverge_iterations} iteration(s) "
             f"({summary.reconverge_seconds:.4f}s)"
+        )
+    if summary.pool_workers:
+        lines.append(
+            f"parallel pool: {summary.pool_workers} worker(s) "
+            f"({len(summary.pool_worker_pids)} distinct pids); "
+            f"{summary.n_pool_done}/{summary.n_dispatched} cells merged "
+            f"({summary.pool_cell_seconds:.4f}s of worker wall-clock)"
         )
     if summary.n_frozen_events:
         lines.append(f"frozen-column events: {summary.n_frozen_events}")

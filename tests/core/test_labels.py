@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.errors import ValidationError
 from repro.core.labels import initial_label_vector, updated_label_vector
+from repro.errors import ValidationError
 from repro.utils.simplex import is_distribution
 
 

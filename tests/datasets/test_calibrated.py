@@ -93,9 +93,11 @@ class TestMovies:
         disloyal = make_movies(
             n_movies=200, n_directors=50, director_genre_loyalty=0.05, seed=1
         )
-        mean_h = lambda h: np.nanmean(
-            [relation_homophily(h, r) for r in h.relation_names]
-        )
+        def mean_h(h):
+            return np.nanmean(
+                [relation_homophily(h, r) for r in h.relation_names]
+            )
+
         assert mean_h(loyal) > mean_h(disloyal) + 0.2
 
     def test_bad_range_rejected(self):
@@ -116,9 +118,11 @@ class TestNUS:
     def test_tagset1_more_homophilous(self):
         h1 = make_nus(tagset="tagset1", n_images=200, seed=2)
         h2 = make_nus(tagset="tagset2", n_images=200, seed=2)
-        mean_h = lambda h: np.nanmean(
-            [relation_homophily(h, r) for r in h.relation_names]
-        )
+        def mean_h(h):
+            return np.nanmean(
+                [relation_homophily(h, r) for r in h.relation_names]
+            )
+
         assert mean_h(h1) > mean_h(h2) + 0.2
 
     def test_tagset2_more_frequent(self):

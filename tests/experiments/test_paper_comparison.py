@@ -1,6 +1,5 @@
 """Tests for the paper-reference grids and the comparison tool."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ValidationError

@@ -1,0 +1,232 @@
+"""Tests for the process-pool execution layer (repro.experiments.parallel).
+
+The contract under test: ``workers=N`` buys wall-clock only — grid cell
+scores, trial values and every deterministic metrics instrument must be
+bit-identical to the serial path, worker failures must surface the
+original traceback instead of hanging the grid, and the merged trace
+must stay legible to the obs tooling (worker/cell tags, pool events).
+"""
+
+import pytest
+
+from repro.core import TMark
+from repro.errors import ValidationError
+from repro.experiments.harness import evaluate_method, run_grid
+from repro.experiments.parallel import (
+    CellSpec,
+    WorkerError,
+    available_workers,
+    fork_available,
+    graph_fingerprint,
+    run_grid_parallel,
+)
+from repro.obs import ListRecorder, MetricsRegistry, summarize_trace
+from tests.conftest import small_labeled_hin
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="parallel pool requires the fork start method"
+)
+
+FRACTIONS = (0.3, 0.5)
+
+
+@pytest.fixture(scope="module")
+def hin():
+    return small_labeled_hin(seed=7, n=40, q=3)
+
+
+def methods():
+    # Rebuilt per call: the lambdas must be fork-inherited, never pickled.
+    return [
+        ("TMark", lambda: TMark(alpha=0.8, gamma=0.4, max_iter=60)),
+        ("TMark-low", lambda: TMark(alpha=0.5, gamma=0.2, max_iter=60)),
+    ]
+
+
+def grid_cells(grid):
+    return {
+        (method, fraction): (cell.mean, cell.std, cell.n_trials)
+        for method, cells in grid.cells.items()
+        for fraction, cell in zip(grid.fractions, cells)
+    }
+
+
+class TestBitIdentity:
+    def test_grid_scores_identical(self, hin):
+        serial = run_grid(hin, methods(), FRACTIONS, n_trials=2, seed=11)
+        parallel = run_grid(
+            hin, methods(), FRACTIONS, n_trials=2, seed=11, workers=2
+        )
+        assert parallel.fractions == serial.fractions
+        assert parallel.method_names == serial.method_names
+        assert grid_cells(parallel) == grid_cells(serial)
+
+    def test_merged_metrics_match_serial(self, hin):
+        serial_metrics, parallel_metrics = MetricsRegistry(), MetricsRegistry()
+        run_grid(
+            hin, methods(), FRACTIONS, n_trials=2, seed=11,
+            metrics=serial_metrics,
+        )
+        run_grid(
+            hin, methods(), FRACTIONS, n_trials=2, seed=11,
+            metrics=parallel_metrics, workers=2,
+        )
+        # Value-carrying instruments merge exactly: same trials, same
+        # scores, same iteration counts, regardless of which process ran
+        # them.
+        for name in ("tmark_trial_value", "tmark_fit_iterations"):
+            assert (
+                parallel_metrics.get(name).to_json()
+                == serial_metrics.get(name).to_json()
+            ), name
+        assert (
+            parallel_metrics.get("tmark_trials_total").value
+            == serial_metrics.get("tmark_trials_total").value
+        )
+        assert (
+            parallel_metrics.get("tmark_grid_cells_total").value
+            == serial_metrics.get("tmark_grid_cells_total").value
+        )
+        # The deterministic replay order makes the last-wins gauge land
+        # on the same (final) cell as the serial loop.
+        assert (
+            parallel_metrics.get("tmark_last_cell_mean").value
+            == serial_metrics.get("tmark_last_cell_mean").value
+        )
+        # Timing histograms can't match on sums, but the observation
+        # counts must: one per trial / fit / cell, no loss, no double
+        # counting through the merge.
+        for name in ("tmark_trial_seconds", "tmark_grid_cell_seconds"):
+            assert (
+                parallel_metrics.get(name).count
+                == serial_metrics.get(name).count
+            ), name
+
+    def test_evaluate_method_workers_identical(self, hin):
+        factory = methods()[0][1]
+        serial = evaluate_method(hin, factory, 0.3, n_trials=3, seed=4)
+        parallel = evaluate_method(
+            hin, factory, 0.3, n_trials=3, seed=4, workers=2
+        )
+        assert (parallel.mean, parallel.std, parallel.n_trials) == (
+            serial.mean, serial.std, serial.n_trials
+        )
+
+    def test_operator_sharing_off_still_identical(self, hin):
+        serial = run_grid(
+            hin, methods(), FRACTIONS, n_trials=1, seed=3,
+            share_operators=False,
+        )
+        parallel = run_grid(
+            hin, methods(), FRACTIONS, n_trials=1, seed=3,
+            share_operators=False, workers=2,
+        )
+        assert grid_cells(parallel) == grid_cells(serial)
+
+
+class _Boom:
+    def fit_predict(self, hin, rng=None):
+        raise RuntimeError("synthetic worker failure for the pool test")
+
+
+class TestWorkerFailure:
+    def test_raises_worker_error_with_original_traceback(self, hin):
+        bad = [("Boom", _Boom)] + methods()
+        with pytest.raises(WorkerError, match="Boom@0.3"):
+            run_grid(hin, bad, (0.3,), n_trials=1, seed=0, workers=2)
+
+    def test_original_exception_chained(self, hin):
+        with pytest.raises(WorkerError) as excinfo:
+            run_grid(hin, [("Boom", _Boom)], (0.3,), n_trials=1, seed=0,
+                     workers=2)
+        cause = excinfo.value.__cause__
+        assert isinstance(cause, RuntimeError)
+        assert "synthetic worker failure" in str(cause)
+        # concurrent.futures carries the worker's formatted traceback as
+        # the cause's cause — the fit_predict frame must be visible.
+        assert "fit_predict" in str(getattr(cause, "__cause__", ""))
+
+
+class TestPoolTelemetry:
+    def test_events_tagged_with_worker_and_cell(self, hin):
+        recorder = ListRecorder(probes=False)
+        grid = run_grid(
+            hin, methods(), FRACTIONS, n_trials=1, seed=2,
+            recorder=recorder, workers=2,
+        )
+        n_cells = len(grid_cells(grid))
+        (pool_start,) = recorder.events_of("pool_start")
+        assert pool_start["workers"] == 2
+        assert pool_start["n_cells"] == n_cells
+        assert pool_start["start_method"] == "fork"
+        assert len(recorder.events_of("cell_dispatch")) == n_cells
+        done = recorder.events_of("cell_done")
+        assert len(done) == n_cells
+        assert {e["cell"] for e in done} == {
+            f"{m}@{f:g}" for m, f in grid_cells(grid)
+        }
+        # Every worker-origin event carries the worker PID + cell tag.
+        for event in recorder.events_of("trial") + recorder.events_of("fit"):
+            assert event["worker"] > 0
+            assert "@" in event["cell"]
+        # Worker-side counters fold back into the parent recorder.
+        assert recorder.counters["trials"] == n_cells
+        assert recorder.counters["grid_cells"] == n_cells
+
+    def test_trace_summary_reports_pool(self, hin):
+        recorder = ListRecorder(probes=False)
+        run_grid(
+            hin, methods(), (0.3,), n_trials=1, seed=2,
+            recorder=recorder, workers=2,
+        )
+        summary = summarize_trace(recorder.events)
+        assert summary.pool_workers == 2
+        assert summary.n_dispatched == 2
+        assert summary.n_pool_done == 2
+        assert summary.pool_cell_seconds > 0.0
+
+
+class TestValidation:
+    def test_workers_must_be_positive(self, hin):
+        with pytest.raises(ValidationError, match="workers"):
+            run_grid(hin, methods(), FRACTIONS, n_trials=1, workers=0)
+
+    def test_duplicate_method_names_rejected(self, hin):
+        factory = methods()[0][1]
+        with pytest.raises(ValidationError, match="distinct"):
+            run_grid_parallel(
+                hin, [("M", factory), ("M", factory)], FRACTIONS,
+                n_trials=1, workers=2,
+            )
+
+    def test_bad_metric_rejected(self, hin):
+        with pytest.raises(ValidationError, match="metric"):
+            run_grid_parallel(
+                hin, methods(), FRACTIONS, n_trials=1, metric="nope",
+                workers=2,
+            )
+
+
+class TestSpecsAndFingerprint:
+    def test_cell_spec_tag(self):
+        spec = CellSpec(
+            index=0, method="TMark", fraction=0.3, n_trials=2,
+            metric="accuracy", base_entropy=1,
+        )
+        assert spec.cell == "TMark@0.3"
+
+    def test_fingerprint_is_content_addressed(self, hin):
+        assert graph_fingerprint(hin) == graph_fingerprint(hin)
+        other = small_labeled_hin(seed=8, n=40, q=3)
+        assert graph_fingerprint(hin) != graph_fingerprint(other)
+
+    def test_available_workers_positive(self):
+        assert available_workers() >= 1
+
+
+class TestCli:
+    def test_run_example_accepts_workers(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["run", "example", "--workers", "2"]) == 0
+        assert "Worked example" in capsys.readouterr().out

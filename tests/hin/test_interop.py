@@ -4,7 +4,6 @@ import networkx as nx
 import numpy as np
 import pytest
 
-from repro.datasets import make_worked_example
 from repro.errors import ValidationError
 from repro.hin.interop import from_networkx, to_networkx
 

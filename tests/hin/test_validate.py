@@ -1,7 +1,6 @@
 """Tests for the HIN linting diagnostics."""
 
 import numpy as np
-import pytest
 
 from repro.hin.builder import HINBuilder
 from repro.hin.validate import check_hin
@@ -88,7 +87,6 @@ class TestCheckHin:
 
     def test_masked_hin_reports_missing_class(self):
         from repro.datasets import get_dataset
-        from repro.ml.splits import stratified_fraction_split
 
         hin = get_dataset("dblp", scale=0.3, seed=0)
         mask = np.zeros(hin.n_nodes, dtype=bool)

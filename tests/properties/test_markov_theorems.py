@@ -14,7 +14,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.features import feature_transition_matrix
 from repro.core.labels import initial_label_vector
-from repro.tensor.sptensor import SparseTensor3
 from repro.tensor.transition import build_transition_tensors, is_irreducible
 from repro.utils.simplex import is_distribution
 from tests.conftest import random_sparse_tensor

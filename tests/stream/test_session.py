@@ -8,7 +8,6 @@ from repro.core.tmark import TMark
 from repro.errors import ValidationError
 from repro.obs import ListRecorder, summarize_trace
 from repro.stream import (
-    DeltaLog,
     GraphDelta,
     StreamingSession,
     synthetic_delta_log,

@@ -17,8 +17,8 @@ from repro.tensor.products import (
     dense_mode12_product_many,
     dense_mode13_product_many,
 )
-from repro.tensor.transition import NodeTransitionTensor, RelationTransitionTensor
 from repro.tensor.sptensor import SparseTensor3
+from repro.tensor.transition import NodeTransitionTensor, RelationTransitionTensor
 from tests.conftest import random_sparse_tensor
 
 
