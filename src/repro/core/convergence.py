@@ -26,6 +26,11 @@ class ChainHistory:
         is the residual after the first update).
     converged:
         Whether the final residual fell below the tolerance.
+    exhausted:
+        Whether the chain spent its full ``max_iter`` budget without
+        converging.  Set by the chain runners after the loop; a chain
+        can be unconverged without being exhausted only transiently
+        (mid-iteration).
     tol:
         The tolerance ``epsilon`` the chain ran with.
     n_anchors:
@@ -39,6 +44,7 @@ class ChainHistory:
     tol: float
     residuals: list[float] = field(default_factory=list)
     converged: bool = False
+    exhausted: bool = False
     n_anchors: int = 0
     accepted_history: list[int] = field(default_factory=list)
 

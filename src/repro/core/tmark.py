@@ -28,6 +28,7 @@ We implement Eq. 10.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -43,6 +44,12 @@ from repro.errors import NotFittedError, ValidationError
 from repro.hin.graph import HIN
 from repro.obs.health import health_from_history
 from repro.obs.recorder import CHAIN_PHASES, PhaseTimer, get_recorder
+from repro.solvers.base import (
+    PLAIN_SOLVER,
+    check_solver,
+    make_solver,
+    safeguard_proposal,
+)
 from repro.tensor.transition import build_transition_tensors
 from repro.utils.simplex import project_to_simplex, uniform_distribution
 from repro.utils.validation import (
@@ -215,6 +222,17 @@ class TMark:
         Node-similarity function behind ``W``: ``"cosine"`` (the
         paper's choice and the default), ``"rbf"`` or ``"jaccard"``
         (section 4.2 allows any distance metric here).
+    solver:
+        Fixed-point solver for the per-class chains: ``"plain"`` (the
+        default — the literal Algorithm 1 power iteration, bit-identical
+        to releases predating :mod:`repro.solvers`), ``"anderson"``
+        (windowed least-squares mixing), ``"aitken"`` (vector Aitken
+        Δ² extrapolation), or ``"auto"`` (watch the empirical decay
+        rate and switch slow chains onto Anderson).  All accelerated
+        solvers are safeguarded: an extrapolated iterate that leaves
+        the simplex is discarded for the plain step, so the stationary
+        pair they converge to is the same one (argmax-identical
+        predictions, residual ≤ ``tol``).
 
     Examples
     --------
@@ -237,6 +255,7 @@ class TMark:
         threshold_mode: str = "relative",
         similarity_top_k: int | None = None,
         similarity_metric: str = "cosine",
+        solver: str = PLAIN_SOLVER,
     ):
         self.alpha = check_fraction(alpha, "alpha", inclusive_low=True)
         self.gamma = check_probability(gamma, "gamma")
@@ -262,6 +281,7 @@ class TMark:
                 f"got {similarity_metric!r}"
             )
         self.similarity_metric = similarity_metric
+        self.solver = check_solver(solver)
         self.result_: TMarkResult | None = None
         self._hin: HIN | None = None
 
@@ -281,6 +301,7 @@ class TMark:
         starts=None,
         operators=None,
         recorder=None,
+        solver: str | None = None,
     ) -> "TMark":
         """Run the per-class chains on ``hin``.
 
@@ -322,9 +343,23 @@ class TMark:
             ``chain_class`` residuals, one ``fit`` summary).  Defaults
             to the ambient recorder (:func:`repro.obs.get_recorder`),
             which is a no-op unless one was installed.
+        solver:
+            Per-fit override of the constructor's ``solver`` knob (one
+            of :data:`repro.solvers.SOLVER_NAMES`); ``None`` keeps the
+            constructor's choice.
+
+        Warns
+        -----
+        RuntimeWarning
+            When a class chain exhausts ``max_iter`` without reaching
+            ``tol`` — the warning names the class and its final
+            residual, and the matching :class:`ChainHistory` is marked
+            ``exhausted`` with ``converged=False`` (surfaced as the
+            ``not_converged`` status on the ``chain_health`` event).
         """
         rec = get_recorder() if recorder is None else recorder
         fit_started = time.perf_counter() if rec.enabled else 0.0
+        solver_name = self.solver if solver is None else check_solver(solver)
         if not isinstance(hin, HIN):
             raise ValidationError(f"expected a HIN, got {type(hin).__name__}")
         if operators is not None:
@@ -373,6 +408,18 @@ class TMark:
                     f"starts shapes {x0.shape} / {z0.shape} do not match the "
                     f"HIN's ({n}, {q}) / ({m}, {q})"
                 )
+            if not (np.all(np.isfinite(x0)) and np.all(np.isfinite(z0))):
+                raise ValidationError(
+                    "starts must be finite: (X0, Z0) contains NaN or inf"
+                )
+            if float(x0.min()) < -1e-6 or float(z0.min()) < -1e-6:
+                raise ValidationError(
+                    "starts must be non-negative (entries below -1e-6 found); "
+                    "warm starts are score matrices, not arbitrary vectors"
+                )
+            # Valid-but-unnormalised columns (including all-zero ones,
+            # which become uniform) are repaired by the per-column
+            # simplex projection inside the chain runner.
             starts = (x0, z0)
         else:
             previous = self.result_ if warm_start else None
@@ -387,8 +434,18 @@ class TMark:
                 starts = (previous.node_scores, previous.relation_scores)
         node_scores, relation_scores, histories = self._run_chains_batched(
             o_tensor, r_tensor, w_matrix, hin.label_matrix, starts=starts,
-            recorder=rec,
+            recorder=rec, solver=solver_name,
         )
+        for c, history in enumerate(histories):
+            if history.exhausted:
+                warnings.warn(
+                    f"chain for class {hin.label_names[c]!r} exhausted "
+                    f"max_iter={self.max_iter} without converging "
+                    f"(final residual {history.final_residual:.3e} >= "
+                    f"tol {self.tol:.3e})",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
 
         self.result_ = TMarkResult(
             node_scores=node_scores,
@@ -413,6 +470,7 @@ class TMark:
                 n_classes=q,
                 n_relations=m,
                 tol=self.tol,
+                solver=solver_name,
                 warm_start=starts is not None,
                 iterations=max(h.n_iterations for h in histories),
                 converged=all(h.converged for h in histories),
@@ -435,7 +493,7 @@ class TMark:
 
     def _run_chains_batched(
         self, o_tensor, r_tensor, w_matrix, label_matrix, *, starts=None,
-        recorder=None,
+        recorder=None, solver=PLAIN_SOLVER,
     ):
         """Advance all ``q`` per-class chains of Algorithm 1 in lockstep.
 
@@ -467,6 +525,18 @@ class TMark:
         only *observes* — timings and probes are taken around/after the
         existing statements without reordering any floating-point
         operation, so traced and untraced fits are bit-identical.
+
+        ``solver`` selects the fixed-point accelerator (see
+        :mod:`repro.solvers`).  For the default ``"plain"`` no solver
+        object is even created and every added statement is skipped, so
+        plain fits stay bit-identical to the pre-solver code path.  For
+        accelerated solvers, each per-class accelerator is offered the
+        ``(x_prev, plain step)`` pair right after the x-projection;
+        accepted proposals replace the column (a ``solver_step`` event),
+        safeguard rejections fall back to the plain step and restart
+        the accelerator's history (a ``solver_restart`` event), and an
+        Eq. 12 restart-vector change resets the history too (the map
+        being accelerated has moved).
         """
         rec = get_recorder() if recorder is None else recorder
         timed = rec.enabled
@@ -500,6 +570,12 @@ class TMark:
         histories = [
             ChainHistory(tol=self.tol, n_anchors=int(mask.sum())) for mask in masks
         ]
+        use_solver = solver != PLAIN_SOLVER
+        solvers = (
+            [make_solver(solver, tol=self.tol) for _ in range(q)]
+            if use_solver
+            else None
+        )
         if probes_on:
             o_dangling_share = float(o_tensor.dangling_share)
             r_unlinked_share = float(r_tensor.unlinked_share)
@@ -519,6 +595,22 @@ class TMark:
                         mode=self.threshold_mode,
                         return_accepted=True,
                     )
+                    if use_solver and not np.array_equal(
+                        vector, label_vectors[:, c]
+                    ):
+                        # The restart vector moved (Eq. 12 accepted new
+                        # nodes): the map being accelerated changed, so
+                        # the solver's iterate history is stale.
+                        solvers[c].map_changed()
+                        if timed:
+                            rec.emit(
+                                "solver_restart",
+                                t=t,
+                                class_index=c,
+                                solver=solvers[c].active_name,
+                                reason="label_update",
+                            )
+                            rec.count("solver_restarts")
                     label_vectors[:, c] = vector
                     histories[c].accepted_history.append(n_accepted)
             if timed:
@@ -537,6 +629,48 @@ class TMark:
                 timer.start("projection")
             for idx in range(len(active)):
                 x_new[:, idx] = project_to_simplex(x_new[:, idx])
+            if use_solver:
+                if timed:
+                    # Pause the phase clock: proposal time is reported on
+                    # the solver_step/solver_restart events themselves so
+                    # a plain-vs-accelerated trace-diff compares the
+                    # shared phases like for like.
+                    timer.stop()
+                for idx, c in enumerate(active):
+                    accelerator = solvers[c]
+                    step_started = time.perf_counter() if timed else 0.0
+                    proposal = accelerator.propose(
+                        x_scores[:, c].copy(),
+                        x_new[:, idx].copy(),
+                        t=t,
+                        residuals=histories[c].residuals,
+                    )
+                    if proposal is None:
+                        continue
+                    safe = safeguard_proposal(proposal)
+                    if safe is None:
+                        accelerator.rejected()
+                        if timed:
+                            rec.emit(
+                                "solver_restart",
+                                t=t,
+                                class_index=c,
+                                solver=accelerator.active_name,
+                                reason="safeguard",
+                                seconds=time.perf_counter() - step_started,
+                            )
+                            rec.count("solver_restarts")
+                    else:
+                        x_new[:, idx] = safe
+                        if timed:
+                            rec.emit(
+                                "solver_step",
+                                t=t,
+                                class_index=c,
+                                solver=accelerator.active_name,
+                                seconds=time.perf_counter() - step_started,
+                            )
+                            rec.count("solver_steps")
             if timed:
                 timer.start("r_contraction")
             z_new = r_tensor.propagate_many(x_new, x_new)
@@ -598,6 +732,9 @@ class TMark:
                     )
                     rec.count("invariant_probes")
             active = still_active
+        for c in active:
+            # The loop ran out of budget with this chain still moving.
+            histories[c].exhausted = True
         return x_scores, z_scores, histories
 
     def _run_chain(self, o_tensor, r_tensor, w_matrix, class_mask, *, start=None):
@@ -641,6 +778,8 @@ class TMark:
             x, z = x_new, z_new
             if rho < self.tol:
                 break
+        if not history.converged:
+            history.exhausted = True
         return x, z, history
 
     # ------------------------------------------------------------------

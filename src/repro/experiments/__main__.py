@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments run table3 [--scale 1.0] [--seed 0]
                                            [--trials 3] [--full] [--std]
                                            [--save-dir DIR] [--trace PATH]
+                                           [--solver anderson]
     python -m repro.experiments run all
     python -m repro.experiments compare table3 [--trials 10]
     python -m repro.experiments tune dblp [--fraction 0.3]
@@ -15,6 +16,7 @@ Usage::
     python -m repro.experiments stream [--deltas 50] [--batch-size 10]
                                        [--journal PATH] [--hin PATH]
                                        [--save-journal PATH] [--save-hin PATH]
+                                       [--solver anderson]
 
 ``--full`` switches the neural/ensemble baselines to their full training
 budgets; ``--trials 10`` matches the paper's 10-runs-per-split protocol;
@@ -105,6 +107,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1,
         help="grid-cell worker processes (1 = serial; results are identical)",
     )
+    run.add_argument(
+        "--solver",
+        default=None,
+        choices=("plain", "anderson", "aitken", "auto"),
+        help="fixed-point solver for the T-Mark chains (repro.solvers)",
+    )
     trace_summary = sub.add_parser(
         "trace-summary",
         help="aggregate a --trace JSONL file into a phase-time breakdown",
@@ -154,6 +162,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="write the final evolved graph as .npz")
     stream.add_argument("--trace", default=None, metavar="PATH",
                         help="record streaming telemetry to this JSONL file")
+    stream.add_argument("--solver", default=None,
+                        choices=("plain", "anderson", "aitken", "auto"),
+                        help="fixed-point solver for the reconvergence fits")
     return parser
 
 
@@ -172,6 +183,8 @@ def _run_one(experiment_id: str, args) -> None:
         kwargs["with_std"] = True
     if "workers" in signature.parameters:
         kwargs["workers"] = getattr(args, "workers", 1)
+    if "solver" in signature.parameters and getattr(args, "solver", None):
+        kwargs["solver"] = args.solver
     started = time.perf_counter()
     report = run_experiment(experiment_id, **kwargs)
     elapsed = time.perf_counter() - started

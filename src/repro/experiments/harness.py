@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.tmark import TMark, build_operators
 from repro.errors import ValidationError
+from repro.solvers.base import check_solver
 from repro.hin.graph import HIN
 from repro.ml.metrics import accuracy, macro_f1, multilabel_macro_f1
 from repro.ml.splits import multilabel_fraction_split, stratified_fraction_split
@@ -97,6 +98,28 @@ class GridResult:
     def winner(self, fraction_index: int) -> str:
         """Best method at the given fraction index."""
         return max(self.cells, key=lambda m: self.cells[m][fraction_index].mean)
+
+
+def with_solver(
+    method_factory: Callable[[], object], solver: str
+) -> Callable[[], object]:
+    """Wrap a method factory so T-Mark instances use ``solver``.
+
+    The harness threads its ``solver=`` knob through factories rather
+    than constructor signatures: the roster factories stay zero-argument
+    (and hence fork-picklable for the process pool), and non-T-Mark
+    baselines pass through untouched.  The solver name is validated
+    eagerly so a typo fails at grid setup, not inside a worker.
+    """
+    check_solver(solver)
+
+    def build():
+        model = method_factory()
+        if isinstance(model, TMark):
+            model.solver = solver
+        return model
+
+    return build
 
 
 def shared_tmark_operators(hin: HIN, model: TMark, pool: dict):
@@ -191,6 +214,7 @@ def evaluate_method(
     recorder=None,
     method_name: str | None = None,
     workers: int = 1,
+    solver: str | None = None,
 ) -> CellResult:
     """Mean/std metric of one method at one label fraction.
 
@@ -228,6 +252,10 @@ def evaluate_method(
         :func:`repro.experiments.parallel.run_trials_parallel` — every
         trial keeps its own pre-spawned RNG pair, so the values (and
         hence mean/std) are bit-identical to the serial loop.
+    solver:
+        Optional fixed-point solver name applied to every T-Mark model
+        the factory produces (see :func:`with_solver`); ``None`` keeps
+        each factory's own choice.
 
     The returned std is the sample statistic (``ddof=1``); a single
     trial reports 0.0.
@@ -236,6 +264,8 @@ def evaluate_method(
         raise ValidationError(f"metric must be one of {METRICS}, got {metric!r}")
     check_positive_int(n_trials, "n_trials")
     check_positive_int(workers, "workers")
+    if solver is not None:
+        method_factory = with_solver(method_factory, solver)
     rec = get_recorder() if recorder is None else recorder
     rngs = spawn_rngs(seed, 2 * n_trials)
     values = None
@@ -323,6 +353,7 @@ def run_grid(
     recorder=None,
     metrics=None,
     workers: int = 1,
+    solver: str | None = None,
 ) -> GridResult:
     """Run the full method x fraction grid of one paper table.
 
@@ -356,8 +387,17 @@ def run_grid(
     process pool of :func:`repro.experiments.parallel.run_grid_parallel`
     with bit-identical cell results — the per-cell seeding above is
     position-independent precisely so cells may run anywhere.
+
+    ``solver`` optionally selects a fixed-point solver for every T-Mark
+    model in the roster (see :func:`with_solver`).  Factories are
+    wrapped *before* dispatch, so serial and parallel grids accelerate
+    identically — the pool workers inherit the wrapped factories.
     """
     check_positive_int(workers, "workers")
+    if solver is not None:
+        methods = [
+            (name, with_solver(factory, solver)) for name, factory in methods
+        ]
     if workers != 1:
         from repro.experiments.parallel import run_grid_parallel
 

@@ -517,19 +517,23 @@ def run_fig10(*, scale: float = 1.0, seed=0, fraction: float = 0.3) -> Experimen
 # ----------------------------------------------------------------------
 # Auxiliary experiments (beyond the paper's artefacts)
 # ----------------------------------------------------------------------
-def run_example(*, scale: float = 1.0, seed=0) -> ExperimentReport:
+def run_example(
+    *, scale: float = 1.0, seed=0, solver: str | None = None
+) -> ExperimentReport:
     """The section 3.2 worked example: classify p3/p4 and rank relations.
 
     The smallest end-to-end exercise of the full pipeline (4 nodes,
     3 relations, 2 classes) — the CI observability smoke test traces
-    this experiment.  ``scale`` and ``seed`` are accepted for CLI
-    uniformity; the example is fixed and T-Mark is deterministic.
+    this experiment, and the solver smoke compares its ``--solver
+    anderson`` trace against the plain one.  ``scale`` and ``seed`` are
+    accepted for CLI uniformity; the example is fixed and T-Mark is
+    deterministic.
     """
     del scale, seed
     from repro.datasets.example import EXAMPLE_GROUND_TRUTH, make_worked_example
 
     hin = make_worked_example()
-    model = TMark(alpha=0.8, gamma=0.5).fit(hin)
+    model = TMark(alpha=0.8, gamma=0.5).fit(hin, solver=solver)
     predicted = {
         name: hin.label_names[model.predict()[idx]]
         for idx, name in enumerate(hin.node_names)

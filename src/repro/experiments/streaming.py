@@ -54,11 +54,15 @@ def run_stream(
     batch_size: int = 10,
     seed_hin: HIN | None = None,
     log: DeltaLog | None = None,
+    solver: str | None = None,
 ) -> ExperimentReport:
     """Replay a delta journal through a streaming session and report.
 
     ``seed_hin`` / ``log`` override the synthetic defaults (the CLI
-    passes loaded files through here).
+    passes loaded files through here).  ``solver`` selects the
+    fixed-point solver for every fit in the replay — the seed fit, the
+    per-batch reconvergences and the cold reference fit alike, so the
+    exactness check compares like with like.
     """
     hin = make_stream_seed_hin(scale=scale, seed=seed) if seed_hin is None else seed_hin
     if log is None:
@@ -68,13 +72,13 @@ def run_stream(
 
     session = StreamingSession(hin, TMark(**MODEL_PARAMS))
     started = time.perf_counter()
-    session.fit()
+    session.fit(solver=solver)
     cold_seed_seconds = time.perf_counter() - started
-    updates = session.replay(log)
+    updates = session.replay(log, solver=solver)
 
     cold = TMark(**MODEL_PARAMS)
     started = time.perf_counter()
-    cold.fit(session.hin)
+    cold.fit(session.hin, solver=solver)
     cold_final_seconds = time.perf_counter() - started
     max_divergence = float(
         np.max(np.abs(session.result.node_scores - cold.result_.node_scores))
@@ -169,7 +173,8 @@ def run_stream_cli(args) -> int:
             seed_hin, args.deltas, batch_size=args.batch_size, seed=args.seed + 1
         )
     report = run_stream(
-        scale=args.scale, seed=args.seed, seed_hin=seed_hin, log=log
+        scale=args.scale, seed=args.seed, seed_hin=seed_hin, log=log,
+        solver=getattr(args, "solver", None),
     )
     print(report)
     if args.save_journal:

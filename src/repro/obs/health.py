@@ -7,7 +7,7 @@ turns those series into actionable :class:`ChainHealth` verdicts: a
 fitted geometric decay rate (the observable surrogate for the spectral
 gap of the linearised update map — see ``repro.analysis.theory``), a
 projection of how many more iterations the chain needs to reach its
-tolerance, and a four-way status classification.
+tolerance, and a five-way status classification.
 
 Status vocabulary and thresholds
 --------------------------------
@@ -17,8 +17,12 @@ is read off the *tail* of the series — the first
 :data:`DECAY_BURN_IN` iterations are transient and skipped.
 
 ``healthy``
-    The chain converged, or is decaying geometrically at a rate below
-    :data:`STALL_RATE` (budget ran out, but the projection is finite).
+    The chain converged.
+``not_converged``
+    The chain ran out of budget but is decaying geometrically at a rate
+    below :data:`STALL_RATE` — more iterations would finish the job
+    (the projection is finite).  This is the status a ``max_iter``
+    exhaustion surfaces through the ``chain_health`` event.
 ``diverging``
     The fitted rate exceeds :data:`DIVERGENCE_RATE`, or the final
     residual grew past :data:`DIVERGENCE_GROWTH` x the first one —
@@ -65,11 +69,23 @@ OSCILLATION_UP_SHARE = 0.25
 #: of its peak never made progress: ``oscillating``, not ``stalled``.
 NO_PROGRESS_FRACTION = 0.5
 
-#: Projection cap: beyond this many iterations report -1 (never).
+#: Projection cap: beyond this many iterations report the sentinel.
 PROJECTION_CAP = 10**9
 
+#: Sentinel ``projected_iterations`` value meaning "never at this rate"
+#: (rate >= 1, unfittable series, or beyond :data:`PROJECTION_CAP`).
+#: Always a finite int, so verdict comparisons and the ``health`` CLI
+#: exit code can never see ``inf``/``nan`` here.
+PROJECTION_NEVER = -1
+
 #: The verdict vocabulary, ordered from best to worst.
-HEALTH_STATUSES = ("healthy", "stalled", "oscillating", "diverging")
+HEALTH_STATUSES = (
+    "healthy",
+    "not_converged",
+    "stalled",
+    "oscillating",
+    "diverging",
+)
 
 #: Severity rank used by :func:`worst_status`.
 _SEVERITY = {status: rank for rank, status in enumerate(HEALTH_STATUSES)}
@@ -107,8 +123,9 @@ class ChainHealth:
         (``nan`` when the rate is unfittable).
     projected_iterations:
         Estimated further iterations to reach ``tol`` at the fitted
-        rate: 0 when already converged, -1 when the projection does not
-        exist (rate >= 1, unfittable, or beyond :data:`PROJECTION_CAP`).
+        rate: 0 when already converged, :data:`PROJECTION_NEVER` (-1)
+        when the projection does not exist (rate >= 1, unfittable, or
+        beyond :data:`PROJECTION_CAP`).  Always a finite int.
     oscillation_share:
         Share of residual up-moves in the fitted tail.
     tol:
@@ -130,7 +147,7 @@ class ChainHealth:
 
     @property
     def ok(self) -> bool:
-        """True for ``healthy`` chains (converged or cleanly decaying)."""
+        """True for ``healthy`` (converged) chains only."""
         return self.status == "healthy"
 
     def as_event(self) -> dict:
@@ -152,7 +169,19 @@ class ChainHealth:
 
     @classmethod
     def from_event(cls, event: dict) -> "ChainHealth":
-        """Rebuild a verdict from a ``chain_health`` trace event."""
+        """Rebuild a verdict from a ``chain_health`` trace event.
+
+        ``projected_iterations`` is clamped to :data:`PROJECTION_NEVER`
+        when the event carries a non-finite value — traces written by a
+        pre-sentinel release could hold ``inf``/``nan`` for stalled
+        chains, and ``int(inf)`` would otherwise crash the fold (and
+        with it the ``health`` CLI).
+        """
+        raw_projected = event.get("projected_iterations", PROJECTION_NEVER)
+        try:
+            projected = int(raw_projected)
+        except (OverflowError, ValueError):
+            projected = PROJECTION_NEVER
         return cls(
             class_index=int(event.get("class_index", -1)),
             status=str(event.get("status", "healthy")),
@@ -161,7 +190,7 @@ class ChainHealth:
             final_residual=float(event.get("final_residual", float("inf"))),
             decay_rate=float(event.get("decay_rate", float("nan"))),
             spectral_gap=float(event.get("spectral_gap", float("nan"))),
-            projected_iterations=int(event.get("projected_iterations", -1)),
+            projected_iterations=projected,
             oscillation_share=float(event.get("oscillation_share", 0.0)),
             tol=float(event.get("tol", DEFAULT_TOL)),
             label=event.get("label"),
@@ -220,12 +249,12 @@ def _projected_iterations(
         or not final_residual > 0.0
         or not math.isfinite(final_residual)
     ):
-        return -1
+        return PROJECTION_NEVER
     if final_residual < tol:
         return 0
     needed = math.log(tol / final_residual) / math.log(decay_rate)
-    if needed > PROJECTION_CAP:
-        return -1
+    if not math.isfinite(needed) or needed > PROJECTION_CAP:
+        return PROJECTION_NEVER
     return int(math.ceil(needed))
 
 
@@ -257,7 +286,7 @@ def classify_residuals(residuals, tol: float, *, converged=None) -> str:
         if peak > 0.0 and final >= NO_PROGRESS_FRACTION * peak:
             return "oscillating"
         return "stalled"
-    return "healthy"
+    return "not_converged"
 
 
 def chain_health(
@@ -404,7 +433,7 @@ def format_health_report(healths) -> str:
         "fit".rjust(4)
         + "class".rjust(7)
         + "  "
-        + "status".ljust(12)
+        + "status".ljust(15)
         + "iters".rjust(6)
         + "residual".rjust(11)
         + "rate".rjust(9)
@@ -416,12 +445,16 @@ def format_health_report(healths) -> str:
         name = health.label if health.label is not None else str(health.class_index)
         rate = "n/a" if math.isnan(health.decay_rate) else f"{health.decay_rate:.4f}"
         gap = "n/a" if math.isnan(health.spectral_gap) else f"{health.spectral_gap:.4f}"
-        left = "-" if health.projected_iterations < 0 else str(health.projected_iterations)
+        left = (
+            "-"
+            if health.projected_iterations < 0
+            else str(health.projected_iterations)
+        )
         lines.append(
             f"{health.fit_index:4d}"
             + f"{name:>7.7s}"
             + "  "
-            + health.status.ljust(12)
+            + health.status.ljust(15)
             + f"{health.n_iterations:6d}"
             + f"{health.final_residual:11.2e}"
             + rate.rjust(9)

@@ -32,6 +32,8 @@ EVENT_TYPES = (
     "pool_start",       # parallel pool opened: workers + cell count
     "cell_dispatch",    # one grid cell / trial handed to the pool
     "cell_done",        # one grid cell / trial merged back from a worker
+    "solver_step",      # accelerator proposal accepted for one class
+    "solver_restart",   # accelerator history reset: safeguard/label_update
 )
 
 #: The five per-iteration phases of ``TMark._run_chains_batched``.

@@ -43,6 +43,10 @@ class TraceSummary:
     n_pool_done: int = 0
     pool_cell_seconds: float = 0.0
     pool_worker_pids: set = field(default_factory=set)
+    n_solver_steps: int = 0
+    n_solver_restarts: int = 0
+    solver_seconds: float = 0.0
+    solver_names: set = field(default_factory=set)
     counters: dict[str, int] = field(default_factory=dict)
 
     @property
@@ -124,6 +128,16 @@ def summarize_trace(events) -> TraceSummary:
             )
         elif kind == "cell_dispatch":
             summary.n_dispatched += 1
+        elif kind == "solver_step":
+            summary.n_solver_steps += 1
+            summary.solver_seconds += float(event.get("seconds", 0.0))
+            if "solver" in event:
+                summary.solver_names.add(str(event["solver"]))
+        elif kind == "solver_restart":
+            summary.n_solver_restarts += 1
+            summary.solver_seconds += float(event.get("seconds", 0.0))
+            if "solver" in event:
+                summary.solver_names.add(str(event["solver"]))
         elif kind == "cell_done":
             summary.n_pool_done += 1
             summary.pool_cell_seconds += float(event.get("seconds", 0.0))
@@ -193,6 +207,13 @@ def format_trace_summary(summary: TraceSummary) -> str:
             f"({len(summary.pool_worker_pids)} distinct pids); "
             f"{summary.n_pool_done}/{summary.n_dispatched} cells merged "
             f"({summary.pool_cell_seconds:.4f}s of worker wall-clock)"
+        )
+    if summary.n_solver_steps or summary.n_solver_restarts:
+        names = ", ".join(sorted(summary.solver_names)) or "?"
+        lines.append(
+            f"solver ({names}): {summary.n_solver_steps} accepted step(s), "
+            f"{summary.n_solver_restarts} restart(s) "
+            f"({summary.solver_seconds:.4f}s)"
         )
     if summary.n_frozen_events:
         lines.append(f"frozen-column events: {summary.n_frozen_events}")

@@ -1,0 +1,85 @@
+"""Vector Aitken :math:`\\Delta^2` (Lusternik) extrapolation.
+
+For a scalar sequence converging linearly at rate ``\\rho`` — error
+``e_t \\approx C \\rho^t`` — Aitken's classic update
+
+.. math::
+
+    \\tilde u = u_2 - \\frac{(u_2 - u_1)^2}{u_2 - 2 u_1 + u_0}
+
+cancels the geometric mode exactly.  For the vector iterates of the
+stationary chain the same cancellation is applied along the *dominant
+error direction*: with differences ``d_1 = u_1 - u_0`` and
+``d_2 = u_2 - u_1`` the Rayleigh quotient
+
+.. math::
+
+    \\hat\\rho = \\frac{\\langle d_2, d_1 \\rangle}
+                      {\\langle d_1, d_1 \\rangle}
+
+estimates the contraction rate of the slowest mode, and summing the
+remaining geometric tail in closed form gives the Lusternik jump
+
+.. math::
+
+    \\tilde u = u_2 + \\frac{\\hat\\rho}{1 - \\hat\\rho}\\, d_2,
+
+which reduces to the scalar Δ² formula in one dimension.  This is the
+robust form for coupled simplex-projected maps: a naive component-wise
+Δ² divides by near-zero curvature in fast-converged components and
+amplifies their noise (empirically it *slows* these chains down), while
+the single-rate jump only ever acts on the direction that is actually
+slow.
+
+Proposals fire only when the estimated rate is a genuine contraction
+(``0 < \\hat\\rho < 1``); after each extrapolation the trail resets —
+the proposed iterate is not a plain-map image of its predecessor, so a
+Δ² over a mixed triple would extrapolate garbage.  In steady state the
+solver therefore fires on every second plain step (Steffensen-style).
+The exact-limit guarantee is the ``tol`` gate: at a reached fixed point
+``d_2`` is below tolerance and the solver stays silent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.solvers.base import FixedPointAccelerator
+
+
+class AitkenAccelerator(FixedPointAccelerator):
+    """Δ² extrapolation along the dominant error mode of plain triples."""
+
+    name = "aitken"
+
+    def __init__(self, *, tol: float):
+        super().__init__(tol=tol)
+        self._trail: list[np.ndarray] = []
+
+    def reset(self) -> None:
+        self._trail.clear()
+
+    def propose(self, x_prev, g_x, *, t: int, residuals) -> np.ndarray | None:
+        if not self._trail:
+            self._trail.append(x_prev)
+        self._trail.append(g_x)
+        if len(self._trail) < 3:
+            return None
+        u0, u1, u2 = self._trail[-3:]
+        if float(np.abs(u2 - u1).sum()) < self.tol:
+            # Exact limit: already at the fixed point, stay silent.
+            return None
+        d1 = u1 - u0
+        d2 = u2 - u1
+        denom = float(d1 @ d1)
+        # A mixed triple would break the u_{k+1} = h(u_k) assumption the
+        # rate estimate rests on, so the trail restarts either way.
+        self._trail.clear()
+        if denom <= 0.0:
+            return None
+        rate = float(d2 @ d1) / denom
+        if not 0.0 < rate < 1.0:
+            # Not a contraction along the dominant mode — no jump.
+            return None
+        self.n_proposals += 1
+        return u2 + (rate / (1.0 - rate)) * d2

@@ -54,8 +54,9 @@ class StreamUpdate:
         Wall-clock split between the operator patch and the refit.
     health:
         Per-class convergence verdicts from :mod:`repro.obs.health`,
-        mapping label name to status (``healthy`` / ``stalled`` /
-        ``oscillating`` / ``diverging``).  Empty when ``refit=False``.
+        mapping label name to status (``healthy`` / ``not_converged`` /
+        ``stalled`` / ``oscillating`` / ``diverging``).  Empty when
+        ``refit=False``.
     """
 
     batch_index: int
@@ -140,22 +141,37 @@ class StreamingSession:
     # ------------------------------------------------------------------
     # Fitting
     # ------------------------------------------------------------------
-    def fit(self, *, recorder=None) -> TMarkResult:
-        """Cold-fit the model on the current graph and cache the result."""
+    def fit(self, *, recorder=None, solver: str | None = None) -> TMarkResult:
+        """Cold-fit the model on the current graph and cache the result.
+
+        ``solver`` optionally overrides the model's fixed-point solver
+        for this fit (see :mod:`repro.solvers`).
+        """
         self._model.fit(
-            self.hin, operators=self._ops.operators, recorder=recorder
+            self.hin,
+            operators=self._ops.operators,
+            recorder=recorder,
+            solver=solver,
         )
         self._result = self._model.result_
         return self._result
 
-    def apply(self, deltas, *, refit: bool = True, recorder=None) -> StreamUpdate:
+    def apply(
+        self,
+        deltas,
+        *,
+        refit: bool = True,
+        recorder=None,
+        solver: str | None = None,
+    ) -> StreamUpdate:
         """Apply one delta batch: patch operators, warm-refit, report.
 
         ``refit=False`` only advances the graph and operators (useful
         when coalescing several batches before one reconvergence).
         Emits a ``delta_apply`` event for the graph/operator update and a
         ``reconverge`` event for the refit on the given or ambient
-        recorder.
+        recorder.  ``solver`` optionally overrides the model's
+        fixed-point solver for the refit.
         """
         rec = get_recorder() if recorder is None else recorder
         batch = as_batch(deltas)
@@ -182,38 +198,9 @@ class StreamingSession:
         fit_seconds = 0.0
         health: dict[str, str] = {}
         if refit:
-            starts = self._warm_starts(n_new)
-            warm = starts is not None
-            fit_started = time.perf_counter()
-            self._model.fit(
-                self.hin,
-                starts=starts,
-                operators=self._ops.operators,
-                recorder=rec,
+            iterations, converged, warm, fit_seconds, health = self._refit(
+                rec, solver=solver
             )
-            fit_seconds = time.perf_counter() - fit_started
-            self._result = self._model.result_
-            iterations = max(
-                h.n_iterations for h in self._result.histories
-            )
-            converged = all(h.converged for h in self._result.histories)
-            health = {
-                verdict.label: verdict.status
-                for verdict in health_from_result(self._result)
-            }
-            if rec.enabled:
-                rec.emit(
-                    "reconverge",
-                    batch_index=self._n_batches,
-                    warm=warm,
-                    iterations=iterations,
-                    converged=converged,
-                    n_nodes=n_new,
-                    seconds=fit_seconds,
-                    health=health,
-                    worst_health=worst_status(health.values()),
-                )
-                rec.count("reconverges")
         update = StreamUpdate(
             batch_index=self._n_batches,
             n_deltas=len(batch),
@@ -230,14 +217,85 @@ class StreamingSession:
         self._n_batches += 1
         return update
 
-    def replay(self, log: DeltaLog, *, recorder=None) -> list[StreamUpdate]:
+    def reconverge(
+        self, *, recorder=None, solver: str | None = None
+    ) -> StreamUpdate:
+        """Warm-refit the chains on the current graph, applying nothing.
+
+        The refit half of :meth:`apply`, callable on its own — the
+        natural follow-up to a run of ``apply(..., refit=False)``
+        batches, or a way to re-run the chains under a different
+        ``solver``.  Warm-starts from the previous stationary pair when
+        one exists, emits the same ``reconverge`` event, and returns a
+        :class:`StreamUpdate` with an empty delta half
+        (``n_deltas=0``).  The batch counter does not advance: no batch
+        was applied.
+        """
+        rec = get_recorder() if recorder is None else recorder
+        iterations, converged, warm, fit_seconds, health = self._refit(
+            rec, solver=solver
+        )
+        return StreamUpdate(
+            batch_index=self._n_batches,
+            n_deltas=0,
+            op_counts={},
+            n_nodes=self.hin.n_nodes,
+            n_new_nodes=0,
+            iterations=iterations,
+            converged=converged,
+            warm=warm,
+            apply_seconds=0.0,
+            fit_seconds=fit_seconds,
+            health=health,
+        )
+
+    def _refit(self, rec, *, solver: str | None = None):
+        """Warm-refit on the current graph; shared by apply/reconverge."""
+        n_now = self.hin.n_nodes
+        starts = self._warm_starts(n_now)
+        warm = starts is not None
+        fit_started = time.perf_counter()
+        self._model.fit(
+            self.hin,
+            starts=starts,
+            operators=self._ops.operators,
+            recorder=rec,
+            solver=solver,
+        )
+        fit_seconds = time.perf_counter() - fit_started
+        self._result = self._model.result_
+        iterations = max(h.n_iterations for h in self._result.histories)
+        converged = all(h.converged for h in self._result.histories)
+        health = {
+            verdict.label: verdict.status
+            for verdict in health_from_result(self._result)
+        }
+        if rec.enabled:
+            rec.emit(
+                "reconverge",
+                batch_index=self._n_batches,
+                warm=warm,
+                iterations=iterations,
+                converged=converged,
+                n_nodes=n_now,
+                seconds=fit_seconds,
+                health=health,
+                worst_health=worst_status(health.values()),
+            )
+            rec.count("reconverges")
+        return iterations, converged, warm, fit_seconds, health
+
+    def replay(
+        self, log: DeltaLog, *, recorder=None, solver: str | None = None
+    ) -> list[StreamUpdate]:
         """Apply every batch of a :class:`DeltaLog` in order."""
         if not isinstance(log, DeltaLog):
             raise ValidationError(
                 f"expected a DeltaLog, got {type(log).__name__}"
             )
         return [
-            self.apply(batch, recorder=recorder) for batch in log.batches()
+            self.apply(batch, recorder=recorder, solver=solver)
+            for batch in log.batches()
         ]
 
     def _warm_starts(self, n_new: int):

@@ -1,0 +1,187 @@
+"""Solver wiring and convergence-edge bugfixes at the TMark level.
+
+Covers the three bugfix satellites of the solver PR: silent ``max_iter``
+exhaustion, bad warm ``starts``, and the non-finite
+``projected_iterations`` crash — plus the solver trace events the
+accelerated paths emit.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import TMark
+from repro.errors import ValidationError
+from repro.obs import ChainHealth, ListRecorder
+from repro.obs.health import PROJECTION_NEVER
+from tests.conftest import small_labeled_hin
+
+
+@pytest.fixture(scope="module")
+def hin():
+    return small_labeled_hin(seed=4, n=25, q=3)
+
+
+class TestMaxIterExhaustion:
+    def test_warns_and_marks_history(self, hin):
+        model = TMark(alpha=0.7, gamma=0.4, max_iter=3)
+        with pytest.warns(RuntimeWarning, match="exhausted max_iter=3"):
+            model.fit(hin)
+        for history in model.result_.histories:
+            assert not history.converged
+            assert history.exhausted
+
+    def test_warning_names_class_and_residual(self, hin):
+        with pytest.warns(RuntimeWarning) as caught:
+            TMark(alpha=0.7, gamma=0.4, max_iter=3).fit(hin)
+        text = " ".join(str(w.message) for w in caught)
+        assert "final residual" in text
+        assert any(label in text for label in hin.label_names)
+
+    def test_converged_fit_does_not_warn(self, hin):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            model = TMark(alpha=0.7, gamma=0.4, max_iter=500).fit(hin)
+        for history in model.result_.histories:
+            assert history.converged
+            assert not history.exhausted
+
+    def test_chain_health_event_reports_not_converged(self, hin):
+        # A decent budget but an unreachable tolerance: the chains decay
+        # geometrically yet exhaust max_iter, the exact shape the old
+        # code mislabelled "healthy".
+        recorder = ListRecorder()
+        with pytest.warns(RuntimeWarning):
+            TMark(alpha=0.7, gamma=0.4, tol=1e-14, max_iter=15).fit(
+                hin, recorder=recorder
+            )
+        statuses = {e["status"] for e in recorder.events_of("chain_health")}
+        assert "not_converged" in statuses
+        assert "healthy" not in statuses
+
+
+class TestBadStarts:
+    @staticmethod
+    def good_starts(hin):
+        n, q = hin.n_nodes, hin.n_labels
+        x0 = np.full((n, q), 1.0 / n)
+        z0 = np.full((hin.n_relations, q), 1.0 / hin.n_relations)
+        return x0, z0
+
+    def test_nan_starts_rejected(self, hin):
+        x0, z0 = self.good_starts(hin)
+        x0[0, 0] = np.nan
+        with pytest.raises(ValidationError, match="finite"):
+            TMark().fit(hin, starts=(x0, z0))
+
+    def test_inf_starts_rejected(self, hin):
+        x0, z0 = self.good_starts(hin)
+        z0[0, 0] = np.inf
+        with pytest.raises(ValidationError, match="finite"):
+            TMark().fit(hin, starts=(x0, z0))
+
+    def test_negative_starts_rejected(self, hin):
+        x0, z0 = self.good_starts(hin)
+        x0[0, 0] = -0.5
+        with pytest.raises(ValidationError, match="non-negative"):
+            TMark().fit(hin, starts=(x0, z0))
+
+    def test_unnormalised_starts_are_renormalised(self, hin):
+        x0, z0 = self.good_starts(hin)
+        model = TMark(alpha=0.7, gamma=0.4, max_iter=500)
+        model.fit(hin, starts=(7.0 * x0, 3.0 * z0))
+        reference = TMark(alpha=0.7, gamma=0.4, max_iter=500).fit(
+            hin, starts=(x0, z0)
+        )
+        np.testing.assert_allclose(
+            model.result_.node_scores, reference.result_.node_scores, atol=1e-8
+        )
+
+    def test_all_zero_columns_get_uniform_mass(self, hin):
+        x0, z0 = self.good_starts(hin)
+        x0[:, 0] = 0.0
+        model = TMark(alpha=0.7, gamma=0.4, max_iter=500).fit(
+            hin, starts=(x0, z0)
+        )
+        assert all(h.converged for h in model.result_.histories)
+
+
+class TestProjectedIterationsClamp:
+    def test_from_event_clamps_inf(self):
+        event = ChainHealth(
+            class_index=0,
+            status="stalled",
+            converged=False,
+            n_iterations=10,
+            final_residual=0.5,
+            decay_rate=1.0,
+            spectral_gap=0.0,
+            projected_iterations=PROJECTION_NEVER,
+            oscillation_share=0.0,
+            tol=1e-8,
+        ).as_event()
+        # Traces from a pre-sentinel release could carry inf/nan here.
+        for bad in (float("inf"), float("nan")):
+            event["projected_iterations"] = bad
+            verdict = ChainHealth.from_event(event)
+            assert verdict.projected_iterations == PROJECTION_NEVER
+
+    def test_stalled_chain_round_trips_through_trace(self, hin):
+        # End-to-end regression: a chain stopped far above tol must fold
+        # into a finite verdict (the health CLI crashed on int(inf)).
+        from repro.obs import trace_chain_health
+
+        recorder = ListRecorder()
+        with pytest.warns(RuntimeWarning):
+            TMark(alpha=0.7, gamma=0.4, max_iter=3).fit(hin, recorder=recorder)
+        for verdict in trace_chain_health(recorder.events):
+            assert isinstance(verdict.projected_iterations, int)
+
+
+class TestSolverEvents:
+    def test_plain_fit_emits_no_solver_events(self, hin):
+        recorder = ListRecorder()
+        TMark(alpha=0.7, gamma=0.4).fit(hin, recorder=recorder)
+        assert recorder.events_of("solver_step") == []
+        assert recorder.events_of("solver_restart") == []
+
+    def test_anderson_fit_emits_solver_steps(self, hin):
+        recorder = ListRecorder()
+        TMark(alpha=0.7, gamma=0.4, solver="anderson").fit(hin, recorder=recorder)
+        steps = recorder.events_of("solver_step")
+        assert steps
+        assert all(e["solver"] == "anderson" for e in steps)
+        assert all(e["seconds"] >= 0.0 for e in steps)
+
+    def test_fit_event_carries_solver_name(self, hin):
+        recorder = ListRecorder()
+        TMark(alpha=0.7, gamma=0.4).fit(hin, recorder=recorder, solver="aitken")
+        (fit_event,) = recorder.events_of("fit")
+        assert fit_event["solver"] == "aitken"
+
+    def test_fit_override_beats_constructor_default(self, hin):
+        model = TMark(alpha=0.7, gamma=0.4, solver="anderson")
+        recorder = ListRecorder()
+        model.fit(hin, recorder=recorder, solver="plain")
+        assert recorder.events_of("solver_step") == []
+
+    def test_invalid_solver_rejected_at_construction(self):
+        with pytest.raises(ValidationError, match="solver"):
+            TMark(solver="newton")
+
+    def test_invalid_solver_rejected_at_fit(self, hin):
+        with pytest.raises(ValidationError, match="solver"):
+            TMark().fit(hin, solver="newton")
+
+    def test_label_update_restart_events(self):
+        # update_labels fits move the Eq. 12 restart vector mid-run; the
+        # solver must drop its history and say so in the trace.
+        hin = small_labeled_hin(seed=11, n=30, q=3)
+        recorder = ListRecorder()
+        TMark(
+            alpha=0.7, gamma=0.4, update_labels=True, solver="anderson"
+        ).fit(hin, recorder=recorder)
+        restarts = recorder.events_of("solver_restart")
+        reasons = {e["reason"] for e in restarts}
+        assert reasons <= {"label_update", "safeguard"}

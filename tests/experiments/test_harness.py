@@ -11,6 +11,7 @@ from repro.experiments.harness import (
     run_grid,
     scores_to_multilabel,
     scores_to_predictions,
+    with_solver,
 )
 from tests.conftest import small_labeled_hin
 
@@ -46,6 +47,43 @@ class TestScoresToMultilabel:
         train[0, 0] = True
         predictions = scores_to_multilabel(scores, train)
         assert predictions.any(axis=1).all()
+
+
+class TestWithSolver:
+    def test_sets_solver_on_tmark_instances(self):
+        factory = with_solver(tmark_factory, "anderson")
+        model = factory()
+        assert isinstance(model, TMark)
+        assert model.solver == "anderson"
+
+    def test_non_tmark_factories_pass_through(self):
+        sentinel = object()
+        factory = with_solver(lambda: sentinel, "aitken")
+        assert factory() is sentinel
+
+    def test_unknown_solver_fails_at_wrap_time(self):
+        with pytest.raises(ValidationError, match="solver"):
+            with_solver(tmark_factory, "newton")
+
+    def test_evaluate_method_solver_matches_plain(self, hin):
+        plain = evaluate_method(hin, tmark_factory, 0.3, n_trials=2, seed=0)
+        accel = evaluate_method(
+            hin, tmark_factory, 0.3, n_trials=2, seed=0, solver="anderson"
+        )
+        # Accelerated solvers share the plain fixed point, so the
+        # harness accuracy must agree exactly on identical splits.
+        assert accel.mean == pytest.approx(plain.mean, abs=1e-12)
+
+    def test_run_grid_threads_solver(self, hin):
+        grid = run_grid(
+            hin,
+            [("tmark", tmark_factory)],
+            fractions=(0.3,),
+            n_trials=1,
+            seed=0,
+            solver="auto",
+        )
+        assert grid.cells["tmark"][0].n_trials == 1
 
 
 class TestEvaluateMethod:

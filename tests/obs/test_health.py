@@ -60,9 +60,11 @@ class TestClassifyResiduals:
     def test_converged_is_healthy(self):
         assert classify_residuals([0.5, 1e-9], tol=1e-8) == "healthy"
 
-    def test_decaying_but_unconverged_is_healthy(self):
+    def test_decaying_but_unconverged_is_not_converged(self):
+        # Geometric decay that ran out of budget: the chain is fine but
+        # the fit is not — more iterations would finish the job.
         series = geometric(1.0, 0.5, 10)
-        assert classify_residuals(series, tol=1e-12) == "healthy"
+        assert classify_residuals(series, tol=1e-12) == "not_converged"
 
     def test_growing_rate_is_diverging(self):
         series = geometric(0.1, 1.3, 10)
@@ -133,7 +135,17 @@ class TestWorstStatus:
         assert worst_status([]) == "healthy"
 
     def test_vocabulary(self):
-        assert HEALTH_STATUSES == ("healthy", "stalled", "oscillating", "diverging")
+        assert HEALTH_STATUSES == (
+            "healthy",
+            "not_converged",
+            "stalled",
+            "oscillating",
+            "diverging",
+        )
+
+    def test_not_converged_ranks_between_healthy_and_stalled(self):
+        assert worst_status(["healthy", "not_converged"]) == "not_converged"
+        assert worst_status(["not_converged", "stalled"]) == "stalled"
 
 
 class TestHealthFromFit:
@@ -191,7 +203,8 @@ class TestPeriodicToy:
 
     def test_periodic_chain_reports_unhealthy(self):
         model = TMark(alpha=0.0, gamma=0.0, update_labels=False, max_iter=30)
-        model.fit(self._toy_hin())
+        with pytest.warns(RuntimeWarning, match="exhausted max_iter"):
+            model.fit(self._toy_hin())
         (verdict,) = health_from_result(model.result_)
         assert verdict.status in ("oscillating", "diverging")
         assert not verdict.converged

@@ -1,0 +1,76 @@
+"""Tests for the vector Aitken Δ² (Lusternik) extrapolation."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import AitkenAccelerator
+
+
+class TestAitkenScalarEquivalence:
+    def test_exact_on_pure_geometric_sequence(self):
+        # u_t = x* - C rho^t: one Δ² jump should land on x* exactly.
+        rho, x_star = 0.8, 1.0
+        u = [x_star - rho**t for t in range(3)]
+        solver = AitkenAccelerator(tol=1e-15)
+        out = solver.propose(np.array([u[0]]), np.array([u[1]]), t=1, residuals=[])
+        assert out is None  # only two points so far
+        out = solver.propose(np.array([u[1]]), np.array([u[2]]), t=2, residuals=[])
+        assert out is not None
+        assert float(out[0]) == pytest.approx(x_star, abs=1e-12)
+
+    def test_exact_on_vector_geometric_sequence(self):
+        rng = np.random.default_rng(3)
+        x_star = rng.uniform(0.5, 1.5, size=6)
+        direction = rng.standard_normal(6)
+        rho = 0.9
+        u = [x_star + direction * rho**t for t in range(3)]
+        solver = AitkenAccelerator(tol=1e-15)
+        solver.propose(u[0].copy(), u[1].copy(), t=1, residuals=[])
+        out = solver.propose(u[1].copy(), u[2].copy(), t=2, residuals=[])
+        np.testing.assert_allclose(out, x_star, atol=1e-10)
+
+
+class TestAitkenGuards:
+    def test_exact_limit_stays_silent(self):
+        solver = AitkenAccelerator(tol=1e-8)
+        x = np.array([0.5, 0.5])
+        solver.propose(x.copy(), x + 1e-3, t=1, residuals=[])
+        out = solver.propose(x + 1e-3, x + 1e-3 + 1e-12, t=2, residuals=[])
+        assert out is None
+
+    def test_non_contractive_rate_fires_nothing(self):
+        # A growing sequence: rate > 1, the jump formula would diverge.
+        solver = AitkenAccelerator(tol=1e-12)
+        solver.propose(np.array([0.0]), np.array([1.0]), t=1, residuals=[])
+        out = solver.propose(np.array([1.0]), np.array([3.0]), t=2, residuals=[])
+        assert out is None
+        assert solver.n_proposals == 0
+
+    def test_oscillating_rate_fires_nothing(self):
+        # Alternating signs: the Rayleigh rate is negative.
+        solver = AitkenAccelerator(tol=1e-12)
+        solver.propose(np.array([1.0]), np.array([-1.0]), t=1, residuals=[])
+        out = solver.propose(np.array([-1.0]), np.array([1.0]), t=2, residuals=[])
+        assert out is None
+
+    def test_trail_resets_after_any_complete_triple(self):
+        solver = AitkenAccelerator(tol=1e-15)
+        solver.propose(np.array([0.0]), np.array([0.5]), t=1, residuals=[])
+        solver.propose(np.array([0.5]), np.array([0.75]), t=2, residuals=[])
+        assert solver._trail == []
+
+    def test_steffensen_cadence(self):
+        # In steady state the solver needs two fresh plain steps per jump.
+        rho, x_star = 0.7, np.array([2.0, 1.0])
+        direction = np.array([1.0, -0.5])
+        solver = AitkenAccelerator(tol=1e-15)
+        x = x_star + direction
+        fired = []
+        for t in range(1, 9):
+            g = x_star + rho * (x - x_star)
+            proposal = solver.propose(x.copy(), g.copy(), t=t, residuals=[])
+            fired.append(proposal is not None)
+            x = g if proposal is None else proposal
+        # Fires at most every other step, never twice in a row.
+        assert not any(a and b for a, b in zip(fired, fired[1:]))
+        assert any(fired)

@@ -117,6 +117,35 @@ class TestReconvergence:
         assert update.iterations <= 2
 
 
+class TestSolverThreading:
+    def test_fit_with_solver_matches_plain(self):
+        plain = make_session(seed=6, tol=1e-10)
+        accel = make_session(seed=6, tol=1e-10)
+        a = plain.fit()
+        b = accel.fit(solver="anderson")
+        np.testing.assert_allclose(b.node_scores, a.node_scores, atol=1e-6)
+        assert np.array_equal(
+            np.argmax(b.node_scores, axis=1),
+            np.argmax(a.node_scores, axis=1),
+        )
+
+    def test_apply_with_solver_reconverges(self):
+        session = make_session(seed=6)
+        session.fit()
+        update = session.apply(
+            [GraphDelta.set_label("v3", ["c1"])], solver="auto"
+        )
+        assert update.warm
+        assert update.converged
+
+    def test_reconverge_accepts_solver_override(self):
+        session = make_session(seed=6)
+        session.fit()
+        update = session.reconverge(solver="aitken")
+        assert update.warm
+        assert update.converged
+
+
 class TestObservability:
     def test_events_and_counters(self):
         recorder = ListRecorder()
@@ -170,7 +199,8 @@ class TestUpdateHealth:
         update = session.apply([GraphDelta.set_label("v3", ["c1"])])
         assert set(update.health) == set(session.hin.label_names)
         assert all(
-            status in ("healthy", "stalled", "oscillating", "diverging")
+            status
+            in ("healthy", "not_converged", "stalled", "oscillating", "diverging")
             for status in update.health.values()
         )
         assert update.worst_health == "healthy"
