@@ -1,0 +1,214 @@
+"""Serving benchmark: classify throughput under a live update stream.
+
+The daemon's contract is that reads never block on reconvergence: the
+updater thread rebuilds snapshots in the background and installs them
+with an atomic reference swap, so ``/classify`` latency should be flat
+whether or not updates are in flight.  This bench pins that promise on
+the synthetic stream workload:
+
+1. **Throughput floor.**  Reader threads hammering ``POST /classify``
+   over keep-alive connections while label-flip deltas stream through
+   ``POST /update`` must sustain >= 50 requests/second (a deliberately
+   conservative floor for the stdlib ``http.server`` stack on a shared
+   CI runner).
+2. **Tail latency.**  p99 classify latency stays under 250 ms.
+3. **No errors, real concurrency.**  Every response is HTTP 200 and at
+   least one update batch reconverged *during* the measured window —
+   otherwise the bench silently degrades to a read-only measurement.
+
+Results append to ``BENCH_serving.json`` at the repo root; the nightly
+gate asserts the committed guards over the whole trajectory.
+
+Run standalone (CI does this)::
+
+    PYTHONPATH=src python -m benchmarks.bench_serving --assert
+
+or under pytest as part of the bench suite.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.streaming import build_streaming_session
+from repro.serve import PredictionDaemon
+from repro.stream import GraphDelta
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_serving.json"
+
+#: Measured read window (seconds).  Long enough for several reconverges
+#: to land inside it, short enough for the nightly wall-clock budget.
+MEASURE_SECONDS = 2.0
+N_READERS = 4
+BATCH_SIZE = 16
+#: Pause between update batches; ~MEASURE_SECONDS / UPDATE_PERIOD
+#: reconvergences overlap the measured reads.
+UPDATE_PERIOD = 0.15
+
+
+def _percentiles(latencies):
+    array = np.asarray(latencies, dtype=float)
+    p50, p95, p99 = np.percentile(array, [50.0, 95.0, 99.0])
+    return float(p50), float(p95), float(p99)
+
+
+def run_bench(seed: int = 0, assert_results: bool = True) -> dict:
+    """Drive the daemon with concurrent readers + updates; record."""
+    session = build_streaming_session(scale=1.0, seed=seed)
+    daemon = PredictionDaemon(session).start()
+    node_names = list(daemon.state.snapshot.node_names)
+    label_names = list(daemon.state.snapshot.label_names)
+    rng = np.random.default_rng(seed)
+    latencies: list[list[float]] = [[] for _ in range(N_READERS)]
+    errors = [0]
+    stop = threading.Event()
+
+    def reader(slot: int):
+        connection = http.client.HTTPConnection(
+            daemon.host, daemon.port, timeout=10
+        )
+        picks = rng.choice(len(node_names), size=(256, BATCH_SIZE))
+        bodies = [
+            json.dumps({"nodes": [node_names[i] for i in row]}).encode()
+            for row in picks
+        ]
+        request = 0
+        while not stop.is_set():
+            body = bodies[request % len(bodies)]
+            request += 1
+            started = time.perf_counter()
+            connection.request(
+                "POST",
+                "/classify",
+                body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            response.read()
+            latencies[slot].append(time.perf_counter() - started)
+            if response.status != 200:
+                errors[0] += 1
+        connection.close()
+
+    def updater():
+        connection = http.client.HTTPConnection(
+            daemon.host, daemon.port, timeout=10
+        )
+        flip = 0
+        while not stop.is_set():
+            node = node_names[flip % len(node_names)]
+            label = label_names[flip % len(label_names)]
+            flip += 1
+            delta = GraphDelta.set_label(node, [label]).to_dict()
+            connection.request(
+                "POST",
+                "/update",
+                body=json.dumps({"deltas": [delta]}).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            connection.getresponse().read()
+            stop.wait(UPDATE_PERIOD)
+        connection.close()
+
+    threads = [
+        threading.Thread(target=reader, args=(slot,))
+        for slot in range(N_READERS)
+    ]
+    threads.append(threading.Thread(target=updater))
+    applied_before = daemon.applied_updates
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    time.sleep(MEASURE_SECONDS)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=30)
+    elapsed = time.perf_counter() - started
+    daemon.flush()
+    updates_applied = daemon.applied_updates - applied_before
+    final_version = daemon.state.snapshot.version
+    daemon.stop()
+
+    all_latencies = [value for slot in latencies for value in slot]
+    p50, p95, p99 = _percentiles(all_latencies)
+    qps = len(all_latencies) / elapsed
+
+    results = {
+        "n_nodes": len(node_names),
+        "n_classes": len(label_names),
+        "n_readers": N_READERS,
+        "batch_size": BATCH_SIZE,
+        "measure_seconds": elapsed,
+        "requests": len(all_latencies),
+        "qps": qps,
+        "p50_seconds": p50,
+        "p95_seconds": p95,
+        "p99_seconds": p99,
+        "errors": errors[0],
+        "updates_applied": updates_applied,
+        "final_snapshot_version": final_version,
+    }
+    _record(results)
+    if assert_results:
+        assert errors[0] == 0, f"{errors[0]} non-200 classify responses"
+        assert qps >= 50.0, (
+            f"classify throughput {qps:.0f} qps under update stream "
+            f"(required: >= 50)"
+        )
+        assert p99 <= 0.25, (
+            f"p99 classify latency {p99 * 1e3:.1f} ms (required: <= 250 ms)"
+        )
+        assert updates_applied >= 1, (
+            "no update reconverged during the measured window; the bench "
+            "degenerated to a read-only measurement"
+        )
+    return results
+
+
+def _record(results: dict) -> Path:
+    """Append one entry to the ``BENCH_serving.json`` trajectory."""
+    if BENCH_PATH.exists():
+        payload = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+    else:
+        payload = {"bench": "serving", "entries": []}
+    entry = {"timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"), **results}
+    payload["entries"].append(entry)
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return BENCH_PATH
+
+
+def test_serving_throughput_under_updates():
+    """Bench-suite entry: qps/tail-latency floors with live updates."""
+    results = run_bench(assert_results=True)
+    assert results["requests"] > 0
+    assert results["final_snapshot_version"] >= results["updates_applied"]
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--assert",
+        dest="assert_results",
+        action="store_true",
+        help="fail (non-zero exit) when a threshold is violated",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    results = run_bench(seed=args.seed, assert_results=args.assert_results)
+    for key, value in results.items():
+        print(f"{key}: {value}")
+    print(f"[recorded -> {BENCH_PATH}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

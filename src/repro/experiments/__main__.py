@@ -17,6 +17,9 @@ Usage::
                                        [--journal PATH] [--hin PATH]
                                        [--save-journal PATH] [--save-hin PATH]
                                        [--solver anderson]
+    python -m repro.experiments serve [--port 8731] [--hin PATH]
+                                      [--result PATH] [--journal PATH]
+                                      [--solver anderson] [--max-seconds S]
 
 ``--full`` switches the neural/ensemble baselines to their full training
 budgets; ``--trials 10`` matches the paper's 10-runs-per-split protocol;
@@ -29,7 +32,11 @@ phase-time breakdown table.  ``health`` folds a trace's residual series
 into per-class convergence verdicts (exit 4 when any chain is
 unhealthy); ``trace-diff`` compares two traces phase-by-phase with a
 relative-change threshold (exit 3 on regressions) — the CI gate that a
-run has not slowed down or lost convergence.
+run has not slowed down or lost convergence.  ``stream`` exits 2 when
+the warm/cold exactness check fails, 4 when a reconvergence surfaced an
+unhealthy chain, 5 for unreadable input files; ``serve`` runs the
+:mod:`repro.serve` prediction daemon over a fitted streaming session
+(exit 4 when the background updater dies, 5 for unreadable inputs).
 """
 
 from __future__ import annotations
@@ -165,6 +172,29 @@ def _build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--solver", default=None,
                         choices=("plain", "anderson", "aitken", "auto"),
                         help="fixed-point solver for the reconvergence fits")
+    serve = sub.add_parser(
+        "serve",
+        help="serve classify/top-k/relation queries over HTTP from "
+             "snapshot-swapped stationary state",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8731,
+                       help="bind port (0 picks a free ephemeral port)")
+    serve.add_argument("--scale", type=float, default=0.5,
+                       help="synthetic seed-graph size multiplier")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--hin", default=None, metavar="PATH",
+                       help="seed graph archive (save_hin) instead of synthetic")
+    serve.add_argument("--result", default=None, metavar="PATH",
+                       help="persisted save_result archive to resume from "
+                            "(skips the startup fit)")
+    serve.add_argument("--journal", default=None, metavar="PATH",
+                       help="append accepted /update deltas to this JSONL journal")
+    serve.add_argument("--solver", default=None,
+                       choices=("plain", "anderson", "aitken", "auto"),
+                       help="fixed-point solver for background reconvergences")
+    serve.add_argument("--max-seconds", type=float, default=None,
+                       help="self-terminate after this many seconds (smoke tests)")
     return parser
 
 
@@ -256,6 +286,10 @@ def main(argv=None) -> int:
         print()
         print(comparison)
         return 0 if comparison.all_shapes_hold else 2
+    if args.command == "serve":
+        from repro.serve.daemon import run_serve_cli
+
+        return run_serve_cli(args)
     if args.command == "stream":
         from repro.experiments.streaming import run_stream_cli
 

@@ -7,6 +7,18 @@ subsystem on a synthetic evolving HIN.  A seed graph plus a generated
 the delta mix, the operator-patch cost and the iterations the warm
 chains needed to reconverge, and closes with the exactness check: the
 final streamed state must agree with a cold fit on the final graph.
+
+The ``stream`` CLI distinguishes its failure modes by exit code (the
+serving smoke and CI gates branch on them):
+
+* :data:`EXIT_DIVERGED` (2) — the exactness check failed: streamed and
+  cold argmax predictions differ on the final graph.
+* :data:`EXIT_UNHEALTHY` (4) — every prediction agrees but at least one
+  reconvergence surfaced a non-``healthy``
+  :class:`~repro.obs.health.ChainHealth` status (mirrors the ``health``
+  CLI's exit 4).
+* :data:`EXIT_UNREADABLE` (5) — a ``--journal`` / ``--hin`` input file
+  is missing or malformed.
 """
 
 from __future__ import annotations
@@ -17,9 +29,17 @@ import numpy as np
 
 from repro.core.tmark import TMark
 from repro.datasets.synthetic import RelationSpec, make_synthetic_hin
+from repro.errors import ValidationError
 from repro.experiments.report import ExperimentReport
 from repro.hin.graph import HIN
+from repro.obs.health import worst_status
 from repro.stream import DeltaLog, StreamingSession, synthetic_delta_log
+
+#: ``stream`` CLI exit codes (documented in docs/api.md).
+EXIT_OK = 0
+EXIT_DIVERGED = 2
+EXIT_UNHEALTHY = 4
+EXIT_UNREADABLE = 5
 
 #: Streaming model configuration.  ``update_labels=False`` keeps the
 #: chain a contraction with one fixed point, so the warm/cold agreement
@@ -146,32 +166,92 @@ def run_stream(
                     "warm": u.warm,
                     "apply_seconds": u.apply_seconds,
                     "fit_seconds": u.fit_seconds,
+                    "worst_health": u.worst_health,
                 }
                 for u in updates
             ],
             "cold_iterations": cold_iterations,
             "max_divergence": max_divergence,
             "predictions_agree": predictions_agree,
+            "worst_health": worst_status(u.worst_health for u in updates),
         },
     )
 
 
+def build_streaming_session(
+    *,
+    hin_path=None,
+    result_path=None,
+    scale: float = 1.0,
+    seed=0,
+    solver: str | None = None,
+    model: TMark | None = None,
+) -> StreamingSession:
+    """Build a fitted :class:`StreamingSession` — the serving entry hook.
+
+    The seed graph comes from ``hin_path`` (a ``save_hin`` archive) or
+    the synthetic stream workload at ``scale``/``seed``.  With
+    ``result_path`` (a persisted :func:`~repro.core.persistence.save_result`
+    archive) the session resumes from the saved stationary state — no
+    refit, the snapshot serves immediately; otherwise the session is
+    cold-fitted here (under ``solver`` when given).  Raises
+    :class:`~repro.errors.ValidationError` for unreadable inputs — the
+    CLIs map that to :data:`EXIT_UNREADABLE`.
+    """
+    from repro.hin.io import load_hin
+
+    if hin_path:
+        seed_hin = _load_input(load_hin, hin_path, "HIN archive")
+    else:
+        seed_hin = make_stream_seed_hin(scale=scale, seed=seed)
+    model = TMark(**MODEL_PARAMS) if model is None else model
+    if result_path:
+        from repro.core.persistence import load_result
+
+        result = _load_input(load_result, result_path, "result archive")
+        return StreamingSession.resume(seed_hin, result, model)
+    session = StreamingSession(seed_hin, model)
+    session.fit(solver=solver)
+    return session
+
+
+def _load_input(loader, path, what: str):
+    """Load an input file, folding OS/parse errors into ValidationError."""
+    try:
+        return loader(path)
+    except ValidationError:
+        raise
+    except Exception as exc:  # unreadable / truncated / not this format
+        raise ValidationError(f"unreadable {what} {path}: {exc}") from exc
+
+
 def run_stream_cli(args) -> int:
-    """Back the ``python -m repro.experiments stream`` subcommand."""
+    """Back the ``python -m repro.experiments stream`` subcommand.
+
+    Exit codes: 0 ok, :data:`EXIT_DIVERGED` (2) when the exactness
+    check fails, :data:`EXIT_UNHEALTHY` (4) when any reconvergence
+    surfaced a non-healthy chain, :data:`EXIT_UNREADABLE` (5) when a
+    ``--journal`` / ``--hin`` input cannot be read.  Divergence outranks
+    ill health: a wrong answer is worse than a slow one.
+    """
     from repro.hin.io import load_hin, save_hin
 
-    if args.hin:
-        seed_hin = load_hin(args.hin)
-        print(f"[seed graph: {args.hin} ({seed_hin.n_nodes} nodes)]")
-    else:
-        seed_hin = make_stream_seed_hin(scale=args.scale, seed=args.seed)
-    if args.journal:
-        log = DeltaLog.load(args.journal)
-        print(f"[journal: {args.journal} ({len(log)} deltas)]")
-    else:
-        log = synthetic_delta_log(
-            seed_hin, args.deltas, batch_size=args.batch_size, seed=args.seed + 1
-        )
+    try:
+        if args.hin:
+            seed_hin = _load_input(load_hin, args.hin, "HIN archive")
+            print(f"[seed graph: {args.hin} ({seed_hin.n_nodes} nodes)]")
+        else:
+            seed_hin = make_stream_seed_hin(scale=args.scale, seed=args.seed)
+        if args.journal:
+            log = _load_input(DeltaLog.load, args.journal, "delta journal")
+            print(f"[journal: {args.journal} ({len(log)} deltas)]")
+        else:
+            log = synthetic_delta_log(
+                seed_hin, args.deltas, batch_size=args.batch_size, seed=args.seed + 1
+            )
+    except ValidationError as exc:
+        print(f"error: {exc}")
+        return EXIT_UNREADABLE
     report = run_stream(
         scale=args.scale, seed=args.seed, seed_hin=seed_hin, log=log,
         solver=getattr(args, "solver", None),
@@ -182,4 +262,9 @@ def run_stream_cli(args) -> int:
     if args.save_hin:
         final = log.replay(seed_hin)
         print(f"[wrote final graph -> {save_hin(final, args.save_hin)}]")
-    return 0 if report.data["predictions_agree"] else 2
+    if not report.data["predictions_agree"]:
+        return EXIT_DIVERGED
+    if report.data["worst_health"] != "healthy":
+        print(f"[unhealthy reconvergence: {report.data['worst_health']}]")
+        return EXIT_UNHEALTHY
+    return EXIT_OK

@@ -37,8 +37,22 @@ DEFAULT_VALUE_BUCKETS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
 #: Iteration-count histogram edges.
 DEFAULT_ITERATION_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0)
 
+#: Request-latency histogram edges (seconds) for the serving tier —
+#: finer sub-millisecond resolution than the fit-time buckets, because
+#: snapshot reads answer in microseconds-to-milliseconds.
+DEFAULT_LATENCY_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
 #: Prometheus metric-name grammar.
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def _metric_suffix(text: str) -> str:
+    """Sanitise free text (an endpoint path) into a metric-name chunk."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_]", "_", str(text)).strip("_")
+    return cleaned or "unknown"
 
 
 def _check_name(name: str) -> str:
@@ -50,8 +64,17 @@ def _check_name(name: str) -> str:
 
 
 def _format_number(value: float) -> str:
-    """Exposition-format a number (integral floats without the dot)."""
+    """Exposition-format a number (integral floats without the dot).
+
+    Non-finite values render as the Prometheus text-format spellings
+    ``+Inf`` / ``-Inf`` / ``NaN`` — Python's ``inf``/``nan`` reprs are
+    rejected by Prometheus parsers.
+    """
     as_float = float(value)
+    if math.isnan(as_float):
+        return "NaN"
+    if math.isinf(as_float):
+        return "+Inf" if as_float > 0 else "-Inf"
     if as_float.is_integer() and abs(as_float) < 1e15:
         return str(int(as_float))
     return repr(as_float)
@@ -100,13 +123,26 @@ class Gauge:
         self.updated = False
 
     def set(self, value: float) -> None:
-        """Record the current value."""
-        self.value = float(value)
+        """Record the current value (NaN is ignored: last *value* wins).
+
+        A NaN observation carries no information and, once stored, would
+        poison every later ``set_max`` comparison (all comparisons with
+        NaN are false), so it is deterministically dropped.
+        """
+        value = float(value)
+        if math.isnan(value):
+            return
+        self.value = value
         self.updated = True
 
     def set_max(self, value: float) -> None:
-        """Record ``value`` only if it exceeds the current one."""
+        """Record ``value`` only if it exceeds the current one.
+
+        NaN never exceeds anything and is dropped (see :meth:`set`).
+        """
         value = float(value)
+        if math.isnan(value):
+            return
         if not self.updated or value > self.value:
             self.set(value)
 
@@ -121,7 +157,14 @@ class Gauge:
         return {"kind": self.kind, "value": self.value, "updated": self.updated}
 
     def expose(self) -> list[str]:
-        """Prometheus exposition lines for this gauge."""
+        """Prometheus exposition lines for this gauge.
+
+        A gauge that was never ``set`` has no measurement to report:
+        exposing its placeholder 0.0 would publish a stale zero (e.g. a
+        merged-in registry whose gauge never fired), so it is omitted.
+        """
+        if not self.updated:
+            return []
         return [f"# TYPE {self.name} gauge", f"{self.name} {_format_number(self.value)}"]
 
 
@@ -413,6 +456,18 @@ class MetricsRecorder(Recorder):
         elif event == "cell_done":
             registry.counter("tmark_cells_merged_total").inc()
             registry.histogram("tmark_cell_worker_seconds").observe(seconds or 0.0)
+        elif event == "http_request":
+            endpoint = _metric_suffix(fields.get("endpoint", "unknown"))
+            registry.counter(f"tmark_http_{endpoint}_requests_total").inc()
+            registry.histogram(
+                f"tmark_http_{endpoint}_seconds", DEFAULT_LATENCY_BUCKETS
+            ).observe(seconds or 0.0)
+            if int(fields.get("status", 200)) >= 400:
+                registry.counter("tmark_http_errors_total").inc()
+        elif event == "snapshot_swap":
+            registry.counter("tmark_snapshot_swaps_total").inc()
+            registry.gauge("tmark_snapshot_version").set(fields.get("version", 0))
+            registry.histogram("tmark_snapshot_build_seconds").observe(seconds or 0.0)
         elif event == "counters":
             for name, value in fields.get("counters", {}).items():
                 registry.counter(f"tmark_{name}_total").inc(value)

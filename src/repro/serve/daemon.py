@@ -1,0 +1,393 @@
+"""The long-lived prediction daemon: stdlib HTTP over snapshot swaps.
+
+:class:`PredictionDaemon` wraps a fitted
+:class:`~repro.stream.StreamingSession` in a threaded
+``http.server`` front end:
+
+* **Readers** (one thread per connection via
+  ``ThreadingHTTPServer``) answer ``/classify``, ``/topk``,
+  ``/relations``, ``/metrics`` and ``/healthz`` from the current
+  :class:`~repro.serve.snapshot.Snapshot` — an immutable object they
+  load with a single reference read, so no reader ever blocks on (or
+  observes) an in-flight update.
+* **One updater thread** owns the streaming session exclusively.  Delta
+  batches accepted by ``POST /update`` are queued to it; for each batch
+  it journals the deltas through a :class:`~repro.stream.DeltaLog`
+  (durably, before touching the model when a journal path is
+  configured), applies them (operator patch + warm reconverge,
+  optionally under a :mod:`repro.solvers` accelerator), builds a fresh
+  snapshot and installs it with one atomic assignment
+  (:meth:`~repro.serve.handlers.ServingState.swap`).
+
+The daemon binds ``port=0`` to a free ephemeral port by default, which
+is what the tests and the serving benchmark use.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.errors import ValidationError
+from repro.serve import handlers as h
+from repro.serve.snapshot import Snapshot
+from repro.stream.delta import as_batch
+from repro.stream.journal import DeltaLog
+
+#: Sentinel queued to shut the updater thread down.
+_STOP = object()
+
+
+class PredictionDaemon:
+    """Serve a fitted streaming session over HTTP with snapshot swaps.
+
+    Parameters
+    ----------
+    session:
+        A :class:`~repro.stream.StreamingSession` that has already been
+        fitted (``session.result`` is not ``None``).
+    host, port:
+        Bind address; ``port=0`` picks a free ephemeral port.
+    solver:
+        Optional :mod:`repro.solvers` solver name used for every
+        background reconvergence.
+    journal:
+        Optional path; accepted delta batches are appended to a
+        :class:`~repro.stream.DeltaLog` and re-saved there *before*
+        the model is updated, so a crash mid-reconverge loses no
+        accepted deltas.
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` backing
+        ``/metrics`` (a fresh one by default).
+
+    Examples
+    --------
+    >>> from repro.datasets import make_worked_example
+    >>> from repro.stream import StreamingSession
+    >>> session = StreamingSession(make_worked_example())
+    >>> _ = session.fit()
+    >>> daemon = PredictionDaemon(session)
+    >>> daemon.start()
+    >>> daemon.url.startswith("http://127.0.0.1:")
+    True
+    >>> daemon.stop()
+    """
+
+    def __init__(
+        self,
+        session,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        solver: str | None = None,
+        journal=None,
+        registry=None,
+    ):
+        if session.result is None:
+            raise ValidationError(
+                "session has no fitted result; call session.fit() before serving"
+            )
+        self._session = session
+        self._solver = solver
+        self._journal_path = journal
+        self._log = DeltaLog()
+        self.state = h.ServingState(
+            Snapshot.from_session(session, version=0),
+            registry=registry,
+            enqueue_update=self._enqueue,
+        )
+        self._queue: queue.Queue = queue.Queue()
+        self._tickets = 0
+        self._applied = 0
+        self._update_error: str | None = None
+        self._server = ThreadingHTTPServer(
+            (host, port), _make_handler(self.state), bind_and_activate=True
+        )
+        self._server.daemon_threads = True
+        self._http_thread: threading.Thread | None = None
+        self._updater_thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        """The bound interface address."""
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolved even when constructed with port=0)."""
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server."""
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def applied_updates(self) -> int:
+        """Number of delta batches the updater thread has applied."""
+        return self._applied
+
+    def start(self) -> "PredictionDaemon":
+        """Start the HTTP listener and the background updater thread."""
+        if self._http_thread is not None:
+            return self
+        self._updater_thread = threading.Thread(
+            target=self._updater_loop, name="tmark-updater", daemon=True
+        )
+        self._updater_thread.start()
+        self._http_thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="tmark-http",
+            daemon=True,
+        )
+        self._http_thread.start()
+        return self
+
+    def stop(self, *, timeout: float = 5.0) -> None:
+        """Shut the listener down and drain the updater thread."""
+        if self._updater_thread is not None:
+            self._queue.put(_STOP)
+            self._updater_thread.join(timeout=timeout)
+            self._updater_thread = None
+        self._server.shutdown()
+        self._server.server_close()
+        self._http_thread = None
+
+    def flush(self, *, timeout: float = 30.0) -> None:
+        """Block until every queued update has been applied and swapped.
+
+        Raises ``RuntimeError`` with the remote traceback summary when
+        the updater thread died on a queued batch.
+        """
+        deadline = time.monotonic() + timeout
+        while self._applied + (1 if self._update_error else 0) < self._tickets:
+            if self._update_error:
+                break
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"{self._tickets - self._applied} update(s) still pending "
+                    f"after {timeout}s"
+                )
+            time.sleep(0.005)
+        if self._update_error:
+            raise RuntimeError(f"updater thread failed: {self._update_error}")
+
+    # ------------------------------------------------------------------
+    # Update pipeline (updater thread owns the session)
+    # ------------------------------------------------------------------
+    def _enqueue(self, deltas) -> int:
+        """Handler hook: queue one validated batch, return its ticket."""
+        if self._update_error:
+            raise ValidationError(
+                f"updater thread is down: {self._update_error}"
+            )
+        self._tickets += 1
+        ticket = self._tickets
+        self._queue.put(as_batch(deltas))
+        self.state.registry.gauge("tmark_update_queue_depth").set(
+            self._tickets - self._applied
+        )
+        return ticket
+
+    def _updater_loop(self) -> None:
+        while True:
+            batch = self._queue.get()
+            if batch is _STOP:
+                return
+            try:
+                self._apply_one(batch)
+            except Exception as exc:  # noqa: BLE001 — surfaced via flush()/update 503s
+                self._update_error = f"{type(exc).__name__}: {exc}"
+                self.state.registry.counter("tmark_update_failures_total").inc()
+                return
+
+    def _apply_one(self, batch) -> None:
+        started = time.perf_counter()
+        # Journal first: an accepted batch survives a crash mid-update.
+        self._log.extend(batch)
+        self._log.commit()
+        if self._journal_path is not None:
+            self._log.save(self._journal_path)
+        update = self._session.apply(batch, solver=self._solver)
+        snapshot = Snapshot.from_session(
+            self._session, version=self.state.snapshot.version + 1
+        )
+        self._applied += 1
+        self.state.swap(
+            snapshot, build_seconds=time.perf_counter() - started
+        )
+        registry = self.state.registry
+        registry.counter("tmark_updates_applied_total").inc()
+        registry.gauge("tmark_update_queue_depth").set(
+            self._tickets - self._applied
+        )
+        registry.histogram("tmark_reconverge_seconds").observe(update.fit_seconds)
+        if not update.converged:
+            registry.counter("tmark_unconverged_reconverges_total").inc()
+
+
+def _make_handler(state: h.ServingState):
+    """Build the request-handler class bound to one ``ServingState``."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        # http.server writes responses unbuffered line-by-line; without
+        # TCP_NODELAY the Nagle / delayed-ACK interaction adds ~40 ms to
+        # every keep-alive request on loopback.
+        disable_nagle_algorithm = True
+        # Quiet by default: per-request stderr logging would dominate
+        # the serving benchmark.
+        def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+            pass
+
+        # -- plumbing ---------------------------------------------------
+        def _reply(self, endpoint: str, started: float, status: int, body) -> None:
+            if isinstance(body, str):
+                raw = body.encode("utf-8")
+                content_type = "text/plain; version=0.0.4; charset=utf-8"
+            else:
+                raw = json.dumps(body).encode("utf-8")
+                content_type = "application/json"
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(raw)))
+            self.end_headers()
+            self.wfile.write(raw)
+            state.observe_request(
+                endpoint, time.perf_counter() - started, status
+            )
+
+        def _read_json(self):
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b""
+            if not raw:
+                return None
+            try:
+                return json.loads(raw.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                return None
+
+        # -- routing ----------------------------------------------------
+        def do_GET(self):  # noqa: N802 - stdlib naming
+            started = time.perf_counter()
+            url = urlsplit(self.path)
+            params = dict(parse_qsl(url.query))
+            if url.path == "/healthz":
+                self._reply("/healthz", started, *h.handle_healthz(state))
+            elif url.path == "/metrics":
+                self._reply("/metrics", started, *h.handle_metrics(state))
+            elif url.path == "/topk":
+                self._reply("/topk", started, *h.handle_topk(state, params))
+            elif url.path == "/relations":
+                self._reply(
+                    "/relations", started, *h.handle_relations(state, params)
+                )
+            else:
+                self._reply(
+                    url.path, started, 404, {"error": f"no such endpoint: {url.path}"}
+                )
+
+        def do_POST(self):  # noqa: N802 - stdlib naming
+            started = time.perf_counter()
+            url = urlsplit(self.path)
+            payload = self._read_json()
+            if payload is None:
+                self._reply(url.path, started, 400, {"error": "body must be JSON"})
+            elif url.path == "/classify":
+                self._reply(
+                    "/classify", started, *h.handle_classify(state, payload)
+                )
+            elif url.path == "/update":
+                try:
+                    status, body = h.handle_update(state, payload)
+                except ValidationError as exc:
+                    status, body = 503, {"error": str(exc)}
+                self._reply("/update", started, status, body)
+            else:
+                self._reply(
+                    url.path, started, 404, {"error": f"no such endpoint: {url.path}"}
+                )
+
+    return Handler
+
+
+def serve_forever(daemon: PredictionDaemon, *, max_seconds: float | None = None) -> None:
+    """Run a started daemon until interrupted (the CLI's main loop).
+
+    ``max_seconds`` bounds the run (smoke tests self-terminate with
+    it); a dead updater thread raises so the process exits non-zero
+    instead of silently refusing updates.
+    """
+    deadline = None if max_seconds is None else time.monotonic() + max_seconds
+    try:
+        while deadline is None or time.monotonic() < deadline:
+            time.sleep(0.2)
+            if daemon._update_error:
+                raise RuntimeError(
+                    f"updater thread failed: {daemon._update_error}"
+                )
+    except KeyboardInterrupt:
+        pass
+    finally:
+        daemon.stop()
+
+
+def run_serve_cli(args) -> int:
+    """Back the ``python -m repro.experiments serve`` subcommand.
+
+    Exit codes match the ``stream`` CLI vocabulary: 0 on a clean
+    shutdown, 4 when the background updater died (the serving analogue
+    of an unhealthy reconvergence), 5 for unreadable ``--hin`` /
+    ``--result`` inputs.
+    """
+    from repro.experiments.streaming import (
+        EXIT_UNHEALTHY,
+        EXIT_UNREADABLE,
+        build_streaming_session,
+    )
+
+    try:
+        session = build_streaming_session(
+            hin_path=args.hin,
+            result_path=args.result,
+            scale=args.scale,
+            seed=args.seed,
+            solver=args.solver,
+        )
+    except ValidationError as exc:
+        print(f"error: {exc}")
+        return EXIT_UNREADABLE
+    daemon = PredictionDaemon(
+        session,
+        host=args.host,
+        port=args.port,
+        solver=args.solver,
+        journal=args.journal,
+    ).start()
+    snapshot = daemon.state.snapshot
+    print(
+        f"[serving {snapshot.n_nodes} nodes x {len(snapshot.label_names)} "
+        f"classes on {daemon.url}]",
+        flush=True,
+    )
+    print(
+        "[endpoints: POST /classify, POST /update, GET /topk, "
+        "GET /relations, GET /metrics, GET /healthz]",
+        flush=True,
+    )
+    if args.journal:
+        print(f"[journaling accepted updates -> {args.journal}]", flush=True)
+    try:
+        serve_forever(daemon, max_seconds=args.max_seconds)
+    except RuntimeError as exc:
+        print(f"error: {exc}")
+        return EXIT_UNHEALTHY
+    return 0

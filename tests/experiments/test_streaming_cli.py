@@ -1,0 +1,120 @@
+"""Exit-code contract of the ``stream`` and ``serve`` subcommands.
+
+The codes are load-bearing: CI smoke steps and the nightly gate branch
+on them, so each failure mode is pinned here — 0 ok, 2 diverged,
+4 unhealthy reconvergence, 5 unreadable input — along with the
+documented precedence (divergence outranks ill health).
+"""
+
+import pytest
+
+from repro.experiments import streaming
+from repro.experiments.__main__ import main
+from repro.experiments.report import ExperimentReport
+from repro.experiments.streaming import (
+    EXIT_DIVERGED,
+    EXIT_OK,
+    EXIT_UNHEALTHY,
+    EXIT_UNREADABLE,
+)
+
+
+def _fake_report(*, predictions_agree, worst_health):
+    return ExperimentReport(
+        "stream",
+        "stub",
+        "stub body",
+        data={
+            "predictions_agree": predictions_agree,
+            "worst_health": worst_health,
+        },
+    )
+
+
+class TestStreamExitCodes:
+    def test_clean_replay_exits_zero(self, capsys):
+        code = main(
+            ["stream", "--scale", "0.4", "--deltas", "6", "--batch-size", "3"]
+        )
+        assert code == EXIT_OK
+        assert "predictions agree" in capsys.readouterr().out
+
+    def test_missing_journal_exits_five(self, capsys, tmp_path):
+        code = main(["stream", "--journal", str(tmp_path / "nope.jsonl")])
+        assert code == EXIT_UNREADABLE
+        assert "error:" in capsys.readouterr().out
+
+    def test_corrupt_journal_exits_five(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("this is not { json\n")
+        assert main(["stream", "--journal", str(bad)]) == EXIT_UNREADABLE
+        assert "error:" in capsys.readouterr().out
+
+    def test_missing_hin_exits_five(self, capsys, tmp_path):
+        code = main(["stream", "--hin", str(tmp_path / "ghost.npz")])
+        assert code == EXIT_UNREADABLE
+        assert "error:" in capsys.readouterr().out
+
+    def test_unhealthy_reconverge_exits_four(self, capsys, monkeypatch):
+        monkeypatch.setattr(
+            streaming,
+            "run_stream",
+            lambda **kwargs: _fake_report(
+                predictions_agree=True, worst_health="stalled"
+            ),
+        )
+        assert main(["stream", "--scale", "0.4"]) == EXIT_UNHEALTHY
+        assert "unhealthy reconvergence: stalled" in capsys.readouterr().out
+
+    def test_divergence_outranks_ill_health(self, monkeypatch):
+        monkeypatch.setattr(
+            streaming,
+            "run_stream",
+            lambda **kwargs: _fake_report(
+                predictions_agree=False, worst_health="not_converged"
+            ),
+        )
+        assert main(["stream", "--scale", "0.4"]) == EXIT_DIVERGED
+
+
+class TestServeExitCodes:
+    def test_unreadable_result_exits_five(self, capsys, tmp_path):
+        code = main(
+            ["serve", "--result", str(tmp_path / "ghost.npz"), "--port", "0"]
+        )
+        assert code == EXIT_UNREADABLE
+        assert "error:" in capsys.readouterr().out
+
+    def test_unreadable_hin_exits_five(self, capsys, tmp_path):
+        code = main(
+            ["serve", "--hin", str(tmp_path / "ghost.npz"), "--port", "0"]
+        )
+        assert code == EXIT_UNREADABLE
+        assert "error:" in capsys.readouterr().out
+
+    def test_serves_briefly_then_exits_zero(self, capsys):
+        code = main(
+            ["serve", "--scale", "0.4", "--port", "0", "--max-seconds", "0.2"]
+        )
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "[serving" in out and "/classify" in out
+
+
+class TestBuildStreamingSession:
+    def test_resume_from_saved_result_skips_refit(self, tmp_path):
+        from repro.core.persistence import save_result
+        from repro.hin.io import save_hin
+
+        session = streaming.build_streaming_session(scale=0.4, seed=0)
+        hin_path = save_hin(session.hin, tmp_path / "seed.npz")
+        result_path = save_result(session.result, tmp_path / "fit.npz")
+
+        resumed = streaming.build_streaming_session(
+            hin_path=hin_path, result_path=result_path
+        )
+        assert resumed.result is not None
+        assert resumed.hin.node_names == session.hin.node_names
+        assert resumed.result.node_scores == pytest.approx(
+            session.result.node_scores
+        )

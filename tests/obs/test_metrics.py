@@ -3,6 +3,7 @@
 import pytest
 
 from repro.errors import ValidationError
+from repro.obs.metrics import _format_number
 from repro.obs import (
     Counter,
     Gauge,
@@ -53,6 +54,28 @@ class TestGauge:
         gauge.set(3.0)
         gauge.merge(Gauge("g"))
         assert gauge.value == 3.0
+
+    def test_set_drops_nan(self):
+        gauge = Gauge("g")
+        gauge.set(float("nan"))
+        assert not gauge.updated
+        gauge.set(2.0)
+        gauge.set(float("nan"))
+        assert gauge.value == 2.0 and gauge.updated
+
+    def test_set_max_survives_nan(self):
+        # Regression: a NaN stored first made every later comparison
+        # false, freezing the gauge at NaN forever.
+        gauge = Gauge("g")
+        gauge.set_max(float("nan"))
+        assert not gauge.updated
+        gauge.set_max(1.5)
+        gauge.set_max(float("nan"))
+        gauge.set_max(4.0)
+        assert gauge.value == 4.0
+
+    def test_never_set_gauge_not_exposed(self):
+        assert Gauge("g").expose() == []
 
 
 class TestHistogram:
@@ -159,6 +182,36 @@ class TestMetricsRegistry:
     def test_empty_exposition(self):
         assert MetricsRegistry().to_prometheus() == ""
 
+    def test_non_finite_values_use_prometheus_spellings(self):
+        # Regression: Python's repr spellings ("inf", "nan") are not
+        # valid Prometheus text-format numbers.
+        registry = MetricsRegistry()
+        registry.counter("c").inc(float("inf"))
+        gauge = registry.gauge("g")
+        gauge.value, gauge.updated = float("-inf"), True
+        text = registry.to_prometheus()
+        assert "c +Inf" in text
+        assert "g -Inf" in text
+        assert "inf" not in text.replace("+Inf", "").replace("-Inf", "")
+        assert _format_number(float("nan")) == "NaN"
+
+    def test_never_set_gauge_round_trips_without_stale_zero(self):
+        # Regression audit: a gauge created but never set must survive
+        # JSON round-trip and merge as "never set" — not re-expose (or
+        # overwrite a live peer with) its placeholder 0.0.
+        registry = MetricsRegistry()
+        registry.gauge("g")
+        rebuilt = MetricsRegistry.from_json(registry.to_json())
+        assert not rebuilt.get("g").updated
+        assert "g" not in rebuilt.to_prometheus()
+        live = MetricsRegistry()
+        live.gauge("g").set(7.0)
+        live.merge(rebuilt)
+        assert live.get("g").value == 7.0 and live.get("g").updated
+        target = MetricsRegistry().merge(rebuilt)
+        assert not target.get("g").updated
+        assert target.to_prometheus() == ""
+
 
 class TestMetricsRecorder:
     def test_fit_events_feed_histograms_and_counters(self):
@@ -185,6 +238,21 @@ class TestMetricsRecorder:
                       n_negative=2)
         assert recorder.registry.get("tmark_max_mass_drift").value == 3e-10
         assert recorder.registry.get("tmark_negative_entries_total").value == 2.0
+
+    def test_http_request_events_feed_serving_instruments(self):
+        recorder = MetricsRecorder()
+        recorder.emit("http_request", endpoint="/classify", seconds=0.002, status=200)
+        recorder.emit("http_request", endpoint="/classify", seconds=0.004, status=404)
+        registry = recorder.registry
+        assert registry.get("tmark_http_classify_requests_total").value == 2.0
+        assert registry.get("tmark_http_classify_seconds").count == 2
+        assert registry.get("tmark_http_errors_total").value == 1.0
+
+    def test_snapshot_swap_events_track_version(self):
+        recorder = MetricsRecorder()
+        recorder.emit("snapshot_swap", version=3, seconds=0.01)
+        assert recorder.registry.get("tmark_snapshot_swaps_total").value == 1.0
+        assert recorder.registry.get("tmark_snapshot_version").value == 3.0
 
     def test_unknown_events_still_count(self):
         recorder = MetricsRecorder()
