@@ -1,0 +1,76 @@
+"""Shared peak-RSS measurement helpers for the benchmark suite.
+
+Linux reports ``ru_maxrss`` in KiB (macOS in bytes); these helpers
+normalise to bytes.  ``measure_in_child`` is the primitive the
+out-of-core bench builds on: the workload runs in a *forked* child that
+self-reports its own high-water mark through a pipe, so the number
+excludes the parent's allocations — ``RUSAGE_CHILDREN`` would conflate
+every previously reaped child (workers, earlier measurements) into one
+monotonic maximum.
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+from multiprocessing import get_context
+
+
+def peak_rss_bytes(who: str = "self") -> int:
+    """Peak resident set size in bytes, for this process or its children.
+
+    Parameters
+    ----------
+    who:
+        ``"self"`` — this process's own high-water mark;
+        ``"children"`` — the maximum over all *reaped* child processes
+        (useful as a cheap upper bound when the child cannot report).
+    """
+    if who == "self":
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+    elif who == "children":
+        usage = resource.getrusage(resource.RUSAGE_CHILDREN)
+    else:
+        raise ValueError(f"who must be 'self' or 'children', got {who!r}")
+    scale = 1 if sys.platform == "darwin" else 1024
+    return int(usage.ru_maxrss) * scale
+
+
+def measure_in_child(fn, *args, **kwargs):
+    """Run ``fn(*args, **kwargs)`` in a forked child; return ``(result, rss)``.
+
+    ``rss`` is the child's own peak RSS in bytes, self-reported just
+    before it exits.  Fork (not spawn) start method: the target and its
+    arguments never cross a pickle boundary, so closures and open
+    handles work, and the child's baseline RSS is the parent's resident
+    set at fork time — keep the parent lean before calling.
+
+    Raises ``RuntimeError`` when the child's workload raised (the repr
+    travels back over the pipe) or died without reporting.
+    """
+    context = get_context("fork")
+    receiver, sender = context.Pipe(duplex=False)
+
+    def _target(conn):
+        try:
+            result = fn(*args, **kwargs)
+            conn.send(("ok", result, peak_rss_bytes("self")))
+        except BaseException as exc:  # report, don't hang the parent
+            conn.send(("error", repr(exc), None))
+        finally:
+            conn.close()
+
+    process = context.Process(target=_target, args=(sender,))
+    process.start()
+    sender.close()
+    try:
+        status, payload, rss = receiver.recv()
+    except EOFError:
+        process.join()
+        raise RuntimeError(
+            f"measured child died without reporting (exitcode {process.exitcode})"
+        ) from None
+    process.join()
+    if status != "ok":
+        raise RuntimeError(f"measured child failed: {payload}")
+    return payload, rss

@@ -45,7 +45,11 @@ def cosine_similarity_matrix(features, *, clip_negative: bool = True) -> np.ndar
         norms = np.linalg.norm(feats, axis=1)
         safe = np.where(norms > 0, norms, 1.0)
         normalized = feats / safe[:, None]
-        sims = normalized @ normalized.T
+        # einsum, not GEMM: a fixed per-element summation order keeps
+        # these values bit-consistent with the chunked panels of
+        # topk_cosine_transition_matrix, so top-k ties resolve the same
+        # way on both paths.
+        sims = np.einsum("nd,cd->nc", normalized, normalized)
     zero = norms == 0
     if np.any(zero):
         sims[zero, :] = 0.0
@@ -137,10 +141,18 @@ def topk_cosine_transition_matrix(
     but computes similarities in column blocks of ``chunk_size``, so peak
     memory is ``O(n * chunk_size)`` instead of ``O(n^2)`` — the path for
     networks with tens of thousands of nodes.
+
+    The output is bit-identical for every valid ``chunk_size`` (a
+    property test pins ``chunk_size`` in ``{1, 7, 512, n}``): each
+    column's top-k selection and values depend only on that column's
+    similarity panel, and similarity panels are reduced with a fixed
+    per-element summation order (``np.einsum`` rather than a BLAS GEMM,
+    whose kernel choice — and last-bit rounding — varies with panel
+    width).  The out-of-core operator builds (:mod:`repro.ooc.build`)
+    rely on this invariant.
     """
     top_k = check_positive_int(top_k, "top_k")
-    if chunk_size <= 0:
-        raise ValidationError(f"chunk_size must be positive, got {chunk_size}")
+    chunk_size = check_positive_int(chunk_size, "chunk_size")
     if sp.issparse(features):
         feats = sp.csr_matrix(features, dtype=float)
         norms = np.sqrt(np.asarray(feats.multiply(feats).sum(axis=1)).ravel())
@@ -163,8 +175,14 @@ def topk_cosine_transition_matrix(
     for start in range(0, n, chunk_size):
         stop = min(start + chunk_size, n)
         block = normalized[start:stop]
-        sims = normalized @ block.T  # (n, chunk)
-        sims = np.asarray(sims.todense()) if sp.issparse(sims) else np.asarray(sims)
+        if sp.issparse(normalized):
+            # Sparse matmul accumulates each output element in the fixed
+            # order of the left operand's row, independent of panel width.
+            sims = np.asarray((normalized @ block.T).todense())
+        else:
+            # einsum, not GEMM: BLAS kernels round differently per panel
+            # width, which would break chunk-size bit-identity.
+            sims = np.einsum("nd,cd->nc", normalized, block)
         np.clip(sims, 0.0, None, out=sims)
         sims[zero_rows, :] = 0.0
         sims[:, zero_rows[start:stop]] = 0.0

@@ -359,7 +359,6 @@ class TMark:
         """
         rec = get_recorder() if recorder is None else recorder
         fit_started = time.perf_counter() if rec.enabled else 0.0
-        solver_name = self.solver if solver is None else check_solver(solver)
         if not isinstance(hin, HIN):
             raise ValidationError(f"expected a HIN, got {type(hin).__name__}")
         if operators is not None:
@@ -368,33 +367,133 @@ class TMark:
                     f"operators were built for shape {operators.shape}, the HIN "
                     f"has ({hin.n_nodes}, {hin.n_relations})"
                 )
-            if (
-                operators.similarity_top_k != self.similarity_top_k
-                or operators.similarity_metric != self.similarity_metric
-            ):
-                raise ValidationError(
-                    "operators were built with different similarity settings "
-                    f"(top_k={operators.similarity_top_k}, "
-                    f"metric={operators.similarity_metric!r})"
-                )
-            o_tensor, r_tensor, w_matrix = (
-                operators.o_tensor,
-                operators.r_tensor,
-                operators.w_matrix,
-            )
         else:
-            built = build_operators(
+            operators = build_operators(
                 hin,
                 similarity_top_k=self.similarity_top_k,
                 similarity_metric=self.similarity_metric,
                 recorder=rec,
             )
-            o_tensor, r_tensor, w_matrix = (
-                built.o_tensor,
-                built.r_tensor,
-                built.w_matrix,
+        self.fit_operators(
+            operators,
+            hin.label_matrix,
+            label_names=hin.label_names,
+            relation_names=hin.relation_names,
+            node_names=hin.node_names,
+            warm_start=warm_start,
+            starts=starts,
+            recorder=rec,
+            solver=solver,
+            _fit_started=fit_started,
+        )
+        self._hin = hin
+        return self
+
+    def fit_operators(
+        self,
+        operators,
+        label_matrix,
+        *,
+        label_names=None,
+        relation_names=None,
+        node_names=None,
+        warm_start: bool = False,
+        starts=None,
+        recorder=None,
+        solver: str | None = None,
+        _fit_started: float | None = None,
+    ) -> "TMark":
+        """Run the per-class chains directly on a precomputed operator triple.
+
+        The HIN-free core of :meth:`fit`: everything Algorithm 1 needs
+        is the ``(O, R, W)`` operators plus the ``(n, q)`` boolean
+        supervision matrix, so callers that never materialise a
+        :class:`HIN` — above all the out-of-core tier, where a
+        million-node graph lives in a :class:`repro.ooc.GraphStore` and
+        the operators stream over memory-mapped slices — enter here.
+        :meth:`fit` itself delegates to this method, so both paths are
+        one code path with identical telemetry and results.
+
+        Parameters
+        ----------
+        operators:
+            A :class:`TMarkOperators` from :func:`build_operators`, or
+            any object with the same surface (``o_tensor`` /
+            ``r_tensor`` / ``w_matrix`` / ``shape`` / similarity
+            attributes) such as :class:`repro.ooc.ChunkedOperators`.
+        label_matrix:
+            ``(n, q)`` boolean supervision; all-``False`` rows are the
+            nodes to classify.
+        label_names, relation_names:
+            Names attached to the result's score axes; default to
+            ``class_<c>`` / ``relation_<k>``.
+        node_names:
+            Optional node names for the result (``None`` keeps the
+            result free of per-node strings — the only sane choice at
+            millions of nodes).
+        warm_start, starts, recorder, solver:
+            As in :meth:`fit`.
+
+        Returns
+        -------
+        ``self``; ``result_`` holds the stationary scores.  After this
+        call :meth:`predict_multilabel` requires explicit
+        ``positive_rates`` (there is no fitted HIN to infer them from).
+        """
+        rec = get_recorder() if recorder is None else recorder
+        fit_started = (
+            (time.perf_counter() if rec.enabled else 0.0)
+            if _fit_started is None
+            else _fit_started
+        )
+        solver_name = self.solver if solver is None else check_solver(solver)
+        if (
+            operators.similarity_top_k != self.similarity_top_k
+            or operators.similarity_metric != self.similarity_metric
+        ):
+            raise ValidationError(
+                "operators were built with different similarity settings "
+                f"(top_k={operators.similarity_top_k}, "
+                f"metric={operators.similarity_metric!r})"
             )
-        n, q, m = hin.n_nodes, hin.n_labels, hin.n_relations
+        label_matrix = np.asarray(label_matrix, dtype=bool)
+        if label_matrix.ndim != 2:
+            raise ValidationError(
+                f"label_matrix must be 2-D (n, q), got shape {label_matrix.shape}"
+            )
+        n, q = label_matrix.shape
+        n_ops, m = operators.shape
+        if n_ops != n:
+            raise ValidationError(
+                f"operators were built for {n_ops} nodes, the label matrix "
+                f"has {n} rows"
+            )
+        if self.beta > 0.0 and operators.w_matrix is None:
+            raise ValidationError(
+                "operators carry no feature-walk matrix (W) but "
+                f"gamma={self.gamma} needs one; rebuild with W or set gamma=0"
+            )
+        if label_names is None:
+            label_names = tuple(f"class_{c}" for c in range(q))
+        else:
+            label_names = tuple(str(name) for name in label_names)
+            if len(label_names) != q:
+                raise ValidationError(
+                    f"expected {q} label names, got {len(label_names)}"
+                )
+        if relation_names is None:
+            relation_names = tuple(f"relation_{k}" for k in range(m))
+        else:
+            relation_names = tuple(str(name) for name in relation_names)
+            if len(relation_names) != m:
+                raise ValidationError(
+                    f"expected {m} relation names, got {len(relation_names)}"
+                )
+        o_tensor, r_tensor, w_matrix = (
+            operators.o_tensor,
+            operators.r_tensor,
+            operators.w_matrix,
+        )
 
         if starts is not None:
             if len(starts) != 2:
@@ -426,20 +525,20 @@ class TMark:
             if previous is not None and (
                 previous.node_scores.shape != (n, q)
                 or previous.relation_scores.shape != (m, q)
-                or tuple(previous.label_names) != tuple(hin.label_names)
-                or tuple(previous.relation_names) != tuple(hin.relation_names)
+                or tuple(previous.label_names) != tuple(label_names)
+                or tuple(previous.relation_names) != tuple(relation_names)
             ):
                 previous = None
             if previous is not None:
                 starts = (previous.node_scores, previous.relation_scores)
         node_scores, relation_scores, histories = self._run_chains_batched(
-            o_tensor, r_tensor, w_matrix, hin.label_matrix, starts=starts,
+            o_tensor, r_tensor, w_matrix, label_matrix, starts=starts,
             recorder=rec, solver=solver_name,
         )
         for c, history in enumerate(histories):
             if history.exhausted:
                 warnings.warn(
-                    f"chain for class {hin.label_names[c]!r} exhausted "
+                    f"chain for class {label_names[c]!r} exhausted "
                     f"max_iter={self.max_iter} without converging "
                     f"(final residual {history.final_residual:.3e} >= "
                     f"tol {self.tol:.3e})",
@@ -451,15 +550,15 @@ class TMark:
             node_scores=node_scores,
             relation_scores=relation_scores,
             histories=histories,
-            label_names=hin.label_names,
-            relation_names=hin.relation_names,
-            node_names=hin.node_names,
+            label_names=label_names,
+            relation_names=relation_names,
+            node_names=tuple(node_names) if node_names is not None else None,
         )
-        self._hin = hin
+        self._hin = None
         if rec.enabled:
             for c, history in enumerate(histories):
                 verdict = health_from_history(
-                    history, class_index=c, label=hin.label_names[c]
+                    history, class_index=c, label=label_names[c]
                 )
                 rec.emit("chain_health", **verdict.as_event())
                 if not verdict.ok:

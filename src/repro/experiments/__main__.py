@@ -20,6 +20,10 @@ Usage::
     python -m repro.experiments serve [--port 8731] [--hin PATH]
                                       [--result PATH] [--journal PATH]
                                       [--solver anderson] [--max-seconds S]
+    python -m repro.experiments store build DIR (--hin PATH | --dataset NAME)
+    python -m repro.experiments store synth DIR [--nodes N] [--links L]
+    python -m repro.experiments store inspect DIR [--verify]
+    python -m repro.experiments run example --store DIR
 
 ``--full`` switches the neural/ensemble baselines to their full training
 budgets; ``--trials 10`` matches the paper's 10-runs-per-split protocol;
@@ -37,6 +41,12 @@ the warm/cold exactness check fails, 4 when a reconvergence surfaced an
 unhealthy chain, 5 for unreadable input files; ``serve`` runs the
 :mod:`repro.serve` prediction daemon over a fitted streaming session
 (exit 4 when the background updater dies, 5 for unreadable inputs).
+``store`` manages the out-of-core tier (:mod:`repro.ooc`): ``build``
+converts a HIN into a memory-mapped :class:`~repro.ooc.store.GraphStore`
+directory, ``synth`` generates a synthetic store directly on disk, and
+``inspect`` prints (and with ``--verify`` re-hashes) a store's manifest
+— exit 5 for unreadable inputs.  ``run ... --store DIR`` routes a
+supporting experiment through the store-backed fit path.
 """
 
 from __future__ import annotations
@@ -119,6 +129,55 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         choices=("plain", "anderson", "aitken", "auto"),
         help="fixed-point solver for the T-Mark chains (repro.solvers)",
+    )
+    run.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="fit through the out-of-core GraphStore at DIR instead of in "
+             "RAM (experiments that support it, e.g. 'example'; the store "
+             "is created there on first use)",
+    )
+    store = sub.add_parser(
+        "store",
+        help="build, synthesise or inspect an out-of-core graph store "
+             "(repro.ooc)",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_build = store_sub.add_parser(
+        "build", help="save a HIN into a mmap-able GraphStore directory"
+    )
+    store_build.add_argument("directory", help="target store directory")
+    source = store_build.add_mutually_exclusive_group(required=True)
+    source.add_argument("--hin", default=None, metavar="PATH",
+                        help="a save_hin .npz archive to convert")
+    source.add_argument("--dataset", default=None, metavar="NAME",
+                        help="a calibrated dataset name (dblp, movies, ...)")
+    store_build.add_argument("--scale", type=float, default=1.0,
+                             help="dataset size multiplier (with --dataset)")
+    store_build.add_argument("--seed", type=int, default=0)
+    store_synth = store_sub.add_parser(
+        "synth",
+        help="generate a synthetic out-of-core store directly on disk",
+    )
+    store_synth.add_argument("directory", help="target store directory")
+    store_synth.add_argument("--nodes", type=int, default=100_000)
+    store_synth.add_argument("--links", type=int, default=110_000,
+                             help="requested links per relation (pre-dedup)")
+    store_synth.add_argument("--relations", type=int, default=2)
+    store_synth.add_argument("--labels", type=int, default=2)
+    store_synth.add_argument("--features", type=int, default=32)
+    store_synth.add_argument("--labeled-fraction", type=float, default=0.05)
+    store_synth.add_argument("--homophily", type=float, default=0.8)
+    store_synth.add_argument("--seed", type=int, default=0)
+    store_inspect = store_sub.add_parser(
+        "inspect", help="print a store's manifest summary"
+    )
+    store_inspect.add_argument("directory", help="store directory to inspect")
+    store_inspect.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-hash every data file against the manifest fingerprints",
     )
     trace_summary = sub.add_parser(
         "trace-summary",
@@ -215,6 +274,8 @@ def _run_one(experiment_id: str, args) -> None:
         kwargs["workers"] = getattr(args, "workers", 1)
     if "solver" in signature.parameters and getattr(args, "solver", None):
         kwargs["solver"] = args.solver
+    if "store" in signature.parameters and getattr(args, "store", None):
+        kwargs["store"] = args.store
     started = time.perf_counter()
     report = run_experiment(experiment_id, **kwargs)
     elapsed = time.perf_counter() - started
@@ -227,9 +288,71 @@ def _run_one(experiment_id: str, args) -> None:
     print(f"[{experiment_id} finished in {elapsed:.1f}s]\n")
 
 
+def _store_cli(args) -> int:
+    """The ``store`` subcommand: build / synth / inspect (exit 5 on bad input)."""
+    from repro.errors import ValidationError
+    from repro.ooc import GraphStore, generate_ooc_store
+
+    if args.store_command == "build":
+        try:
+            if args.hin is not None:
+                from repro.hin.io import load_hin
+
+                hin = load_hin(args.hin)
+            else:
+                from repro.datasets import get_dataset
+
+                hin = get_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        except (OSError, ValueError, KeyError, ValidationError) as exc:
+            print(f"cannot load source graph: {exc}")
+            return 5
+        store = GraphStore.save(hin, args.directory)
+        print(
+            f"[store: {store.n_nodes} nodes, {store.n_relations} relations, "
+            f"{store.nnz} links -> {args.directory}]"
+        )
+        return 0
+    if args.store_command == "synth":
+        store = generate_ooc_store(
+            args.directory,
+            n_nodes=args.nodes,
+            n_links=args.links,
+            n_relations=args.relations,
+            n_labels=args.labels,
+            n_features=args.features,
+            labeled_fraction=args.labeled_fraction,
+            homophily=args.homophily,
+            seed=args.seed,
+        )
+        print(
+            f"[store: {store.n_nodes} nodes, {store.n_relations} relations, "
+            f"{store.nnz} links -> {args.directory}]"
+        )
+        return 0
+    # inspect
+    try:
+        store = GraphStore.open(args.directory, verify=args.verify)
+    except ValidationError as exc:
+        print(f"unreadable store: {exc}")
+        return 5
+    print(f"store: {args.directory}")
+    print(f"  nodes:      {store.n_nodes}")
+    print(f"  relations:  {store.n_relations} ({', '.join(store.relation_names)})")
+    print(f"  labels:     {store.n_labels} ({', '.join(store.label_names)})")
+    print(f"  features:   {store.n_features}")
+    print(f"  links:      {store.nnz}  per-relation {list(store.relation_nnz)}")
+    print(f"  multilabel: {store.multilabel}")
+    print(f"  fingerprint: {store.store_fingerprint()}")
+    if args.verify:
+        print("  verify:     all file hashes match")
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    if args.command == "store":
+        return _store_cli(args)
     if args.command == "list":
         for experiment_id in experiment_ids():
             print(f"{experiment_id:10s} {get_experiment(experiment_id).title}")

@@ -518,7 +518,8 @@ def run_fig10(*, scale: float = 1.0, seed=0, fraction: float = 0.3) -> Experimen
 # Auxiliary experiments (beyond the paper's artefacts)
 # ----------------------------------------------------------------------
 def run_example(
-    *, scale: float = 1.0, seed=0, solver: str | None = None
+    *, scale: float = 1.0, seed=0, solver: str | None = None,
+    store: str | None = None,
 ) -> ExperimentReport:
     """The section 3.2 worked example: classify p3/p4 and rank relations.
 
@@ -528,12 +529,31 @@ def run_example(
     anderson`` trace against the plain one.  ``scale`` and ``seed`` are
     accepted for CLI uniformity; the example is fixed and T-Mark is
     deterministic.
+
+    ``store`` routes the fit through the out-of-core tier instead: the
+    example HIN is saved into (or validated against) the
+    :class:`~repro.ooc.store.GraphStore` at that directory and fitted
+    with :func:`~repro.ooc.fit.fit_from_store` — the CI smoke that the
+    store-backed path stays argmax-identical to the in-memory one.
     """
     del scale, seed
     from repro.datasets.example import EXAMPLE_GROUND_TRUTH, make_worked_example
 
     hin = make_worked_example()
-    model = TMark(alpha=0.8, gamma=0.5).fit(hin, solver=solver)
+    if store is not None:
+        import os
+
+        from repro.ooc import GraphStore, fit_from_store
+
+        if os.path.exists(os.path.join(store, "manifest.json")):
+            graph_store = GraphStore.open(store)
+        else:
+            graph_store = GraphStore.save(hin, store)
+        model = fit_from_store(
+            graph_store, TMark(alpha=0.8, gamma=0.5), solver=solver
+        )
+    else:
+        model = TMark(alpha=0.8, gamma=0.5).fit(hin, solver=solver)
     predicted = {
         name: hin.label_names[model.predict()[idx]]
         for idx, name in enumerate(hin.node_names)

@@ -36,7 +36,7 @@ def save_hin(hin: HIN, path) -> Path:
         "label_names": list(hin.label_names),
         "node_names": list(hin.node_names),
         "multilabel": hin.multilabel,
-        "metadata": _jsonable(hin.metadata),
+        "metadata": jsonable_metadata(hin.metadata),
         "features_sparse": bool(sp.issparse(hin.features)),
     }
     arrays = {
@@ -102,12 +102,17 @@ def load_hin(path) -> HIN:
         )
 
 
-def _jsonable(value):
-    """Best-effort conversion of metadata values to JSON-safe types."""
+def jsonable_metadata(value):
+    """Best-effort conversion of metadata values to JSON-safe types.
+
+    Shared by the ``.npz`` archive header here and the out-of-core
+    :class:`repro.ooc.GraphStore` manifest, so both persistence formats
+    accept exactly the same metadata payloads.
+    """
     if isinstance(value, dict):
-        return {str(key): _jsonable(val) for key, val in value.items()}
+        return {str(key): jsonable_metadata(val) for key, val in value.items()}
     if isinstance(value, (list, tuple)):
-        return [_jsonable(val) for val in value]
+        return [jsonable_metadata(val) for val in value]
     if isinstance(value, np.ndarray):
         return value.tolist()
     if isinstance(value, (np.integer,)):

@@ -34,6 +34,8 @@ EVENT_TYPES = (
     "cell_done",        # one grid cell / trial merged back from a worker
     "solver_step",      # accelerator proposal accepted for one class
     "solver_restart",   # accelerator history reset: safeguard/label_update
+    "store_save",       # GraphStore.save: path + shape + file count
+    "store_open",       # GraphStore.open: path + shape + verify flag
 )
 
 #: The five per-iteration phases of ``TMark._run_chains_batched``.

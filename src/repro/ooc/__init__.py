@@ -1,0 +1,64 @@
+"""``repro.ooc`` — the out-of-core scale tier.
+
+Everything the rest of the library holds in RAM — the adjacency tensor,
+the ``(O, R, W)`` operators, the feature matrix — caps T-Mark at a few
+hundred thousand nodes.  This package lifts that ceiling with three
+pieces, following DGL graphbolt's on-disk CSC design:
+
+* :class:`GraphStore` — a directory of memory-mapped per-relation CSC
+  arrays plus feature/label blocks, with a sha256-fingerprinted
+  manifest and a bit-identical round trip to the in-RAM
+  :class:`~repro.hin.graph.HIN` (:mod:`repro.ooc.store`);
+* :func:`build_chunked_operators` — column-block construction of the
+  normalised operators straight onto disk, touching ``O(nnz/chunk)``
+  resident memory and emitting per-chunk ``operator_build`` events
+  (:mod:`repro.ooc.build`);
+* :class:`ChunkedOperators` + :func:`fit_from_store` — streaming
+  propagation adapters that let :meth:`TMark.fit_operators` run plain
+  or accelerated chains over mmap'd slices, argmax-identical to the
+  in-memory path (:mod:`repro.ooc.operators`, :mod:`repro.ooc.fit`).
+
+:func:`generate_ooc_store` (:mod:`repro.ooc.synth`) builds million-node
+synthetic stores for the scale benchmarks without ever materialising
+the graph in RAM.
+"""
+
+from repro.ooc.build import (
+    MAX_DENSE_W_NODES,
+    OPERATORS_FORMAT_VERSION,
+    build_chunked_operators,
+)
+from repro.ooc.fit import fit_from_store
+from repro.ooc.operators import (
+    DEFAULT_CHUNK_SIZE,
+    ChunkedFeatureWalk,
+    ChunkedNodeTransition,
+    ChunkedOperators,
+    ChunkedRelationTransition,
+    release_pages,
+)
+from repro.ooc.store import (
+    MANIFEST_NAME,
+    OPERATORS_DIRNAME,
+    STORE_FORMAT_VERSION,
+    GraphStore,
+)
+from repro.ooc.synth import generate_ooc_store
+
+__all__ = [
+    "GraphStore",
+    "ChunkedOperators",
+    "ChunkedNodeTransition",
+    "ChunkedRelationTransition",
+    "ChunkedFeatureWalk",
+    "build_chunked_operators",
+    "fit_from_store",
+    "generate_ooc_store",
+    "release_pages",
+    "DEFAULT_CHUNK_SIZE",
+    "MANIFEST_NAME",
+    "MAX_DENSE_W_NODES",
+    "OPERATORS_DIRNAME",
+    "OPERATORS_FORMAT_VERSION",
+    "STORE_FORMAT_VERSION",
+]

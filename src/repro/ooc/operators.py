@@ -1,0 +1,333 @@
+"""Streaming propagation over memory-mapped chunked operators.
+
+The classes here mirror the contraction surface of
+:class:`~repro.tensor.transition.NodeTransitionTensor`,
+:class:`~repro.tensor.transition.RelationTransitionTensor` and the
+feature-walk matrix ``W`` — ``propagate_many``, ``shape``,
+``dangling_share`` / ``unlinked_share``, ``@`` — but never hold a whole
+operator in RAM.  Each per-iteration product walks the on-disk CSC
+arrays (built by :mod:`repro.ooc.build`) in column blocks of
+``chunk_size``: a block is wrapped as a zero-copy ``scipy`` CSC matrix
+over the memmap slices, multiplied, accumulated, and its pages released
+with ``madvise(MADV_DONTNEED)`` so resident memory stays at
+``O(nnz / n_chunks)`` plus the ``(n, q)`` iterate matrices regardless of
+graph size.
+
+The dangling/unlinked corrections use the same closed forms as the
+in-RAM tensors (``repro.tensor.transition``), including the
+``_column_sums`` per-column reduction, so store-backed fits agree with
+the in-memory path to accumulation-order rounding — argmax-identical on
+every graph the equivalence tests cover.  Bit-identity is *not*
+promised for propagation (the chunked products accumulate in a
+different order); it *is* promised for the normalised operator values
+on disk, which :mod:`repro.ooc.build` pins against the in-RAM build.
+"""
+
+from __future__ import annotations
+
+import mmap
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.tensor.transition import _column_sums
+from repro.utils.validation import check_array_2d
+
+#: Default number of CSC columns processed per chunk.
+DEFAULT_CHUNK_SIZE = 65536
+
+
+def release_pages(*arrays) -> None:
+    """Advise the kernel to drop the resident pages of memmap arrays.
+
+    On a large-memory box nothing ever evicts clean mmap pages, so a
+    whole pass over the operator files would leave them fully resident
+    and defeat the point of streaming.  ``MADV_DONTNEED`` returns the
+    pages immediately; the next iteration re-reads them from the page
+    cache/disk.  Best-effort: silently skips non-memmap inputs and
+    platforms without ``madvise``.
+    """
+    for array in arrays:
+        base = array
+        while base is not None and not isinstance(base, np.memmap):
+            base = getattr(base, "base", None)
+        handle = getattr(base, "_mmap", None)
+        if handle is None:
+            continue
+        try:
+            handle.madvise(mmap.MADV_DONTNEED)
+        except (AttributeError, ValueError, OSError):  # pragma: no cover
+            pass
+
+
+def _csc_block(data, indices, indptr, j0: int, j1: int, n_rows: int):
+    """Columns ``[j0, j1)`` of an on-disk CSC as a zero-copy scipy matrix.
+
+    Returns ``None`` for an empty block.  Only the (small) local
+    ``indptr`` is copied; ``data``/``indices`` stay memmap slices.
+    """
+    start = int(indptr[j0])
+    stop = int(indptr[j1])
+    if start == stop:
+        return None
+    local_indptr = np.asarray(indptr[j0 : j1 + 1], dtype=np.int64) - start
+    return sp.csc_matrix(
+        (data[start:stop], indices[start:stop], local_indptr),
+        shape=(n_rows, j1 - j0),
+    )
+
+
+class ChunkedNodeTransition:
+    """Out-of-core ``O`` of Eq. 1: per-relation mmap'd CSC + dangling mask.
+
+    ``propagate_many(X, Z)`` computes ``sum_k Z[k] * (M_k @ X)`` by
+    streaming each normalised relation slice in column blocks, then adds
+    the analytic uniform ``1/n`` mass of the dangling ``(j, k)`` columns
+    exactly as the in-RAM tensor does.
+    """
+
+    def __init__(self, data_files, store_arrays, nondangling, *, n: int, m: int,
+                 chunk_size: int = DEFAULT_CHUNK_SIZE):
+        self._data_files = list(data_files)  # per-relation normalised-data paths
+        self._store_arrays = store_arrays    # k -> (indices, indptr) accessor
+        self._nondangling = nondangling      # (m, n) bool memmap
+        self._n = int(n)
+        self._m = int(m)
+        self._chunk = int(chunk_size)
+        self._data = [None] * self._m
+
+    def _relation(self, k: int):
+        if self._data[k] is None:
+            self._data[k] = np.load(self._data_files[k], mmap_mode="r")
+        indices, indptr = self._store_arrays(k)
+        return self._data[k], indices, indptr
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """Logical tensor shape ``(n, n, m)``."""
+        return (self._n, self._n, self._m)
+
+    @property
+    def n_dangling(self) -> int:
+        """Number of dangling ``(j, k)`` columns (uniform 1/n fibres)."""
+        total = 0
+        for k in range(self._m):
+            total += int(np.asarray(self._nondangling[k]).sum())
+        return self._n * self._m - total
+
+    @property
+    def dangling_share(self) -> float:
+        """Fraction of the ``n * m`` mode-1 columns that are dangling."""
+        return self.n_dangling / (self._n * self._m)
+
+    def propagate_many(self, X: np.ndarray, Z: np.ndarray) -> np.ndarray:
+        """Batched ``O x-bar_1 X x-bar_3 Z`` over the mmap'd slices."""
+        X = check_array_2d(X, "X", shape=(self._n, None))
+        Z = check_array_2d(Z, "Z", shape=(self._m, X.shape[1]))
+        q = X.shape[1]
+        result = np.zeros_like(X)
+        acc = np.empty_like(X)
+        covered = np.empty((self._m, q))
+        for k in range(self._m):
+            data, indices, indptr = self._relation(k)
+            acc[:] = 0.0
+            nd_covered = np.zeros(q)
+            nd_row = self._nondangling[k]
+            for j0 in range(0, self._n, self._chunk):
+                j1 = min(j0 + self._chunk, self._n)
+                block = _csc_block(data, indices, indptr, j0, j1, self._n)
+                if block is not None:
+                    acc += block @ X[j0:j1]
+                mask = np.asarray(nd_row[j0:j1])
+                if mask.any():
+                    nd_covered += X[j0:j1][mask].sum(axis=0)
+            result += acc * Z[k]
+            covered[k] = nd_covered
+            release_pages(data, indices, indptr, nd_row)
+        totals = _column_sums(X) * _column_sums(Z)
+        dangling = np.maximum(totals - _column_sums(Z * covered), 0.0)
+        result += dangling / self._n
+        return result
+
+
+class ChunkedRelationTransition:
+    """Out-of-core ``R`` of Eq. 2: mmap'd CSC slices + linked-pair pattern.
+
+    ``propagate_many(X, Y)`` evaluates the per-relation bilinear forms
+    ``column_sums(X * (B_k @ Y))`` chunk by chunk and adds the uniform
+    ``1/m`` mass of the unlinked pairs via the on-disk pair-indicator
+    pattern (indices/indptr only; the implicit values are ones).
+    """
+
+    def __init__(self, data_files, store_arrays, pair_files, *, n: int, m: int,
+                 n_linked_pairs: int, chunk_size: int = DEFAULT_CHUNK_SIZE):
+        self._data_files = list(data_files)
+        self._store_arrays = store_arrays
+        self._pair_files = tuple(pair_files)  # (indices_path, indptr_path)
+        self._n = int(n)
+        self._m = int(m)
+        self._n_linked = int(n_linked_pairs)
+        self._chunk = int(chunk_size)
+        self._data = [None] * self._m
+        self._pairs = None
+
+    def _relation(self, k: int):
+        if self._data[k] is None:
+            self._data[k] = np.load(self._data_files[k], mmap_mode="r")
+        indices, indptr = self._store_arrays(k)
+        return self._data[k], indices, indptr
+
+    def _pair_arrays(self):
+        if self._pairs is None:
+            self._pairs = (
+                np.load(self._pair_files[0], mmap_mode="r"),
+                np.load(self._pair_files[1], mmap_mode="r"),
+            )
+        return self._pairs
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """Logical tensor shape ``(n, n, m)``."""
+        return (self._n, self._n, self._m)
+
+    @property
+    def n_linked_pairs(self) -> int:
+        """Number of ``(i, j)`` pairs connected by at least one relation."""
+        return self._n_linked
+
+    @property
+    def unlinked_share(self) -> float:
+        """Fraction of the ``n^2`` node pairs with no relation at all."""
+        return 1.0 - self._n_linked / (self._n * self._n)
+
+    def propagate_many(
+        self, X: np.ndarray, Y: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Batched ``R x-bar_1 X x-bar_2 Y`` over the mmap'd slices."""
+        X = check_array_2d(X, "X", shape=(self._n, None))
+        Y = X if Y is None else check_array_2d(Y, "Y", shape=(self._n, X.shape[1]))
+        result = np.empty((self._m, X.shape[1]))
+        acc = np.empty_like(X)
+        for k in range(self._m):
+            data, indices, indptr = self._relation(k)
+            if data.size == 0:
+                result[k] = 0.0
+                continue
+            acc[:] = 0.0
+            for j0 in range(0, self._n, self._chunk):
+                j1 = min(j0 + self._chunk, self._n)
+                block = _csc_block(data, indices, indptr, j0, j1, self._n)
+                if block is not None:
+                    acc += block @ Y[j0:j1]
+            result[k] = _column_sums(X * acc)
+            release_pages(data, indices, indptr)
+        pair_indices, pair_indptr = self._pair_arrays()
+        acc[:] = 0.0
+        for j0 in range(0, self._n, self._chunk):
+            j1 = min(j0 + self._chunk, self._n)
+            start, stop = int(pair_indptr[j0]), int(pair_indptr[j1])
+            if start == stop:
+                continue
+            local_indptr = np.asarray(
+                pair_indptr[j0 : j1 + 1], dtype=np.int64
+            ) - start
+            block = sp.csc_matrix(
+                (
+                    np.ones(stop - start),
+                    pair_indices[start:stop],
+                    local_indptr,
+                ),
+                shape=(self._n, j1 - j0),
+            )
+            acc += block @ Y[j0:j1]
+        release_pages(pair_indices, pair_indptr)
+        totals = _column_sums(X) * _column_sums(Y)
+        linked_mass = _column_sums(X * acc)
+        dangling = np.maximum(totals - linked_mass, 0.0)
+        result += dangling / self._m
+        return result
+
+
+class ChunkedFeatureWalk:
+    """Out-of-core feature-walk matrix ``W`` supporting ``W @ X``.
+
+    Two storage modes (see :mod:`repro.ooc.build`): ``dense`` — a single
+    mmap'd ``(n, n)`` array built by the exact in-RAM Eq. 9 code (small
+    stores only, values bit-identical) — and ``csc`` — the chunked top-k
+    cosine matrix streamed column-block by column-block like the
+    transition slices.
+    """
+
+    def __init__(self, mode: str, files, *, n: int,
+                 chunk_size: int = DEFAULT_CHUNK_SIZE):
+        self._mode = mode
+        self._files = files
+        self._n = int(n)
+        self._chunk = int(chunk_size)
+        self._arrays = None
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Matrix shape ``(n, n)``."""
+        return (self._n, self._n)
+
+    @property
+    def mode(self) -> str:
+        """Storage mode: ``"dense"`` or ``"csc"``."""
+        return self._mode
+
+    def _load(self):
+        if self._arrays is None:
+            if self._mode == "dense":
+                self._arrays = (np.load(self._files[0], mmap_mode="r"),)
+            else:
+                self._arrays = tuple(
+                    np.load(path, mmap_mode="r") for path in self._files
+                )
+        return self._arrays
+
+    def __matmul__(self, X: np.ndarray) -> np.ndarray:
+        X = check_array_2d(X, "X", shape=(self._n, None))
+        if self._mode == "dense":
+            (w,) = self._load()
+            result = w @ X
+            release_pages(w)
+            return result
+        data, indices, indptr = self._load()
+        result = np.zeros_like(X)
+        for j0 in range(0, self._n, self._chunk):
+            j1 = min(j0 + self._chunk, self._n)
+            block = _csc_block(data, indices, indptr, j0, j1, self._n)
+            if block is not None:
+                result += block @ X[j0:j1]
+        release_pages(data, indices, indptr)
+        return result
+
+
+class ChunkedOperators:
+    """The out-of-core counterpart of :class:`repro.core.tmark.TMarkOperators`.
+
+    Duck-types the operator triple :meth:`TMark.fit_operators` consumes
+    (``o_tensor`` / ``r_tensor`` / ``w_matrix`` / ``shape`` /
+    similarity settings), with every product streaming over the store's
+    memmap'd arrays.  Build with
+    :func:`repro.ooc.build.build_chunked_operators`.
+    """
+
+    def __init__(self, *, o_tensor, r_tensor, w_matrix, shape,
+                 similarity_top_k, similarity_metric, chunk_size, directory):
+        self.o_tensor = o_tensor
+        self.r_tensor = r_tensor
+        self.w_matrix = w_matrix
+        self.shape = tuple(shape)  # (n_nodes, n_relations)
+        self.similarity_top_k = similarity_top_k
+        self.similarity_metric = similarity_metric
+        self.chunk_size = int(chunk_size)
+        self.directory = directory
+
+    def __repr__(self) -> str:
+        w_mode = self.w_matrix.mode if self.w_matrix is not None else "none"
+        return (
+            f"ChunkedOperators(shape={self.shape}, chunk_size={self.chunk_size}, "
+            f"w={w_mode!r}, directory={str(self.directory)!r})"
+        )

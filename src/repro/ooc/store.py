@@ -1,0 +1,459 @@
+"""The memory-mapped on-disk graph store behind the out-of-core tier.
+
+A :class:`GraphStore` is a directory of plain ``.npy`` files plus a JSON
+manifest — no pickling, no archives — so every array can be *memory
+mapped* (``np.load(..., mmap_mode="r")``) instead of loaded.  The layout
+follows DGL graphbolt's on-disk CSC design: one compressed-sparse-column
+matrix per relation (column ``j`` holds node ``j``'s out-links, rows are
+the targets ``i``), which is exactly the fibre layout the ``O``
+normalisation of Eq. 1 consumes, so chunked operator construction can
+stream column blocks without ever holding a whole relation in RAM.
+
+Layout of a store directory::
+
+    manifest.json            format version, shapes, names, sha256 per file
+    rel<k>.data.npy          CSC values of relation k   (float64)
+    rel<k>.indices.npy       CSC row indices            (int32 or int64)
+    rel<k>.indptr.npy        CSC column pointers        (same dtype)
+    features.npy             dense (n, d) features      — or the CSR triple
+    features.data.npy / features.indices.npy / features.indptr.npy
+    labels.npy               (n, q) boolean label matrix
+    node_names.npy           only when names differ from the "node_<i>" default
+    operators/               chunked-operator cache (see repro.ooc.build)
+
+The manifest records a sha256 fingerprint of every array file;
+``GraphStore.open(path, verify=True)`` re-hashes them and raises
+:class:`~repro.errors.ValidationError` on any mismatch, and stores saved
+from an in-RAM :class:`~repro.hin.graph.HIN` additionally carry the
+parallel layer's :func:`~repro.experiments.parallel.graph_fingerprint`.
+``GraphStore.save`` → ``open`` → :meth:`GraphStore.to_hin` is a
+bit-identical round trip: the concatenated per-relation CSC coordinates
+reproduce the exact ``(k, j, i)``-sorted COO order ``SparseTensor3``
+canonicalises to, and no float arithmetic touches the values.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ValidationError
+from repro.hin.graph import HIN
+from repro.hin.io import jsonable_metadata
+from repro.obs.recorder import get_recorder
+from repro.tensor.sptensor import SparseTensor3
+
+#: On-disk format version; bumped on any layout change.
+STORE_FORMAT_VERSION = 1
+
+#: The manifest file name inside a store directory.
+MANIFEST_NAME = "manifest.json"
+
+#: Subdirectory holding the chunked-operator cache (repro.ooc.build).
+OPERATORS_DIRNAME = "operators"
+
+
+def _sha256_file(path: Path, chunk_bytes: int = 1 << 22) -> str:
+    """Streaming sha256 of one file (constant memory)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            block = handle.read(chunk_bytes)
+            if not block:
+                break
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def _index_dtype(n_nodes: int, max_nnz: int):
+    """Smallest integer dtype that can index this store's CSC arrays."""
+    if n_nodes < np.iinfo(np.int32).max and max_nnz < np.iinfo(np.int32).max:
+        return np.int32
+    return np.int64
+
+
+class GraphStore:
+    """A memory-mapped HIN: per-relation CSC arrays + feature/label blocks.
+
+    Construct with :meth:`save` (serialise an in-RAM HIN) or :meth:`open`
+    (memory-map an existing directory).  The accessor surface mirrors the
+    :class:`~repro.hin.graph.HIN` shape properties so operator builders
+    can consume either; arrays come back as read-only ``np.memmap`` views
+    that only page in what is touched.
+    """
+
+    def __init__(self, directory: Path, manifest: dict):
+        self._dir = Path(directory)
+        self._manifest = manifest
+        self._rel_arrays: dict[int, tuple] = {}
+        self._features = None
+        self._labels = None
+        self._node_names_arr = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def save(cls, hin: HIN, directory, *, recorder=None) -> "GraphStore":
+        """Write ``hin`` to ``directory`` and return the opened store.
+
+        The directory is created if missing.  An existing manifest is
+        overwritten (the store is rebuilt in place); unknown extra files
+        are left untouched.  Emits one ``store_save`` obs event.
+        """
+        if not isinstance(hin, HIN):
+            raise ValidationError(f"expected a HIN, got {type(hin).__name__}")
+        rec = get_recorder() if recorder is None else recorder
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        n, m = hin.n_nodes, hin.n_relations
+        idx_dtype = _index_dtype(n, hin.tensor.nnz)
+        files: dict[str, str] = {}
+        relation_nnz: list[int] = []
+
+        def _write(name: str, array: np.ndarray) -> None:
+            path = directory / name
+            np.save(path, array)
+            files[name] = _sha256_file(path)
+
+        for k in range(m):
+            csc = hin.tensor.relation_slice(k).tocsc()
+            csc.sort_indices()
+            relation_nnz.append(int(csc.nnz))
+            _write(f"rel{k}.data.npy", csc.data.astype(np.float64, copy=False))
+            _write(f"rel{k}.indices.npy", csc.indices.astype(idx_dtype))
+            _write(f"rel{k}.indptr.npy", csc.indptr.astype(idx_dtype))
+
+        features_sparse = bool(sp.issparse(hin.features))
+        if features_sparse:
+            feats = sp.csr_matrix(hin.features)
+            _write("features.data.npy", feats.data.astype(np.float64, copy=False))
+            _write("features.indices.npy", feats.indices.astype(idx_dtype))
+            _write("features.indptr.npy", feats.indptr.astype(idx_dtype))
+        else:
+            _write("features.npy", np.asarray(hin.features, dtype=np.float64))
+        _write("labels.npy", np.asarray(hin.label_matrix, dtype=bool))
+
+        default_names = tuple(f"node_{i}" for i in range(n)) == hin.node_names
+        if not default_names:
+            _write("node_names.npy", np.asarray(hin.node_names, dtype=np.str_))
+
+        from repro.experiments.parallel import graph_fingerprint
+
+        manifest = {
+            "format_version": STORE_FORMAT_VERSION,
+            "n_nodes": n,
+            "n_relations": m,
+            "n_labels": hin.n_labels,
+            "n_features": hin.n_features,
+            "relation_names": list(hin.relation_names),
+            "label_names": list(hin.label_names),
+            "node_names": "default" if default_names else "stored",
+            "multilabel": hin.multilabel,
+            "metadata": jsonable_metadata(hin.metadata),
+            "features": "csr" if features_sparse else "dense",
+            "index_dtype": np.dtype(idx_dtype).name,
+            "nnz": int(hin.tensor.nnz),
+            "relation_nnz": relation_nnz,
+            "graph_fingerprint": graph_fingerprint(hin),
+            "files": files,
+        }
+        write_manifest(directory, manifest)
+        if rec.enabled:
+            rec.emit(
+                "store_save",
+                path=str(directory),
+                n_nodes=n,
+                n_relations=m,
+                nnz=int(hin.tensor.nnz),
+                n_files=len(files),
+            )
+            rec.count("store_saves")
+        return cls.open(directory)
+
+    @classmethod
+    def open(cls, directory, *, verify: bool = False) -> "GraphStore":
+        """Memory-map the store at ``directory``.
+
+        ``verify=True`` re-hashes every array file against the manifest's
+        sha256 fingerprints (streaming, constant memory) and raises
+        :class:`ValidationError` naming the first mismatching file —
+        the integrity gate for stores that travelled between machines.
+        Emits one ``store_open`` obs event.
+        """
+        directory = Path(directory)
+        manifest_path = directory / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise ValidationError(f"no graph store at {directory} (missing manifest)")
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"corrupt store manifest at {manifest_path}: {exc}")
+        version = manifest.get("format_version")
+        if version != STORE_FORMAT_VERSION:
+            raise ValidationError(
+                f"unsupported graph-store format version: {version!r} "
+                f"(this build reads version {STORE_FORMAT_VERSION})"
+            )
+        for name in manifest.get("files", {}):
+            if not (directory / name).exists():
+                raise ValidationError(
+                    f"graph store at {directory} is missing array file {name!r}"
+                )
+        if verify:
+            for name, expected in manifest["files"].items():
+                actual = _sha256_file(directory / name)
+                if actual != expected:
+                    raise ValidationError(
+                        f"graph-store fingerprint mismatch for {name!r}: "
+                        f"manifest says {expected[:12]}…, file hashes "
+                        f"{actual[:12]}… — the store was modified after save"
+                    )
+        store = cls(directory, manifest)
+        rec = get_recorder()
+        if rec.enabled:
+            rec.emit(
+                "store_open",
+                path=str(directory),
+                n_nodes=store.n_nodes,
+                n_relations=store.n_relations,
+                nnz=store.nnz,
+                verified=bool(verify),
+            )
+            rec.count("store_opens")
+        return store
+
+    # ------------------------------------------------------------------
+    # Shape / name surface (mirrors HIN)
+    # ------------------------------------------------------------------
+    @property
+    def directory(self) -> Path:
+        """The store's directory on disk."""
+        return self._dir
+
+    @property
+    def manifest(self) -> dict:
+        """The parsed manifest (treat as read-only)."""
+        return self._manifest
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes ``n``."""
+        return int(self._manifest["n_nodes"])
+
+    @property
+    def n_relations(self) -> int:
+        """Number of link types ``m``."""
+        return int(self._manifest["n_relations"])
+
+    @property
+    def n_labels(self) -> int:
+        """Number of classes ``q``."""
+        return int(self._manifest["n_labels"])
+
+    @property
+    def n_features(self) -> int:
+        """Feature dimensionality ``d``."""
+        return int(self._manifest["n_features"])
+
+    @property
+    def nnz(self) -> int:
+        """Total stored adjacency entries across relations."""
+        return int(self._manifest["nnz"])
+
+    @property
+    def relation_nnz(self) -> tuple[int, ...]:
+        """Stored entries per relation."""
+        return tuple(int(v) for v in self._manifest["relation_nnz"])
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        """Names of the ``m`` link types."""
+        return tuple(self._manifest["relation_names"])
+
+    @property
+    def label_names(self) -> tuple[str, ...]:
+        """Names of the ``q`` classes."""
+        return tuple(self._manifest["label_names"])
+
+    @property
+    def multilabel(self) -> bool:
+        """Whether nodes may carry several labels."""
+        return bool(self._manifest["multilabel"])
+
+    @property
+    def metadata(self) -> dict:
+        """The free-form metadata dict saved with the graph."""
+        return self._manifest.get("metadata", {})
+
+    @property
+    def has_stored_node_names(self) -> bool:
+        """Whether custom node names were saved (vs the ``node_<i>`` default)."""
+        return self._manifest.get("node_names") == "stored"
+
+    def node_name(self, idx: int) -> str:
+        """Resolve one node index to its name without materialising all names."""
+        if not 0 <= idx < self.n_nodes:
+            raise ValidationError(
+                f"node index {idx} out of range [0, {self.n_nodes})"
+            )
+        if self.has_stored_node_names:
+            return str(self._node_names()[idx])
+        return f"node_{idx}"
+
+    def node_names(self) -> tuple[str, ...]:
+        """All node names as a tuple.
+
+        O(n) strings — call only when the result is genuinely needed
+        (result labelling on small stores); million-node fits pass
+        ``node_names=None`` through to :class:`TMarkResult` instead.
+        """
+        if self.has_stored_node_names:
+            return tuple(str(v) for v in self._node_names())
+        return tuple(f"node_{i}" for i in range(self.n_nodes))
+
+    def _node_names(self) -> np.ndarray:
+        if self._node_names_arr is None:
+            self._node_names_arr = np.load(self._dir / "node_names.npy")
+        return self._node_names_arr
+
+    # ------------------------------------------------------------------
+    # Memory-mapped array surface
+    # ------------------------------------------------------------------
+    def _mmap(self, name: str) -> np.memmap:
+        return np.load(self._dir / name, mmap_mode="r")
+
+    def relation_arrays(self, k: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The mmap'd ``(data, indices, indptr)`` CSC triple of relation ``k``."""
+        if not 0 <= k < self.n_relations:
+            raise ValidationError(
+                f"relation index {k} out of range [0, {self.n_relations})"
+            )
+        if k not in self._rel_arrays:
+            self._rel_arrays[k] = (
+                self._mmap(f"rel{k}.data.npy"),
+                self._mmap(f"rel{k}.indices.npy"),
+                self._mmap(f"rel{k}.indptr.npy"),
+            )
+        return self._rel_arrays[k]
+
+    def relation_csc(self, k: int) -> sp.csc_matrix:
+        """Relation ``k``'s adjacency slice as an mmap-backed CSC matrix."""
+        data, indices, indptr = self.relation_arrays(k)
+        return sp.csc_matrix(
+            (data, indices, indptr), shape=(self.n_nodes, self.n_nodes)
+        )
+
+    @property
+    def label_matrix(self) -> np.ndarray:
+        """The mmap'd ``(n, q)`` boolean label matrix (read-only)."""
+        if self._labels is None:
+            self._labels = self._mmap("labels.npy")
+        return self._labels
+
+    @property
+    def features(self):
+        """The feature matrix: mmap'd dense array or CSR over mmap'd parts."""
+        if self._features is None:
+            if self._manifest["features"] == "dense":
+                self._features = self._mmap("features.npy")
+            else:
+                self._features = sp.csr_matrix(
+                    (
+                        self._mmap("features.data.npy"),
+                        self._mmap("features.indices.npy"),
+                        self._mmap("features.indptr.npy"),
+                    ),
+                    shape=(self.n_nodes, self.n_features),
+                )
+        return self._features
+
+    @property
+    def operators_dir(self) -> Path:
+        """Where this store's chunked-operator cache lives."""
+        return self._dir / OPERATORS_DIRNAME
+
+    def store_fingerprint(self) -> str:
+        """One digest over the manifest's per-file sha256 list.
+
+        Keys the chunked-operator cache: operators built against a store
+        whose content later changed are detected and rebuilt.
+        """
+        digest = hashlib.sha256()
+        for name in sorted(self._manifest["files"]):
+            digest.update(name.encode("utf-8"))
+            digest.update(self._manifest["files"][name].encode("ascii"))
+        return digest.hexdigest()
+
+    # ------------------------------------------------------------------
+    # Materialisation
+    # ------------------------------------------------------------------
+    def to_hin(self) -> HIN:
+        """Materialise the store as an in-RAM :class:`HIN`.
+
+        Bit-identical to the HIN the store was saved from (tests pin
+        this): the tensor values pass through untouched and the CSC
+        concatenation order is exactly ``SparseTensor3``'s canonical
+        sort.  Intended for small/medium graphs; million-node stores
+        should stay on the chunked path.
+        """
+        n, m = self.n_nodes, self.n_relations
+        i_parts, j_parts, k_parts, v_parts = [], [], [], []
+        for k in range(m):
+            data, indices, indptr = self.relation_arrays(k)
+            counts = np.diff(np.asarray(indptr, dtype=np.int64))
+            i_parts.append(np.asarray(indices, dtype=np.int64))
+            j_parts.append(np.repeat(np.arange(n, dtype=np.int64), counts))
+            k_parts.append(np.full(int(counts.sum()), k, dtype=np.int64))
+            v_parts.append(np.asarray(data, dtype=np.float64))
+        tensor = SparseTensor3(
+            np.concatenate(i_parts) if i_parts else np.empty(0, np.int64),
+            np.concatenate(j_parts) if j_parts else np.empty(0, np.int64),
+            np.concatenate(k_parts) if k_parts else np.empty(0, np.int64),
+            np.concatenate(v_parts) if v_parts else np.empty(0, float),
+            shape=(n, n, m),
+        )
+        features = self.features
+        if sp.issparse(features):
+            features = sp.csr_matrix(
+                (
+                    np.array(features.data),
+                    np.array(features.indices),
+                    np.array(features.indptr),
+                ),
+                shape=features.shape,
+            )
+        else:
+            features = np.array(features)
+        node_names = self.node_names() if self.has_stored_node_names else None
+        return HIN(
+            tensor,
+            self.relation_names,
+            features,
+            np.array(self.label_matrix),
+            self.label_names,
+            node_names=node_names,
+            multilabel=self.multilabel,
+            metadata=self.metadata,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphStore({str(self._dir)!r}, n_nodes={self.n_nodes}, "
+            f"n_relations={self.n_relations}, n_labels={self.n_labels}, "
+            f"nnz={self.nnz})"
+        )
+
+
+def write_manifest(directory, manifest: dict) -> Path:
+    """Atomically write a store manifest (tmp file + rename)."""
+    directory = Path(directory)
+    path = directory / MANIFEST_NAME
+    tmp = directory / (MANIFEST_NAME + ".tmp")
+    tmp.write_text(json.dumps(manifest, indent=2) + "\n", encoding="utf-8")
+    tmp.replace(path)
+    return path

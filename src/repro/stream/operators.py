@@ -244,7 +244,10 @@ class IncrementalOperators:
             safe = np.where(norms > 0, norms, 1.0)
             unit = feats / safe[:, None]
             unit[norms == 0] = 0.0
-            sims = unit @ unit.T
+            # einsum, matching cosine_similarity_matrix's fixed
+            # per-element summation order — a BLAS GEMM here would break
+            # the bitwise contract against cold rebuilds.
+            sims = np.einsum("nd,cd->nc", unit, unit)
             np.clip(sims, 0.0, None, out=sims)
             # The buffers are capacity-managed: rows past the logical
             # count ``_w_n`` are always zero, growth reallocates with
@@ -501,8 +504,10 @@ class IncrementalOperators:
             unit[idx] = row / norm if norm > 0 else 0.0
         # One matvec per changed node refreshes its similarity row/column;
         # zero-norm rows come out zero automatically (their unit row is 0).
+        # einsum's matvec reduces in the same per-element order as the
+        # full panel above, so refreshed rows carry identical bits.
         for idx in changed:
-            sims_row = unit @ unit[idx]
+            sims_row = np.einsum("nd,d->n", unit, unit[idx])
             np.clip(sims_row, 0.0, None, out=sims_row)
             self._sims[idx, :n] = sims_row
             self._sims[:n, idx] = sims_row

@@ -1,0 +1,255 @@
+"""Tests for chunked operator construction (bit-identity, cache, W policy)."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import feature_transition_matrix
+from repro.core.tmark import build_operators
+from repro.errors import ValidationError
+from repro.obs.recorder import ListRecorder, use_recorder
+from repro.ooc import (
+    GraphStore,
+    build_chunked_operators,
+    generate_ooc_store,
+)
+from repro.ooc.build import MAX_DENSE_W_NODES, OPERATORS_MANIFEST
+
+from tests.ooc.test_store import sample_hin
+
+
+def ondisk_relation_data(store, prefix: str, k: int) -> np.ndarray:
+    return np.load(store.operators_dir / f"{prefix}.rel{k}.data.npy")
+
+
+class TestBitIdentity:
+    """The normalised O/R values on disk equal the in-RAM build's, bitwise."""
+
+    @pytest.mark.parametrize("chunk_size", [1, 2, 3, 64])
+    def test_o_data_matches_inram(self, tmp_path, worked_example, chunk_size):
+        store = GraphStore.save(worked_example, tmp_path / "store")
+        build_chunked_operators(store, chunk_size=chunk_size, build_w=False)
+        inram = build_operators(worked_example)
+        for k in range(store.n_relations):
+            expected = inram.o_tensor._slices[k].tocsc()
+            expected.sort_indices()
+            ondisk = ondisk_relation_data(store, "o", k)
+            assert np.array_equal(ondisk, expected.data), f"O relation {k}"
+
+    @pytest.mark.parametrize("chunk_size", [1, 2, 3, 64])
+    def test_r_data_matches_inram(self, tmp_path, worked_example, chunk_size):
+        store = GraphStore.save(worked_example, tmp_path / "store")
+        build_chunked_operators(store, chunk_size=chunk_size, build_w=False)
+        inram = build_operators(worked_example)
+        for k in range(store.n_relations):
+            expected = inram.r_tensor._rel_slices[k].tocsc()
+            expected.sort_indices()
+            ondisk = ondisk_relation_data(store, "r", k)
+            assert np.array_equal(ondisk, expected.data), f"R relation {k}"
+
+    def test_chunk_size_does_not_change_files(self, tmp_path, worked_example):
+        digests = []
+        for chunk_size in (1, 3, 64):
+            store = GraphStore.save(worked_example, tmp_path / f"s{chunk_size}")
+            build_chunked_operators(store, chunk_size=chunk_size, build_w=False)
+            digests.append(
+                tuple(
+                    ondisk_relation_data(store, prefix, k).tobytes()
+                    for prefix in ("o", "r")
+                    for k in range(store.n_relations)
+                )
+            )
+        assert digests[0] == digests[1] == digests[2]
+
+    def test_dangling_and_pair_counts_match_inram(self, tmp_path, worked_example):
+        store = GraphStore.save(worked_example, tmp_path / "store")
+        ops = build_chunked_operators(store, build_w=False)
+        inram = build_operators(worked_example)
+        assert ops.o_tensor.n_dangling == inram.o_tensor.n_dangling
+        assert ops.o_tensor.dangling_share == inram.o_tensor.dangling_share
+        assert ops.r_tensor.n_linked_pairs == inram.r_tensor.n_linked_pairs
+        assert ops.r_tensor.unlinked_share == inram.r_tensor.unlinked_share
+
+    def test_propagation_matches_inram(self, tmp_path, worked_example, rng):
+        store = GraphStore.save(worked_example, tmp_path / "store")
+        ops = build_chunked_operators(store, chunk_size=2, build_w=False)
+        inram = build_operators(worked_example)
+        n, m = ops.shape
+        X = rng.random((n, 2))
+        X /= X.sum(axis=0)
+        Z = rng.random((m, 2))
+        Z /= Z.sum(axis=0)
+        assert np.allclose(
+            ops.o_tensor.propagate_many(X, Z),
+            inram.o_tensor.propagate_many(X, Z),
+        )
+        assert np.allclose(
+            ops.r_tensor.propagate_many(X, X),
+            inram.r_tensor.propagate_many(X, X),
+        )
+
+    def test_dense_w_bit_identical(self, tmp_path, worked_example, rng):
+        store = GraphStore.save(worked_example, tmp_path / "store")
+        ops = build_chunked_operators(store, chunk_size=2)
+        expected = feature_transition_matrix(worked_example.features)
+        ondisk = np.load(store.operators_dir / "w.npy")
+        assert np.array_equal(ondisk, expected)
+        X = rng.random((store.n_nodes, 2))
+        assert np.allclose(ops.w_matrix @ X, expected @ X)
+
+    def test_topk_w_matches_inram_topk(self, tmp_path, worked_example, rng):
+        store = GraphStore.save(worked_example, tmp_path / "store")
+        ops = build_chunked_operators(store, similarity_top_k=2, chunk_size=2)
+        assert ops.w_matrix.mode == "csc"
+        from repro.core.features import topk_cosine_transition_matrix
+
+        expected = topk_cosine_transition_matrix(worked_example.features, 2)
+        X = rng.random((store.n_nodes, 2))
+        assert np.allclose(ops.w_matrix @ X, expected @ X)
+
+
+class TestZeroLinkRelations:
+    def test_empty_relation_builds_and_propagates(self, tmp_path):
+        from repro.hin.builder import HINBuilder
+
+        builder = HINBuilder(["a", "b"])
+        builder.add_node("u", features=[1.0, 0.0], labels=["a"])
+        builder.add_node("v", features=[0.0, 1.0], labels=["b"])
+        builder.add_node("w", features=[0.5, 0.5])
+        builder.add_relation("linked")
+        builder.add_relation("empty")
+        builder.add_link("u", "v", "linked")
+        hin = builder.build()
+        store = GraphStore.save(hin, tmp_path / "store")
+        ops = build_chunked_operators(store, chunk_size=1, build_w=False)
+        inram = build_operators(hin)
+        n = hin.n_nodes
+        X = np.full((n, 2), 1.0 / n)
+        Z = np.full((2, 2), 0.5)
+        assert np.allclose(
+            ops.o_tensor.propagate_many(X, Z),
+            inram.o_tensor.propagate_many(X, Z),
+        )
+        assert np.allclose(
+            ops.r_tensor.propagate_many(X, X),
+            inram.r_tensor.propagate_many(X, X),
+        )
+
+
+class TestCache:
+    def test_cache_reused(self, tmp_path):
+        store = GraphStore.save(sample_hin(), tmp_path / "store")
+        recorder = ListRecorder()
+        with use_recorder(recorder):
+            build_chunked_operators(store, build_w=False)
+            first_chunks = len(recorder.events_of("operator_build"))
+            build_chunked_operators(store, build_w=False)
+        assert first_chunks > 0
+        assert len(recorder.events_of("operator_build")) == first_chunks
+        assert recorder.counters["chunked_operator_builds"] == 1
+
+    def test_rebuild_forces_fresh_build(self, tmp_path):
+        store = GraphStore.save(sample_hin(), tmp_path / "store")
+        recorder = ListRecorder()
+        with use_recorder(recorder):
+            build_chunked_operators(store, build_w=False)
+            build_chunked_operators(store, build_w=False, rebuild=True)
+        assert recorder.counters["chunked_operator_builds"] == 2
+
+    def test_stale_cache_detected(self, tmp_path):
+        GraphStore.save(sample_hin(), tmp_path / "store")
+        store = GraphStore.open(tmp_path / "store")
+        build_chunked_operators(store, build_w=False)
+        # Re-save changes file content -> fingerprints change -> rebuild.
+        changed = sample_hin(multilabel=True)
+        changed_store = GraphStore.save(changed, tmp_path / "store")
+        recorder = ListRecorder()
+        with use_recorder(recorder):
+            build_chunked_operators(changed_store, build_w=False)
+        assert recorder.counters.get("chunked_operator_builds") == 1
+
+    def test_w_settings_invalidate_cache_for_w_fits(self, tmp_path):
+        store = GraphStore.save(sample_hin(), tmp_path / "store")
+        build_chunked_operators(store, similarity_top_k=2)
+        recorder = ListRecorder()
+        with use_recorder(recorder):
+            build_chunked_operators(store, similarity_top_k=3)
+        assert recorder.counters.get("chunked_operator_builds") == 1
+
+    def test_no_w_cache_upgraded_when_w_needed(self, tmp_path):
+        store = GraphStore.save(sample_hin(), tmp_path / "store")
+        build_chunked_operators(store, build_w=False)
+        ops = build_chunked_operators(store)  # now W is required
+        assert ops.w_matrix is not None
+        manifest_path = store.operators_dir / OPERATORS_MANIFEST
+        assert manifest_path.exists()
+
+
+class TestWPolicy:
+    def test_dense_w_refused_beyond_limit(self, tmp_path):
+        store = generate_ooc_store(
+            tmp_path / "big",
+            n_nodes=MAX_DENSE_W_NODES + 1,
+            n_links=64,
+            n_relations=1,
+            n_labels=2,
+            n_features=4,
+            seed=3,
+        )
+        with pytest.raises(ValidationError, match="similarity_top_k"):
+            build_chunked_operators(store)
+
+    def test_topk_requires_cosine(self, tmp_path):
+        store = GraphStore.save(sample_hin(), tmp_path / "store")
+        with pytest.raises(ValidationError, match="cosine"):
+            build_chunked_operators(
+                store, similarity_top_k=2, similarity_metric="rbf"
+            )
+
+
+class TestValidation:
+    def test_rejects_non_store(self):
+        with pytest.raises(ValidationError, match="expected a GraphStore"):
+            build_chunked_operators(sample_hin())
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.5, True])
+    def test_rejects_bad_chunk_size(self, tmp_path, bad):
+        store = GraphStore.save(sample_hin(), tmp_path / "store")
+        with pytest.raises(ValidationError):
+            build_chunked_operators(store, chunk_size=bad)
+
+    def test_rejects_bad_metric(self, tmp_path):
+        store = GraphStore.save(sample_hin(), tmp_path / "store")
+        with pytest.raises(ValidationError, match="similarity_metric"):
+            build_chunked_operators(store, similarity_metric="euclid")
+
+
+class TestEvents:
+    def test_per_chunk_operator_build_events(self, tmp_path, worked_example):
+        store = GraphStore.save(worked_example, tmp_path / "store")
+        recorder = ListRecorder()
+        with use_recorder(recorder):
+            build_chunked_operators(store, chunk_size=2, build_w=False)
+        events = recorder.events_of("operator_build")
+        o_events = [e for e in events if e["operator"] == "O"]
+        r_events = [e for e in events if e["operator"] == "R"]
+        # 4 nodes / chunk 2 -> 2 chunks per O relation, 2 R chunks.
+        assert len(o_events) == 2 * store.n_relations
+        assert len(r_events) == 2
+        for event in events:
+            assert event["transition_seconds"] >= 0.0
+            assert event["feature_seconds"] == 0.0
+            assert event["columns"] > 0
+
+    def test_w_event_counts_feature_seconds(self, tmp_path, worked_example):
+        store = GraphStore.save(worked_example, tmp_path / "store")
+        recorder = ListRecorder()
+        with use_recorder(recorder):
+            build_chunked_operators(store, chunk_size=2)
+        w_events = [
+            e
+            for e in recorder.events_of("operator_build")
+            if e["operator"] == "W"
+        ]
+        assert len(w_events) == 1
+        assert w_events[0]["feature_seconds"] >= 0.0
+        assert w_events[0]["transition_seconds"] == 0.0

@@ -1,0 +1,56 @@
+"""Tests for the benchmark suite's shared peak-RSS helpers."""
+
+import numpy as np
+import pytest
+
+from benchmarks._mem import measure_in_child, peak_rss_bytes
+
+
+class TestPeakRss:
+    def test_self_is_positive_and_plausible(self):
+        rss = peak_rss_bytes("self")
+        # A running CPython with numpy imported sits well above 10 MB
+        # and (sanity bound) below a TB.
+        assert 10 * 1024 * 1024 < rss < 1 << 40
+
+    def test_children_mode_accepted(self):
+        assert peak_rss_bytes("children") >= 0
+
+    def test_rejects_unknown_who(self):
+        with pytest.raises(ValueError, match="self"):
+            peak_rss_bytes("cousins")
+
+
+class TestMeasureInChild:
+    def test_returns_result_and_rss(self):
+        result, rss = measure_in_child(lambda: 41 + 1)
+        assert result == 42
+        assert rss > 10 * 1024 * 1024
+
+    def test_passes_args_and_kwargs(self):
+        result, _ = measure_in_child(
+            lambda a, b=0: {"sum": a + b}, 40, b=2
+        )
+        assert result == {"sum": 42}
+
+    def test_allocation_raises_childs_watermark(self):
+        def hog():
+            block = np.ones((64, 1024, 1024))  # 512 MB
+            return float(block[0, 0, 0])
+
+        baseline, small_rss = measure_in_child(lambda: 0.0)
+        result, big_rss = measure_in_child(hog)
+        assert result == 1.0
+        assert big_rss > small_rss + 400 * 1024 * 1024
+
+    def test_child_allocation_does_not_leak_into_parent(self):
+        before = peak_rss_bytes("self")
+        measure_in_child(lambda: np.ones((32, 1024, 1024)).sum())
+        assert peak_rss_bytes("self") == before
+
+    def test_child_exception_propagates(self):
+        def boom():
+            raise ValueError("inner failure")
+
+        with pytest.raises(RuntimeError, match="inner failure"):
+            measure_in_child(boom)

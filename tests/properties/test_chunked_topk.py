@@ -1,0 +1,89 @@
+"""Property tests: chunked top-k cosine W is chunk-size invariant.
+
+:func:`repro.core.features.topk_cosine_transition_matrix` documents a
+bit-identity invariant — the output is the same for every valid
+``chunk_size`` because each column's top-k selection depends only on
+that column's similarity panel.  The out-of-core operator builds
+(:mod:`repro.ooc.build`) rely on it; this suite pins it across
+``chunk_size`` in ``{1, 7, 512, n}`` on random feature matrices,
+including zero rows (featureless nodes) and negative entries (clipped
+similarities).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.features import topk_cosine_transition_matrix
+from repro.errors import ValidationError
+
+CHUNK_SIZES = (1, 7, 512)
+
+
+@st.composite
+def feature_matrices(draw):
+    seed = draw(st.integers(0, 10**6))
+    n = draw(st.integers(2, 24))
+    d = draw(st.integers(1, 6))
+    top_k = draw(st.integers(1, n))
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(n, d))
+    # Some featureless nodes: their columns must fall back to uniform
+    # identically regardless of chunking.
+    n_zero = draw(st.integers(0, max(n // 3, 1)))
+    if n_zero:
+        zero_rows = rng.choice(n, size=n_zero, replace=False)
+        features[zero_rows] = 0.0
+    return features, top_k
+
+
+def as_canonical_csr(matrix):
+    matrix = matrix.tocsr()
+    matrix.sum_duplicates()
+    matrix.sort_indices()
+    return matrix
+
+
+class TestChunkInvariance:
+    @settings(max_examples=40, deadline=None)
+    @given(feature_matrices())
+    def test_bit_identical_across_chunk_sizes(self, bundle):
+        features, top_k = bundle
+        n = features.shape[0]
+        reference = as_canonical_csr(
+            topk_cosine_transition_matrix(features, top_k, chunk_size=n)
+        )
+        for chunk_size in CHUNK_SIZES:
+            candidate = as_canonical_csr(
+                topk_cosine_transition_matrix(
+                    features, top_k, chunk_size=chunk_size
+                )
+            )
+            assert np.array_equal(candidate.indptr, reference.indptr)
+            assert np.array_equal(candidate.indices, reference.indices)
+            assert np.array_equal(candidate.data, reference.data), (
+                f"chunk_size={chunk_size} changed the data bits"
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(feature_matrices())
+    def test_columns_are_stochastic(self, bundle):
+        features, top_k = bundle
+        matrix = topk_cosine_transition_matrix(features, top_k, chunk_size=7)
+        col_sums = np.asarray(matrix.sum(axis=0)).ravel()
+        assert np.allclose(col_sums, 1.0)
+        assert matrix.data.min() >= 0.0
+
+
+class TestChunkSizeValidation:
+    @pytest.mark.parametrize("bad", [0, -1, -512])
+    def test_rejects_non_positive(self, bad):
+        features = np.eye(3)
+        with pytest.raises(ValidationError, match="chunk_size"):
+            topk_cosine_transition_matrix(features, 2, chunk_size=bad)
+
+    @pytest.mark.parametrize("bad", [2.5, "8", None, True])
+    def test_rejects_non_int(self, bad):
+        features = np.eye(3)
+        with pytest.raises(ValidationError):
+            topk_cosine_transition_matrix(features, 2, chunk_size=bad)
