@@ -1,6 +1,6 @@
 """Trace-overhead benchmark: observability must be free when disabled.
 
-Three guarantees are measured and asserted on a reference T-Mark fit
+Four guarantees are measured and asserted on a reference T-Mark fit
 (precomputed operators, fixed iteration count):
 
 1. **Disabled recorder <2%.**  With the default
@@ -18,7 +18,15 @@ Three guarantees are measured and asserted on a reference T-Mark fit
    already-traced emit block.  Comparing a probes-on traced fit against
    a probes-off traced fit isolates their cost, which must stay below
    5% of the traced fit wall-clock.  The probes are read-only, so all
-   three variants produce bit-identical scores (also asserted).
+   variants produce bit-identical scores (also asserted).
+4. **Spans-enabled tracing <=5% over untraced.**  An enabled recorder
+   now also collects hierarchical :func:`~repro.obs.spans.span` events
+   (``fit_chains`` inside the fit, plus whatever ambient span encloses
+   it).  The traced variant runs under an ambient root span so the full
+   span machinery — contextvar resolution, parent linkage, one emit per
+   close — is engaged, and its paired-median slowdown over the untraced
+   fit must stay within 5% (``spans_overhead_fraction``, recorded with
+   ``spans_enabled: true`` so the trajectory guard gates on it).
 
 Results append to ``BENCH_trace_overhead.json`` at the repo root — the
 start of the benchmark trajectory future perf PRs extend.
@@ -42,7 +50,8 @@ import numpy as np
 from repro.core import TMark
 from repro.core.tmark import build_operators
 from repro.datasets import make_dblp
-from repro.obs import JsonlTraceRecorder, read_trace, summarize_trace
+from repro.obs import JsonlTraceRecorder, read_trace, summarize_trace, use_recorder
+from repro.obs.spans import span
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_PATH = REPO_ROOT / "BENCH_trace_overhead.json"
@@ -120,7 +129,7 @@ def run_bench(trace_dir=None, repeats: int = 5, assert_results: bool = True) -> 
 
     _fit_once(train, operators)  # warm-up (allocator, caches)
     disabled_times, enabled_times, probed_times = [], [], []
-    model = probed_model = None
+    model = traced_model = probed_model = None
     last_trace = None
     for rep in range(repeats):  # interleaved rounds damp scheduler drift
         started = time.perf_counter()
@@ -128,8 +137,12 @@ def run_bench(trace_dir=None, repeats: int = 5, assert_results: bool = True) -> 
         disabled_times.append(time.perf_counter() - started)
         last_unprobed_trace = trace_dir / f"trace_unprobed_{rep}.jsonl"
         with JsonlTraceRecorder(last_unprobed_trace, probes=False) as recorder:
+            # The ambient root span makes this the full spans-enabled
+            # path: contextvar lookup, parent linkage for the nested
+            # fit_chains span, and one span event per close.
             started = time.perf_counter()
-            _fit_once(train, operators, recorder=recorder)
+            with use_recorder(recorder), span("bench_fit"):
+                traced_model = _fit_once(train, operators, recorder=recorder)
             enabled_times.append(time.perf_counter() - started)
         last_trace = trace_dir / f"trace_{rep}.jsonl"
         with JsonlTraceRecorder(last_trace, probes=True) as recorder:
@@ -142,20 +155,25 @@ def run_bench(trace_dir=None, repeats: int = 5, assert_results: bool = True) -> 
     enabled_best = min(enabled_times)
     probed_best = min(probed_times)
 
-    scores_identical = bool(
-        np.array_equal(
-            model.result_.node_scores, probed_model.result_.node_scores
+    def _same_scores(other) -> bool:
+        return bool(
+            np.array_equal(
+                model.result_.node_scores, other.result_.node_scores
+            )
+            and np.array_equal(
+                model.result_.relation_scores, other.result_.relation_scores
+            )
         )
-        and np.array_equal(
-            model.result_.relation_scores, probed_model.result_.relation_scores
-        )
-    )
+
+    scores_identical = _same_scores(probed_model)
+    traced_identical = _same_scores(traced_model)
 
     summary = summarize_trace(read_trace(last_trace))
     # Coverage is judged on the probes-off trace: probe reductions and
     # their event writes happen outside the phase timers by design, so
     # they would dilute the attribution they have no part in.
-    coverage = summarize_trace(read_trace(last_unprobed_trace)).phase_coverage
+    unprobed_summary = summarize_trace(read_trace(last_unprobed_trace))
+    coverage = unprobed_summary.phase_coverage
 
     guard_seconds = _disabled_guard_seconds(n_iterations)
     guard_fraction = guard_seconds / disabled_best
@@ -165,6 +183,11 @@ def run_bench(trace_dir=None, repeats: int = 5, assert_results: bool = True) -> 
     # a far tighter estimator than the ratio of the two minima.
     probe_fraction = float(
         np.median([p / e for p, e in zip(probed_times, enabled_times)])
+    ) - 1.0
+    # The same paired estimator for the spans-enabled traced fit against
+    # the untraced fit of the same round.
+    spans_fraction = float(
+        np.median([e / d for e, d in zip(enabled_times, disabled_times)])
     ) - 1.0
 
     results = {
@@ -178,7 +201,11 @@ def run_bench(trace_dir=None, repeats: int = 5, assert_results: bool = True) -> 
         "probed_seconds": probed_best,
         "tracing_overhead_fraction": enabled_best / disabled_best - 1.0,
         "probe_overhead_fraction": probe_fraction,
+        "spans_enabled": True,
+        "spans_overhead_fraction": spans_fraction,
+        "n_spans": unprobed_summary.n_spans,
         "probed_scores_identical": scores_identical,
+        "traced_scores_identical": traced_identical,
         "disabled_guard_seconds": guard_seconds,
         "disabled_guard_fraction": guard_fraction,
         "phase_coverage": coverage,
@@ -201,9 +228,21 @@ def run_bench(trace_dir=None, repeats: int = 5, assert_results: bool = True) -> 
             f"invariant probes cost {probe_fraction:.4%} on top of tracing "
             f"(limit 5%)"
         )
+        assert spans_fraction <= 0.05, (
+            f"spans-enabled tracing cost {spans_fraction:.4%} over the "
+            f"untraced fit (limit 5%)"
+        )
         assert scores_identical, (
             "probe-enabled fit diverged from the untraced fit (probes must "
             "be read-only)"
+        )
+        assert traced_identical, (
+            "spans-enabled traced fit diverged from the untraced fit "
+            "(tracing must never reorder a floating-point op)"
+        )
+        assert unprobed_summary.n_spans >= 2, (
+            f"expected at least the bench_fit and fit_chains spans in the "
+            f"traced fit, got {unprobed_summary.n_spans}"
         )
         assert summary.n_probes == n_iterations, (
             f"expected one invariant_probe per iteration, got "
@@ -231,6 +270,9 @@ def test_trace_overhead(tmp_path):
     assert results["trace_events"] > results["iterations"]
     assert results["n_probes"] == results["iterations"]
     assert results["probed_scores_identical"]
+    assert results["traced_scores_identical"]
+    assert results["spans_enabled"] is True
+    assert results["n_spans"] >= 2
 
 
 def main(argv=None) -> int:

@@ -44,6 +44,7 @@ from repro.errors import NotFittedError, ValidationError
 from repro.hin.graph import HIN
 from repro.obs.health import health_from_history
 from repro.obs.recorder import CHAIN_PHASES, PhaseTimer, get_recorder
+from repro.obs.spans import span
 from repro.solvers.base import (
     PLAIN_SOLVER,
     check_solver,
@@ -104,24 +105,25 @@ def build_operators(
     construction wall-clock split.
     """
     rec = get_recorder() if recorder is None else recorder
-    started = time.perf_counter()
-    o_tensor, r_tensor = build_transition_tensors(hin.tensor)
-    transition_done = time.perf_counter()
-    w_matrix = feature_transition_matrix(
-        hin.features, top_k=similarity_top_k, metric=similarity_metric
-    )
-    if rec.enabled:
-        feature_done = time.perf_counter()
-        rec.emit(
-            "operator_build",
-            n_nodes=hin.n_nodes,
-            n_relations=hin.n_relations,
-            similarity_top_k=similarity_top_k,
-            similarity_metric=similarity_metric,
-            transition_seconds=transition_done - started,
-            feature_seconds=feature_done - transition_done,
+    with span("build_operators", recorder=rec, n_nodes=hin.n_nodes):
+        started = time.perf_counter()
+        o_tensor, r_tensor = build_transition_tensors(hin.tensor)
+        transition_done = time.perf_counter()
+        w_matrix = feature_transition_matrix(
+            hin.features, top_k=similarity_top_k, metric=similarity_metric
         )
-        rec.count("operator_builds")
+        if rec.enabled:
+            feature_done = time.perf_counter()
+            rec.emit(
+                "operator_build",
+                n_nodes=hin.n_nodes,
+                n_relations=hin.n_relations,
+                similarity_top_k=similarity_top_k,
+                similarity_metric=similarity_metric,
+                transition_seconds=transition_done - started,
+                feature_seconds=feature_done - transition_done,
+            )
+            rec.count("operator_builds")
     return TMarkOperators(
         o_tensor=o_tensor,
         r_tensor=r_tensor,
@@ -531,10 +533,13 @@ class TMark:
                 previous = None
             if previous is not None:
                 starts = (previous.node_scores, previous.relation_scores)
-        node_scores, relation_scores, histories = self._run_chains_batched(
-            o_tensor, r_tensor, w_matrix, label_matrix, starts=starts,
-            recorder=rec, solver=solver_name,
-        )
+        with span(
+            "fit_chains", recorder=rec, n_classes=q, solver=solver_name
+        ):
+            node_scores, relation_scores, histories = self._run_chains_batched(
+                o_tensor, r_tensor, w_matrix, label_matrix, starts=starts,
+                recorder=rec, solver=solver_name,
+            )
         for c, history in enumerate(histories):
             if history.exhausted:
                 warnings.warn(

@@ -10,9 +10,11 @@ Usage::
     python -m repro.experiments run all
     python -m repro.experiments compare table3 [--trials 10]
     python -m repro.experiments tune dblp [--fraction 0.3]
-    python -m repro.experiments trace-summary PATH
+    python -m repro.experiments trace-summary PATH [--json]
     python -m repro.experiments health PATH [--tol 1e-8]
     python -m repro.experiments trace-diff OLD NEW [--threshold 0.2]
+    python -m repro.experiments obs export PATH [--chrome] [-o OUT]
+    python -m repro.experiments obs flight URL [--last N] [-o OUT]
     python -m repro.experiments stream [--deltas 50] [--batch-size 10]
                                        [--journal PATH] [--hin PATH]
                                        [--save-journal PATH] [--save-hin PATH]
@@ -41,7 +43,11 @@ the warm/cold exactness check fails, 4 when a reconvergence surfaced an
 unhealthy chain, 5 for unreadable input files; ``serve`` runs the
 :mod:`repro.serve` prediction daemon over a fitted streaming session
 (exit 4 when the background updater dies, 5 for unreadable inputs).
-``store`` manages the out-of-core tier (:mod:`repro.ooc`): ``build``
+``obs export`` converts a JSONL trace (gzipped or not) into Chrome
+trace-event JSON for ``ui.perfetto.dev``; ``obs flight`` pulls the ring
+buffer of a live daemon's flight recorder (``GET /debug/trace``) and
+summarizes or saves it — exit 1 for unreadable inputs/unreachable
+daemons.  ``store`` manages the out-of-core tier (:mod:`repro.ooc`): ``build``
 converts a HIN into a memory-mapped :class:`~repro.ooc.store.GraphStore`
 directory, ``synth`` generates a synthetic store directly on disk, and
 ``inspect`` prints (and with ``--verify`` re-hashes) a store's manifest
@@ -184,6 +190,51 @@ def _build_parser() -> argparse.ArgumentParser:
         help="aggregate a --trace JSONL file into a phase-time breakdown",
     )
     trace_summary.add_argument("path", help="a JSONL trace written by run --trace")
+    trace_summary.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the summary as machine-readable JSON instead of a table",
+    )
+    obs = sub.add_parser(
+        "obs",
+        help="operational trace tooling: Perfetto export and live "
+             "flight-recorder access",
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_export = obs_sub.add_parser(
+        "export",
+        help="convert a JSONL trace (.jsonl or .jsonl.gz) for ui.perfetto.dev",
+    )
+    obs_export.add_argument("path", help="a JSONL trace written by run --trace")
+    obs_export.add_argument(
+        "--chrome",
+        action="store_true",
+        help="Chrome trace-event JSON (the default and only format)",
+    )
+    obs_export.add_argument(
+        "-o", "--output", default=None, metavar="PATH",
+        help="output file (default: <trace>.chrome.json)",
+    )
+    obs_flight = obs_sub.add_parser(
+        "flight",
+        help="fetch a live daemon's flight-recorder ring via GET /debug/trace",
+    )
+    obs_flight.add_argument(
+        "url", help="daemon base URL, e.g. http://127.0.0.1:8731"
+    )
+    obs_flight.add_argument(
+        "--last", type=int, default=None, metavar="N",
+        help="only the N most recent ring events",
+    )
+    obs_flight.add_argument(
+        "--chrome",
+        action="store_true",
+        help="write Chrome trace-event JSON instead of JSONL (needs -o)",
+    )
+    obs_flight.add_argument(
+        "-o", "--output", default=None, metavar="PATH",
+        help="save the ring events (default: print a trace summary)",
+    )
     health = sub.add_parser(
         "health",
         help="per-class convergence verdicts for a --trace JSONL file",
@@ -276,8 +327,13 @@ def _run_one(experiment_id: str, args) -> None:
         kwargs["solver"] = args.solver
     if "store" in signature.parameters and getattr(args, "store", None):
         kwargs["store"] = args.store
+    from repro.obs import span
+
     started = time.perf_counter()
-    report = run_experiment(experiment_id, **kwargs)
+    # Root span of a traced run: every fit/pool/store event below shares
+    # its trace_id (no-op when --trace is absent).
+    with span("experiment", experiment=experiment_id):
+        report = run_experiment(experiment_id, **kwargs)
     elapsed = time.perf_counter() - started
     print(report)
     if args.save_dir:
@@ -286,6 +342,76 @@ def _run_one(experiment_id: str, args) -> None:
         for path in save_report(report, args.save_dir):
             print(f"[wrote {path}]")
     print(f"[{experiment_id} finished in {elapsed:.1f}s]\n")
+
+
+def _default_chrome_out(path):
+    """``trace.jsonl[.gz]`` -> ``trace.chrome.json`` (sibling file)."""
+    from pathlib import Path
+
+    path = Path(path)
+    name = path.name
+    for suffix in (".jsonl.gz", ".jsonl"):
+        if name.endswith(suffix):
+            return path.with_name(name[: -len(suffix)] + ".chrome.json")
+    return path.with_name(name + ".chrome.json")
+
+
+def _obs_cli(args) -> int:
+    """The ``obs`` subcommand: export / flight (exit 1 on bad input)."""
+    import os
+
+    from repro.obs import (
+        format_trace_summary,
+        read_trace,
+        summarize_trace,
+        write_chrome_trace,
+    )
+
+    if args.obs_command == "export":
+        if not os.path.exists(args.path):
+            print(f"no such trace file: {args.path}")
+            return 1
+        events = read_trace(args.path, strict=False)
+        out = args.output if args.output else _default_chrome_out(args.path)
+        write_chrome_trace(events, out)
+        print(f"[chrome trace: {len(events)} events -> {out}]")
+        print("[open in ui.perfetto.dev or chrome://tracing]")
+        return 0
+    if args.obs_command == "flight":
+        import json
+        import urllib.error
+        import urllib.request
+
+        url = args.url.rstrip("/") + "/debug/trace"
+        if args.last is not None:
+            url += f"?last={args.last}"
+        try:
+            with urllib.request.urlopen(url, timeout=10) as response:
+                body = json.loads(response.read().decode("utf-8"))
+        except (urllib.error.URLError, OSError, ValueError) as error:
+            print(f"could not fetch {url}: {error}")
+            return 1
+        events = body.get("events", [])
+        print(
+            f"[flight recorder: {len(events)} of {body.get('total_events', '?')} "
+            f"events (ring capacity {body.get('capacity', '?')}), "
+            f"snapshot v{body.get('snapshot_version', '?')}]"
+        )
+        if args.output and args.chrome:
+            write_chrome_trace(events, args.output)
+            print(f"[chrome trace -> {args.output}]")
+        elif args.output:
+            import gzip
+
+            opener = gzip.open if str(args.output).endswith(".gz") else open
+            with opener(args.output, "wt", encoding="utf-8") as handle:
+                for event in events:
+                    handle.write(json.dumps(event) + "\n")
+            print(f"[jsonl trace -> {args.output}]")
+        else:
+            print(format_trace_summary(summarize_trace(events)))
+        return 0
+    raise AssertionError(f"unhandled obs command {args.obs_command!r}")
 
 
 def _store_cli(args) -> int:
@@ -353,6 +479,8 @@ def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "store":
         return _store_cli(args)
+    if args.command == "obs":
+        return _obs_cli(args)
     if args.command == "list":
         for experiment_id in experiment_ids():
             print(f"{experiment_id:10s} {get_experiment(experiment_id).title}")
@@ -433,7 +561,13 @@ def main(argv=None) -> int:
             print(f"no such trace file: {args.path}")
             return 1
         events = read_trace(args.path, strict=False)
-        print(format_trace_summary(summarize_trace(events)))
+        summary = summarize_trace(events)
+        if args.json:
+            import json
+
+            print(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(format_trace_summary(summary))
         return 0
     if args.command == "health":
         import os

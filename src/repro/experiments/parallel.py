@@ -53,6 +53,7 @@ from repro.errors import ReproError, ValidationError
 from repro.hin.graph import HIN
 from repro.obs.metrics import MetricsRecorder, MetricsRegistry
 from repro.obs.recorder import NULL_RECORDER, ListRecorder, get_recorder
+from repro.obs.spans import SpanContext, activate_span, span
 from repro.utils.validation import check_positive_int
 
 
@@ -148,6 +149,10 @@ class _WorkerState:
     collect_events: bool
     collect_metrics: bool
     probes: bool
+    #: ``(trace_id, span_id)`` of the parent's pool span, shipped across
+    #: the fork so worker spans link back into the coordinator's trace
+    #: (``None`` when the parent is not tracing).
+    span_context: tuple[str, str] | None = None
 
 
 @dataclass
@@ -199,6 +204,14 @@ def _worker_recorder(state: _WorkerState):
     return recorder, events_sink, registry
 
 
+def _parent_span(state: _WorkerState) -> SpanContext | None:
+    """Rebuild the parent pool span's context from the shipped ids."""
+    if state.span_context is None:
+        return None
+    trace_id, span_id = state.span_context
+    return SpanContext(span_id=span_id, trace_id=trace_id)
+
+
 def _operator_pool(state: _WorkerState) -> dict | None:
     """This process's operator pool for the context graph (or ``None``)."""
     if not state.share_operators:
@@ -218,17 +231,22 @@ def _run_cell(spec: CellSpec) -> _Outcome:
         cell_seed_sequence(spec.base_entropy, spec.method, spec.fraction)
     )
     started = time.perf_counter()
-    result = evaluate_method(
-        state.hin,
-        state.factories[spec.method],
-        spec.fraction,
-        n_trials=spec.n_trials,
-        seed=cell_rng,
-        metric=spec.metric,
-        operator_pool=_operator_pool(state),
-        recorder=recorder,
-        method_name=spec.method,
-    )
+    with activate_span(_parent_span(state)):
+        with span(
+            "cell", recorder=recorder,
+            method=spec.method, fraction=spec.fraction,
+        ):
+            result = evaluate_method(
+                state.hin,
+                state.factories[spec.method],
+                spec.fraction,
+                n_trials=spec.n_trials,
+                seed=cell_rng,
+                metric=spec.metric,
+                operator_pool=_operator_pool(state),
+                recorder=recorder,
+                method_name=spec.method,
+            )
     return _Outcome(
         index=spec.index,
         payload=result,
@@ -249,18 +267,23 @@ def _run_trial(spec: TrialSpec) -> _Outcome:
         raise RuntimeError("worker context not initialized")
     recorder, events_sink, registry = _worker_recorder(state)
     started = time.perf_counter()
-    value = run_single_trial(
-        state.hin,
-        state.factories[spec.method],
-        spec.fraction,
-        trial=spec.index,
-        split_rng=spec.split_rng,
-        method_rng=spec.method_rng,
-        metric=spec.metric,
-        operator_pool=_operator_pool(state),
-        recorder=recorder,
-        method_name=spec.method,
-    )
+    with activate_span(_parent_span(state)):
+        with span(
+            "trial", recorder=recorder,
+            method=spec.method, fraction=spec.fraction, trial=spec.index,
+        ):
+            value = run_single_trial(
+                state.hin,
+                state.factories[spec.method],
+                spec.fraction,
+                trial=spec.index,
+                split_rng=spec.split_rng,
+                method_rng=spec.method_rng,
+                metric=spec.metric,
+                operator_pool=_operator_pool(state),
+                recorder=recorder,
+                method_name=spec.method,
+            )
     return _Outcome(
         index=spec.index,
         payload=value,
@@ -420,51 +443,60 @@ def run_grid_parallel(
             (name, fraction) for name in names for fraction in grid.fractions
         )
     ]
-    state = _WorkerState(
-        hin=hin,
-        factories=dict(methods),
-        fingerprint=graph_fingerprint(hin),
-        share_operators=share_operators,
-        collect_events=rec.enabled,
-        collect_metrics=metrics is not None,
-        # Mirror the serial path: a metrics-only run (no enabled event
-        # recorder) keeps MetricsRecorder's probes-on default; otherwise
-        # probes follow the event recorder's preference.
-        probes=(
-            bool(getattr(rec, "probes", False))
-            if rec.enabled
-            else metrics is not None
-        ),
-    )
-    _emit(
-        rec, fold, "pool_start",
-        workers=min(workers, len(specs)), n_cells=len(specs),
-        level="grid", start_method="fork",
-    )
-    for spec in specs:
-        _emit(rec, fold, "cell_dispatch", cell=spec.cell, index=spec.index)
-    outcomes = _run_pool(specs, _run_cell, state, workers)
-    for name in names:
-        grid.cells[name] = []
-    for spec, outcome in zip(specs, outcomes):
-        _replay_outcome(outcome, spec.cell, rec, metrics)
-        cell_result = outcome.payload
-        grid.cells[spec.method].append(cell_result)
-        _emit(
-            rec, fold, "grid_cell",
-            method=spec.method, fraction=spec.fraction, metric=metric,
-            mean=cell_result.mean, std=cell_result.std,
-            n_trials=cell_result.n_trials, seconds=outcome.seconds,
+    with span(
+        "pool", recorder=rec, level="grid", n_cells=len(specs),
+        workers=min(workers, len(specs)),
+    ) as pool_ctx:
+        state = _WorkerState(
+            hin=hin,
+            factories=dict(methods),
+            fingerprint=graph_fingerprint(hin),
+            share_operators=share_operators,
+            collect_events=rec.enabled,
+            collect_metrics=metrics is not None,
+            # Mirror the serial path: a metrics-only run (no enabled event
+            # recorder) keeps MetricsRecorder's probes-on default; otherwise
+            # probes follow the event recorder's preference.
+            probes=(
+                bool(getattr(rec, "probes", False))
+                if rec.enabled
+                else metrics is not None
+            ),
+            span_context=(
+                (pool_ctx.trace_id, pool_ctx.span_id)
+                if pool_ctx is not None
+                else None
+            ),
         )
-        if rec.enabled:
-            rec.count("grid_cells")
-        if fold is not None:
-            fold.count("grid_cells")
         _emit(
-            rec, fold, "cell_done",
-            cell=spec.cell, index=spec.index, worker=outcome.worker,
-            mean=cell_result.mean, seconds=outcome.seconds,
+            rec, fold, "pool_start",
+            workers=min(workers, len(specs)), n_cells=len(specs),
+            level="grid", start_method="fork",
         )
+        for spec in specs:
+            _emit(rec, fold, "cell_dispatch", cell=spec.cell, index=spec.index)
+        outcomes = _run_pool(specs, _run_cell, state, workers)
+        for name in names:
+            grid.cells[name] = []
+        for spec, outcome in zip(specs, outcomes):
+            _replay_outcome(outcome, spec.cell, rec, metrics)
+            cell_result = outcome.payload
+            grid.cells[spec.method].append(cell_result)
+            _emit(
+                rec, fold, "grid_cell",
+                method=spec.method, fraction=spec.fraction, metric=metric,
+                mean=cell_result.mean, std=cell_result.std,
+                n_trials=cell_result.n_trials, seconds=outcome.seconds,
+            )
+            if rec.enabled:
+                rec.count("grid_cells")
+            if fold is not None:
+                fold.count("grid_cells")
+            _emit(
+                rec, fold, "cell_done",
+                cell=spec.cell, index=spec.index, worker=outcome.worker,
+                mean=cell_result.mean, seconds=outcome.seconds,
+            )
     return grid
 
 
@@ -512,30 +544,39 @@ def run_trials_parallel(
         )
         for trial in range(n_trials)
     ]
-    state = _WorkerState(
-        hin=hin,
-        factories={name: method_factory},
-        fingerprint=graph_fingerprint(hin),
-        share_operators=share_operators,
-        collect_events=rec.enabled,
-        collect_metrics=False,
-        probes=bool(getattr(rec, "probes", False)) and rec.enabled,
-    )
-    _emit(
-        rec, None, "pool_start",
-        workers=min(workers, len(specs)), n_cells=len(specs),
-        level="trials", start_method="fork",
-    )
-    for spec in specs:
-        _emit(rec, None, "cell_dispatch", cell=spec.cell, index=spec.index)
-    outcomes = _run_pool(specs, _run_trial, state, workers)
-    values = []
-    for spec, outcome in zip(specs, outcomes):
-        _replay_outcome(outcome, spec.cell, rec, None)
-        values.append(float(outcome.payload))
-        _emit(
-            rec, None, "cell_done",
-            cell=spec.cell, index=spec.index, worker=outcome.worker,
-            value=float(outcome.payload), seconds=outcome.seconds,
+    with span(
+        "pool", recorder=rec, level="trials", n_cells=len(specs),
+        workers=min(workers, len(specs)),
+    ) as pool_ctx:
+        state = _WorkerState(
+            hin=hin,
+            factories={name: method_factory},
+            fingerprint=graph_fingerprint(hin),
+            share_operators=share_operators,
+            collect_events=rec.enabled,
+            collect_metrics=False,
+            probes=bool(getattr(rec, "probes", False)) and rec.enabled,
+            span_context=(
+                (pool_ctx.trace_id, pool_ctx.span_id)
+                if pool_ctx is not None
+                else None
+            ),
         )
+        _emit(
+            rec, None, "pool_start",
+            workers=min(workers, len(specs)), n_cells=len(specs),
+            level="trials", start_method="fork",
+        )
+        for spec in specs:
+            _emit(rec, None, "cell_dispatch", cell=spec.cell, index=spec.index)
+        outcomes = _run_pool(specs, _run_trial, state, workers)
+        values = []
+        for spec, outcome in zip(specs, outcomes):
+            _replay_outcome(outcome, spec.cell, rec, None)
+            values.append(float(outcome.payload))
+            _emit(
+                rec, None, "cell_done",
+                cell=spec.cell, index=spec.index, worker=outcome.worker,
+                value=float(outcome.payload), seconds=outcome.seconds,
+            )
     return values

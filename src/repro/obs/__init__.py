@@ -26,6 +26,7 @@ checks per iteration (bounded <2% by
 ``benchmarks/bench_trace_overhead.py``).
 """
 
+from repro.obs.chrome import chrome_trace, write_chrome_trace
 from repro.obs.diff import (
     TraceDiff,
     TraceDiffEntry,
@@ -64,6 +65,15 @@ from repro.obs.recorder import (
     get_recorder,
     use_recorder,
 )
+from repro.obs.flight import FlightRecorder, ResourceSampler, sample_process_stats
+from repro.obs.spans import (
+    SpanContext,
+    activate_span,
+    current_span,
+    current_span_id,
+    new_span_id,
+    span,
+)
 from repro.obs.summary import (
     TraceSummary,
     format_trace_summary,
@@ -84,6 +94,17 @@ __all__ = [
     "use_recorder",
     "JsonlTraceRecorder",
     "read_trace",
+    "SpanContext",
+    "span",
+    "activate_span",
+    "current_span",
+    "current_span_id",
+    "new_span_id",
+    "FlightRecorder",
+    "ResourceSampler",
+    "sample_process_stats",
+    "chrome_trace",
+    "write_chrome_trace",
     "TraceSummary",
     "summarize_trace",
     "format_trace_summary",

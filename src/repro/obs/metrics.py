@@ -464,6 +464,23 @@ class MetricsRecorder(Recorder):
             ).observe(seconds or 0.0)
             if int(fields.get("status", 200)) >= 400:
                 registry.counter("tmark_http_errors_total").inc()
+        elif event == "span":
+            registry.counter("tmark_spans_total").inc()
+            if "error" in fields:
+                registry.counter("tmark_span_errors_total").inc()
+        elif event == "resource_sample":
+            registry.gauge("tmark_rss_bytes").set(fields.get("rss_bytes", 0))
+            registry.gauge("tmark_max_rss_bytes").set(
+                fields.get("max_rss_bytes", 0)
+            )
+            registry.gauge("tmark_cpu_seconds").set(
+                float(fields.get("cpu_user_seconds", 0.0))
+                + float(fields.get("cpu_system_seconds", 0.0))
+            )
+            registry.gauge("tmark_gc_collections").set(
+                fields.get("gc_collections", 0)
+            )
+            registry.gauge("tmark_threads").set(fields.get("n_threads", 0))
         elif event == "snapshot_swap":
             registry.counter("tmark_snapshot_swaps_total").inc()
             registry.gauge("tmark_snapshot_version").set(fields.get("version", 0))

@@ -36,6 +36,10 @@ EVENT_TYPES = (
     "solver_restart",   # accelerator history reset: safeguard/label_update
     "store_save",       # GraphStore.save: path + shape + file count
     "store_open",       # GraphStore.open: path + shape + verify flag
+    "span",             # hierarchical span close: ids + duration + pid/tid
+    "resource_sample",  # periodic RSS / CPU / GC snapshot (flight sampler)
+    "http_request",     # one daemon request: endpoint + status + latency
+    "snapshot_swap",    # serving snapshot published: version + build time
 )
 
 #: The five per-iteration phases of ``TMark._run_chains_batched``.
@@ -102,6 +106,12 @@ class ListRecorder(Recorder):
     ``enabled=False`` builds a recorder that instrumented code must
     treat as a no-op — used to verify the hot paths really skip
     emission when disabled.
+
+    Like the file-backed sinks, events emitted while a
+    :func:`~repro.obs.spans.span` is active are tagged with its
+    ``span_id`` — pool workers collect into a ``ListRecorder``, so this
+    is what preserves causal links when their events are replayed into
+    the coordinator's trace.
     """
 
     def __init__(self, *, enabled: bool = True, probes: bool = True):
@@ -111,7 +121,14 @@ class ListRecorder(Recorder):
         self.events: list[dict] = []
 
     def emit(self, event: str, **fields) -> None:
-        self.events.append({"event": event, **fields})
+        # Lazy import: repro.obs.spans imports this module at load time.
+        from repro.obs.spans import current_span
+
+        record = {"event": event, **fields}
+        ctx = current_span()
+        if ctx is not None and "span_id" not in fields:
+            record["span_id"] = ctx.span_id
+        self.events.append(record)
 
     def events_of(self, event: str) -> list[dict]:
         """The recorded events of one type, in emission order."""

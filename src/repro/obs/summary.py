@@ -9,6 +9,7 @@ telemetry.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
 
@@ -48,6 +49,14 @@ class TraceSummary:
     solver_seconds: float = 0.0
     solver_names: set = field(default_factory=set)
     counters: dict[str, int] = field(default_factory=dict)
+    n_spans: int = 0
+    span_seconds: float = 0.0
+    span_names: set = field(default_factory=set)
+    trace_ids: set = field(default_factory=set)
+    n_resource_samples: int = 0
+    max_rss_bytes: int = 0
+    n_requests: int = 0
+    request_seconds: float = 0.0
 
     @property
     def phase_seconds(self) -> float:
@@ -63,6 +72,22 @@ class TraceSummary:
         if self.fit_seconds <= 0.0:
             return float("nan")
         return self.phase_seconds / self.fit_seconds
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable view (sets become sorted lists, NaN → None).
+
+        Backs ``trace-summary --json``; includes the derived
+        ``phase_seconds`` / ``phase_coverage`` so machine consumers need
+        no re-derivation.
+        """
+        data = {}
+        for spec in dataclasses.fields(self):
+            value = getattr(self, spec.name)
+            data[spec.name] = sorted(value) if isinstance(value, set) else value
+        data["phase_seconds"] = self.phase_seconds
+        coverage = self.phase_coverage
+        data["phase_coverage"] = None if math.isnan(coverage) else coverage
+        return data
 
 
 def summarize_trace(events) -> TraceSummary:
@@ -143,6 +168,22 @@ def summarize_trace(events) -> TraceSummary:
             summary.pool_cell_seconds += float(event.get("seconds", 0.0))
             if "worker" in event:
                 summary.pool_worker_pids.add(int(event["worker"]))
+        elif kind == "span":
+            summary.n_spans += 1
+            summary.span_seconds += float(event.get("seconds", 0.0))
+            summary.span_names.add(str(event.get("name", "?")))
+            if "trace_id" in event:
+                summary.trace_ids.add(str(event["trace_id"]))
+        elif kind == "resource_sample":
+            summary.n_resource_samples += 1
+            summary.max_rss_bytes = max(
+                summary.max_rss_bytes,
+                int(event.get("rss_bytes", 0)),
+                int(event.get("max_rss_bytes", 0)),
+            )
+        elif kind == "http_request":
+            summary.n_requests += 1
+            summary.request_seconds += float(event.get("seconds", 0.0))
         elif kind == "counters":
             for name, value in event.get("counters", {}).items():
                 summary.counters[name] = summary.counters.get(name, 0) + int(value)
@@ -214,6 +255,22 @@ def format_trace_summary(summary: TraceSummary) -> str:
             f"solver ({names}): {summary.n_solver_steps} accepted step(s), "
             f"{summary.n_solver_restarts} restart(s) "
             f"({summary.solver_seconds:.4f}s)"
+        )
+    if summary.n_spans:
+        names = ", ".join(sorted(summary.span_names))
+        lines.append(
+            f"spans: {summary.n_spans} across {len(summary.trace_ids)} "
+            f"trace(s) ({names}); {summary.span_seconds:.4f}s span-attributed"
+        )
+    if summary.n_resource_samples:
+        lines.append(
+            f"resource samples: {summary.n_resource_samples}; peak RSS "
+            f"{summary.max_rss_bytes / 1e6:.1f} MB"
+        )
+    if summary.n_requests:
+        lines.append(
+            f"http requests: {summary.n_requests} "
+            f"({summary.request_seconds:.4f}s)"
         )
     if summary.n_frozen_events:
         lines.append(f"frozen-column events: {summary.n_frozen_events}")

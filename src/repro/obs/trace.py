@@ -5,10 +5,17 @@ object with an ``event`` type and a monotonic ``ts`` (seconds since the
 recorder was opened) — so traces can be post-processed with nothing but
 ``json.loads`` per line.  No redaction, no binary framing, no schema
 registry: the events are small numeric records by construction.
+
+Paths ending in ``.gz`` are transparently gzip-compressed on write and
+decompressed on read (large out-of-core traces are multi-hundred-MB as
+plain text), and events emitted while a :func:`~repro.obs.spans.span`
+is active are tagged with its ``span_id`` so post-processing can
+reattach flat events to the causal tree.
 """
 
 from __future__ import annotations
 
+import gzip
 import json
 import time
 import warnings
@@ -16,6 +23,7 @@ from pathlib import Path
 
 from repro.errors import ValidationError
 from repro.obs.recorder import Recorder
+from repro.obs.spans import current_span
 
 #: Run-summary event types that trigger an immediate flush: they close a
 #: unit of work, so a crash right after one loses no completed results.
@@ -66,13 +74,19 @@ class JsonlTraceRecorder(Recorder):
         self.flush_every = check_positive_int(flush_every, "flush_every")
         self.probes = bool(probes)
         self.path = Path(path)
-        self._handle = open(self.path, "w", encoding="utf-8")
+        if self.path.suffix == ".gz":
+            self._handle = gzip.open(self.path, "wt", encoding="utf-8")
+        else:
+            self._handle = open(self.path, "w", encoding="utf-8")
         self._opened = time.perf_counter()
         self.n_events = 0
         self._unflushed = 0
 
     def emit(self, event: str, **fields) -> None:
         record = {"event": event, "ts": time.perf_counter() - self._opened}
+        ctx = current_span()
+        if ctx is not None and "span_id" not in fields:
+            record["span_id"] = ctx.span_id
         record.update(_jsonable(fields))
         self._handle.write(json.dumps(record) + "\n")
         self.n_events += 1
@@ -109,10 +123,22 @@ def read_trace(path, *, strict: bool = True) -> list[dict]:
     ``trace-diff``) can still read everything the run completed.
     Malformed lines anywhere else are real corruption and raise in both
     modes.
+
+    ``.gz`` paths are decompressed transparently; a corrupt gzip stream
+    raises :class:`~repro.errors.ValidationError`.
     """
     path = Path(path)
-    with open(path, encoding="utf-8") as handle:
-        lines = handle.readlines()
+    if path.suffix == ".gz":
+        try:
+            with gzip.open(path, "rt", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except (OSError, EOFError) as error:
+            raise ValidationError(
+                f"{path} is not a readable gzip file: {error}"
+            ) from None
+    else:
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.readlines()
     last_content = max(
         (i for i, line in enumerate(lines) if line.strip()), default=-1
     )

@@ -48,6 +48,7 @@ from repro.core.features import (
 )
 from repro.errors import ValidationError
 from repro.obs.recorder import get_recorder
+from repro.obs.spans import span
 from repro.ooc.operators import (
     DEFAULT_CHUNK_SIZE,
     ChunkedFeatureWalk,
@@ -405,14 +406,28 @@ def build_chunked_operators(
         if cached is not None:
             return _assemble(store, ops_dir, cached, chunk_size)
     ops_dir.mkdir(parents=True, exist_ok=True)
-    n_dangling = _build_o(store, ops_dir, chunk_size, rec)
-    n_linked_pairs = _build_r(store, ops_dir, chunk_size, rec)
-    if build_w:
-        w_mode = _build_w(
-            store, ops_dir, chunk_size, similarity_top_k, similarity_metric, rec
-        )
-    else:
-        w_mode = "none"
+    with span(
+        "build_chunked_operators",
+        recorder=rec,
+        n_nodes=store.n_nodes,
+        chunk_size=chunk_size,
+    ):
+        with span("build_o", recorder=rec):
+            n_dangling = _build_o(store, ops_dir, chunk_size, rec)
+        with span("build_r", recorder=rec):
+            n_linked_pairs = _build_r(store, ops_dir, chunk_size, rec)
+        if build_w:
+            with span("build_w", recorder=rec):
+                w_mode = _build_w(
+                    store,
+                    ops_dir,
+                    chunk_size,
+                    similarity_top_k,
+                    similarity_metric,
+                    rec,
+                )
+        else:
+            w_mode = "none"
     manifest = {
         "format_version": OPERATORS_FORMAT_VERSION,
         "store_fingerprint": store.store_fingerprint(),

@@ -33,6 +33,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qsl, urlsplit
 
 from repro.errors import ValidationError
+from repro.obs.flight import ResourceSampler
+from repro.obs.spans import span
 from repro.serve import handlers as h
 from repro.serve.snapshot import Snapshot
 from repro.stream.delta import as_batch
@@ -63,6 +65,16 @@ class PredictionDaemon:
     registry:
         Optional :class:`~repro.obs.metrics.MetricsRegistry` backing
         ``/metrics`` (a fresh one by default).
+    flight_capacity:
+        Ring size of the always-on
+        :class:`~repro.obs.flight.FlightRecorder` behind
+        ``GET /debug/trace``.
+    slow_request_seconds:
+        Threshold for the stderr slow-request log (``None`` disables).
+    sample_interval:
+        Period of the background resource sampler emitting
+        ``resource_sample`` events into the flight ring (``None``
+        disables sampling).
 
     Examples
     --------
@@ -86,6 +98,9 @@ class PredictionDaemon:
         solver: str | None = None,
         journal=None,
         registry=None,
+        flight_capacity: int = 2048,
+        slow_request_seconds: float | None = 1.0,
+        sample_interval: float | None = 1.0,
     ):
         if session.result is None:
             raise ValidationError(
@@ -99,6 +114,13 @@ class PredictionDaemon:
             Snapshot.from_session(session, version=0),
             registry=registry,
             enqueue_update=self._enqueue,
+            flight_capacity=flight_capacity,
+            slow_request_seconds=slow_request_seconds,
+        )
+        self._sampler = (
+            ResourceSampler(self.state.recorder, interval=sample_interval)
+            if sample_interval is not None
+            else None
         )
         self._queue: queue.Queue = queue.Queue()
         self._tickets = 0
@@ -149,10 +171,14 @@ class PredictionDaemon:
             daemon=True,
         )
         self._http_thread.start()
+        if self._sampler is not None:
+            self._sampler.start()
         return self
 
     def stop(self, *, timeout: float = 5.0) -> None:
         """Shut the listener down and drain the updater thread."""
+        if self._sampler is not None:
+            self._sampler.stop()
         if self._updater_thread is not None:
             self._queue.put(_STOP)
             self._updater_thread.join(timeout=timeout)
@@ -191,7 +217,7 @@ class PredictionDaemon:
             )
         self._tickets += 1
         ticket = self._tickets
-        self._queue.put(as_batch(deltas))
+        self._queue.put((ticket, as_batch(deltas)))
         self.state.registry.gauge("tmark_update_queue_depth").set(
             self._tickets - self._applied
         )
@@ -199,37 +225,45 @@ class PredictionDaemon:
 
     def _updater_loop(self) -> None:
         while True:
-            batch = self._queue.get()
-            if batch is _STOP:
+            item = self._queue.get()
+            if item is _STOP:
                 return
+            ticket, batch = item
             try:
-                self._apply_one(batch)
+                self._apply_one(ticket, batch)
             except Exception as exc:  # noqa: BLE001 — surfaced via flush()/update 503s
                 self._update_error = f"{type(exc).__name__}: {exc}"
                 self.state.registry.counter("tmark_update_failures_total").inc()
                 return
 
-    def _apply_one(self, batch) -> None:
+    def _apply_one(self, ticket: int, batch) -> None:
         started = time.perf_counter()
-        # Journal first: an accepted batch survives a crash mid-update.
-        self._log.extend(batch)
-        self._log.commit()
-        if self._journal_path is not None:
-            self._log.save(self._journal_path)
-        update = self._session.apply(batch, solver=self._solver)
-        snapshot = Snapshot.from_session(
-            self._session, version=self.state.snapshot.version + 1
-        )
+        rec = self.state.recorder
+        # The update span roots this batch's causal tree: apply_deltas /
+        # reconverge spans and their chain events nest under it in the
+        # flight ring.  The session recorder also folds delta_apply /
+        # reconverge events into the /metrics registry.
+        with span("update", recorder=rec, ticket=ticket, n_deltas=len(batch)):
+            # Journal first: an accepted batch survives a crash mid-update.
+            self._log.extend(batch)
+            self._log.commit()
+            if self._journal_path is not None:
+                self._log.save(self._journal_path)
+            update = self._session.apply(batch, solver=self._solver, recorder=rec)
+            snapshot = Snapshot.from_session(
+                self._session, version=self.state.snapshot.version + 1
+            )
         self._applied += 1
         self.state.swap(
-            snapshot, build_seconds=time.perf_counter() - started
+            snapshot,
+            build_seconds=time.perf_counter() - started,
+            reconverge_seconds=update.fit_seconds,
         )
         registry = self.state.registry
         registry.counter("tmark_updates_applied_total").inc()
         registry.gauge("tmark_update_queue_depth").set(
             self._tickets - self._applied
         )
-        registry.histogram("tmark_reconverge_seconds").observe(update.fit_seconds)
         if not update.converged:
             registry.counter("tmark_unconverged_reconverges_total").inc()
 
@@ -249,21 +283,39 @@ def _make_handler(state: h.ServingState):
             pass
 
         # -- plumbing ---------------------------------------------------
-        def _reply(self, endpoint: str, started: float, status: int, body) -> None:
+        def _reply(
+            self,
+            endpoint: str,
+            started: float,
+            status: int,
+            body,
+            *,
+            request_id: str | None = None,
+        ) -> None:
             if isinstance(body, str):
                 raw = body.encode("utf-8")
                 content_type = "text/plain; version=0.0.4; charset=utf-8"
             else:
+                if request_id is not None and isinstance(body, dict):
+                    body = {**body, "request_id": request_id}
                 raw = json.dumps(body).encode("utf-8")
                 content_type = "application/json"
+            # Observe before flushing the response: a client holding its
+            # reply is then guaranteed to find the matching
+            # ``http_request`` event in a /debug/trace dump.
+            state.observe_request(
+                endpoint,
+                time.perf_counter() - started,
+                status,
+                request_id=request_id,
+            )
             self.send_response(status)
             self.send_header("Content-Type", content_type)
+            if request_id is not None:
+                self.send_header("X-Request-Id", request_id)
             self.send_header("Content-Length", str(len(raw)))
             self.end_headers()
             self.wfile.write(raw)
-            state.observe_request(
-                endpoint, time.perf_counter() - started, status
-            )
 
         def _read_json(self):
             length = int(self.headers.get("Content-Length") or 0)
@@ -276,45 +328,60 @@ def _make_handler(state: h.ServingState):
                 return None
 
         # -- routing ----------------------------------------------------
-        def do_GET(self):  # noqa: N802 - stdlib naming
-            started = time.perf_counter()
-            url = urlsplit(self.path)
-            params = dict(parse_qsl(url.query))
-            if url.path == "/healthz":
-                self._reply("/healthz", started, *h.handle_healthz(state))
-            elif url.path == "/metrics":
-                self._reply("/metrics", started, *h.handle_metrics(state))
-            elif url.path == "/topk":
-                self._reply("/topk", started, *h.handle_topk(state, params))
-            elif url.path == "/relations":
-                self._reply(
-                    "/relations", started, *h.handle_relations(state, params)
-                )
-            else:
-                self._reply(
-                    url.path, started, 404, {"error": f"no such endpoint: {url.path}"}
-                )
-
-        def do_POST(self):  # noqa: N802 - stdlib naming
-            started = time.perf_counter()
-            url = urlsplit(self.path)
+        def _route(self, method: str, url) -> tuple[int, object]:
+            if method == "GET":
+                params = dict(parse_qsl(url.query))
+                if url.path == "/healthz":
+                    return h.handle_healthz(state)
+                if url.path == "/metrics":
+                    return h.handle_metrics(state)
+                if url.path == "/topk":
+                    return h.handle_topk(state, params)
+                if url.path == "/relations":
+                    return h.handle_relations(state, params)
+                if url.path == "/debug/trace":
+                    return h.handle_debug_trace(state, params)
+                if url.path == "/debug/vars":
+                    return h.handle_debug_vars(state)
+                return 404, {"error": f"no such endpoint: {url.path}"}
             payload = self._read_json()
             if payload is None:
-                self._reply(url.path, started, 400, {"error": "body must be JSON"})
-            elif url.path == "/classify":
-                self._reply(
-                    "/classify", started, *h.handle_classify(state, payload)
-                )
-            elif url.path == "/update":
+                return 400, {"error": "body must be JSON"}
+            if url.path == "/classify":
+                return h.handle_classify(state, payload)
+            if url.path == "/update":
                 try:
-                    status, body = h.handle_update(state, payload)
+                    return h.handle_update(state, payload)
                 except ValidationError as exc:
-                    status, body = 503, {"error": str(exc)}
-                self._reply("/update", started, status, body)
-            else:
-                self._reply(
-                    url.path, started, 404, {"error": f"no such endpoint: {url.path}"}
-                )
+                    return 503, {"error": str(exc)}
+            return 404, {"error": f"no such endpoint: {url.path}"}
+
+        def _serve_one(self, method: str) -> None:
+            started = time.perf_counter()
+            url = urlsplit(self.path)
+            # One span per request on this handler thread; its span_id
+            # is the request id echoed to the client (X-Request-Id
+            # header + "request_id" body field).
+            with span(
+                "request",
+                recorder=state.recorder,
+                endpoint=url.path,
+                method=method,
+            ) as ctx:
+                status, body = self._route(method, url)
+            self._reply(
+                url.path,
+                started,
+                status,
+                body,
+                request_id=ctx.span_id if ctx is not None else None,
+            )
+
+        def do_GET(self):  # noqa: N802 - stdlib naming
+            self._serve_one("GET")
+
+        def do_POST(self):  # noqa: N802 - stdlib naming
+            self._serve_one("POST")
 
     return Handler
 
@@ -380,7 +447,8 @@ def run_serve_cli(args) -> int:
     )
     print(
         "[endpoints: POST /classify, POST /update, GET /topk, "
-        "GET /relations, GET /metrics, GET /healthz]",
+        "GET /relations, GET /metrics, GET /healthz, "
+        "GET /debug/trace, GET /debug/vars]",
         flush=True,
     )
     if args.journal:

@@ -17,10 +17,12 @@ that object, so a concurrent swap can never produce a torn response.
 
 from __future__ import annotations
 
+import sys
 import threading
 import time
 
 from repro.errors import ValidationError
+from repro.obs.flight import FlightRecorder, sample_process_stats
 from repro.obs.metrics import MetricsRecorder, MetricsRegistry
 from repro.serve.snapshot import Snapshot
 from repro.stream.delta import GraphDelta
@@ -46,39 +48,97 @@ class ServingState:
         *,
         registry: MetricsRegistry | None = None,
         enqueue_update=None,
+        flight_capacity: int = 2048,
+        slow_request_seconds: float | None = 1.0,
     ):
         if not isinstance(snapshot, Snapshot):
             raise ValidationError(
                 f"expected a Snapshot, got {type(snapshot).__name__}"
             )
+        if slow_request_seconds is not None and not slow_request_seconds > 0:
+            raise ValidationError(
+                f"slow_request_seconds must be > 0 or None, "
+                f"got {slow_request_seconds!r}"
+            )
         self.snapshot = snapshot
         self.registry = MetricsRegistry() if registry is None else registry
         self.enqueue_update = enqueue_update
         self.started = time.time()
-        self._recorder = MetricsRecorder(self.registry)
+        self.last_swap = self.started
+        self.last_reconverge_seconds: float | None = None
+        self.slow_request_seconds = slow_request_seconds
+        # Always-on bounded telemetry: every event folds into the
+        # registry *and* lands in the flight ring served by /debug/trace.
+        self.flight = FlightRecorder(flight_capacity)
+        self._recorder = MetricsRecorder(self.registry, forward=self.flight)
         self._swap_lock = threading.Lock()
         self.registry.gauge("tmark_snapshot_version").set(snapshot.version)
         self.registry.gauge("tmark_snapshot_nodes").set(snapshot.n_nodes)
 
-    def swap(self, snapshot: Snapshot, *, build_seconds: float = 0.0) -> None:
+    @property
+    def recorder(self) -> MetricsRecorder:
+        """The daemon-wide recorder chain (registry fold -> flight ring).
+
+        The updater thread passes this into ``session.apply`` and the
+        handler threads open their per-request spans on it, so serving
+        telemetry is causally linked in one stream.
+        """
+        return self._recorder
+
+    def swap(
+        self,
+        snapshot: Snapshot,
+        *,
+        build_seconds: float = 0.0,
+        reconverge_seconds: float | None = None,
+    ) -> None:
         """Install a new snapshot (atomic reference assignment).
 
         The lock serialises *writers* only (there is normally exactly
         one — the updater thread); readers keep loading the attribute
-        lock-free.
+        lock-free.  ``reconverge_seconds`` records the producing refit's
+        wall clock for ``/healthz`` staleness reporting.
         """
         with self._swap_lock:
             self.snapshot = snapshot
+            self.last_swap = time.time()
+            if reconverge_seconds is not None:
+                self.last_reconverge_seconds = float(reconverge_seconds)
             self._recorder.emit(
                 "snapshot_swap", version=snapshot.version, seconds=build_seconds
             )
             self.registry.gauge("tmark_snapshot_nodes").set(snapshot.n_nodes)
 
-    def observe_request(self, endpoint: str, seconds: float, status: int) -> None:
-        """Fold one served request into the metrics registry."""
-        self._recorder.emit(
-            "http_request", endpoint=endpoint, seconds=seconds, status=status
-        )
+    def observe_request(
+        self,
+        endpoint: str,
+        seconds: float,
+        status: int,
+        *,
+        request_id: str | None = None,
+    ) -> None:
+        """Fold one served request into the metrics registry and ring.
+
+        Requests slower than ``slow_request_seconds`` are additionally
+        logged to stderr (with their id, so the line correlates with the
+        client's response) and counted as ``tmark_slow_requests_total``.
+        """
+        fields = {"endpoint": endpoint, "seconds": seconds, "status": status}
+        if request_id is not None:
+            fields["request_id"] = request_id
+        self._recorder.emit("http_request", **fields)
+        if (
+            self.slow_request_seconds is not None
+            and seconds >= self.slow_request_seconds
+        ):
+            self.registry.counter("tmark_slow_requests_total").inc()
+            print(
+                f"[slow-request] {endpoint} took {seconds:.3f}s "
+                f"(threshold {self.slow_request_seconds:g}s, status {status}"
+                + (f", request_id {request_id})" if request_id else ")"),
+                file=sys.stderr,
+                flush=True,
+            )
 
 
 # ----------------------------------------------------------------------
@@ -159,6 +219,12 @@ def handle_healthz(state: ServingState) -> tuple[int, dict]:
     200 when every chain of the producing fit is ``healthy``; 503
     otherwise (mirroring the ``health`` CLI's exit-4 semantics), with
     the per-class verdicts in the body either way.
+
+    ``snapshot_age_seconds`` (time since the served snapshot was
+    installed) and ``last_reconverge_seconds`` (wall clock of the refit
+    that produced it; ``None`` before the first update) let probes alert
+    on *staleness* — a daemon whose updater silently stopped swapping
+    still answers 200 here, but its age keeps growing.
     """
     snapshot = state.snapshot
     body = {
@@ -168,8 +234,62 @@ def handle_healthz(state: ServingState) -> tuple[int, dict]:
         "snapshot_version": snapshot.version,
         "n_nodes": snapshot.n_nodes,
         "uptime_seconds": time.time() - state.started,
+        "snapshot_age_seconds": time.time() - state.last_swap,
+        "last_reconverge_seconds": state.last_reconverge_seconds,
     }
     return (200 if snapshot.ready else 503), body
+
+
+def handle_debug_trace(state: ServingState, params) -> tuple[int, dict]:
+    """``GET /debug/trace?last=N`` — dump the flight-recorder ring.
+
+    Returns the most recent events (all of the ring by default, the
+    ``last`` newest with the parameter) as trace-event dicts: the same
+    schema a ``--trace`` JSONL file holds, so the dump feeds directly
+    into ``trace-summary`` / ``obs export --chrome`` (the ``obs
+    flight`` CLI wraps exactly that).
+    """
+    last = params.get("last")
+    if last is not None:
+        try:
+            last = int(last)
+        except (TypeError, ValueError):
+            return 400, {"error": f"last must be an integer, got {last!r}"}
+        if last < 0:
+            return 400, {"error": f"last must be >= 0, got {last}"}
+    events = state.flight.events(last)
+    return 200, {
+        "snapshot_version": state.snapshot.version,
+        "capacity": state.flight.capacity,
+        "total_events": state.flight.n_events,
+        "n_events": len(events),
+        "events": events,
+    }
+
+
+def handle_debug_vars(state: ServingState) -> tuple[int, dict]:
+    """``GET /debug/vars`` — live process and serving internals.
+
+    Process stats (RSS, CPU, GC, threads) sampled on demand plus the
+    serving-side gauges a quick ``curl`` diagnosis wants: snapshot
+    version/age, the last reconverge wall clock, and how much of the
+    flight ring is populated.
+    """
+    snapshot = state.snapshot
+    now = time.time()
+    body = dict(sample_process_stats())
+    body.update(
+        {
+            "uptime_seconds": now - state.started,
+            "snapshot_version": snapshot.version,
+            "snapshot_age_seconds": now - state.last_swap,
+            "last_reconverge_seconds": state.last_reconverge_seconds,
+            "n_nodes": snapshot.n_nodes,
+            "flight_capacity": state.flight.capacity,
+            "flight_total_events": state.flight.n_events,
+        }
+    )
+    return 200, body
 
 
 def handle_update(state: ServingState, payload) -> tuple[int, dict]:

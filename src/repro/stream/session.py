@@ -26,6 +26,7 @@ from repro.errors import ValidationError
 from repro.hin.graph import HIN
 from repro.obs.health import health_from_result, worst_status
 from repro.obs.recorder import get_recorder
+from repro.obs.spans import span
 from repro.stream.delta import as_batch
 from repro.stream.journal import DeltaLog
 from repro.stream.operators import IncrementalOperators
@@ -177,7 +178,8 @@ class StreamingSession:
         batch = as_batch(deltas)
         n_old = self.hin.n_nodes
         apply_started = time.perf_counter()
-        self._ops.apply(batch, recorder=rec)
+        with span("apply_deltas", recorder=rec, n_deltas=len(batch)):
+            self._ops.apply(batch, recorder=rec)
         apply_seconds = time.perf_counter() - apply_started
         n_new = self.hin.n_nodes
         if rec.enabled:
@@ -255,13 +257,14 @@ class StreamingSession:
         starts = self._warm_starts(n_now)
         warm = starts is not None
         fit_started = time.perf_counter()
-        self._model.fit(
-            self.hin,
-            starts=starts,
-            operators=self._ops.operators,
-            recorder=rec,
-            solver=solver,
-        )
+        with span("reconverge", recorder=rec, warm=warm, n_nodes=n_now):
+            self._model.fit(
+                self.hin,
+                starts=starts,
+                operators=self._ops.operators,
+                recorder=rec,
+                solver=solver,
+            )
         fit_seconds = time.perf_counter() - fit_started
         self._result = self._model.result_
         iterations = max(h.n_iterations for h in self._result.histories)

@@ -209,3 +209,106 @@ class TestTraceDiffCommand:
             warnings.simplefilter("ignore", RuntimeWarning)
             assert main(["trace-diff", str(example_trace), str(truncated)]) == 0
             assert main(["health", str(truncated)]) == 0
+
+
+class TestTraceSummaryJson:
+    def test_json_flag_emits_parseable_summary(self, capsys, example_trace):
+        import json
+
+        capsys.readouterr()
+        assert main(["trace-summary", str(example_trace), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["n_fits"] >= 1
+        assert summary["n_spans"] >= 2
+        assert isinstance(summary["span_names"], list)
+        assert "fit_chains" in summary["span_names"]
+        assert len(summary["trace_ids"]) == 1
+
+    def test_plain_summary_mentions_spans(self, capsys, example_trace):
+        capsys.readouterr()
+        assert main(["trace-summary", str(example_trace)]) == 0
+        assert "spans:" in capsys.readouterr().out
+
+
+class TestObsCommand:
+    def test_export_chrome_round_trips(self, capsys, example_trace, tmp_path):
+        import json
+
+        out = tmp_path / "trace.chrome.json"
+        capsys.readouterr()
+        assert main(
+            ["obs", "export", str(example_trace), "--chrome", "-o", str(out)]
+        ) == 0
+        assert "perfetto" in capsys.readouterr().out
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        events = payload["traceEvents"]
+        assert events
+        for entry in events:
+            assert "ph" in entry and "ts" in entry
+            assert "pid" in entry and "tid" in entry
+            if entry["ph"] == "X":
+                assert "dur" in entry
+        names = {e.get("name") for e in events if e.get("ph") == "X"}
+        assert {"fit", "fit_chains"} <= names
+
+    def test_export_default_output_path(self, capsys, example_trace):
+        assert main(["obs", "export", str(example_trace), "--chrome"]) == 0
+        out = example_trace.with_name("trace.chrome.json")
+        assert out.exists()
+
+    def test_export_reads_gz_traces(self, capsys, tmp_path):
+        import gzip
+        import json
+        import shutil
+
+        from repro.obs import read_trace
+
+        src = tmp_path / "trace.jsonl"
+        gz = tmp_path / "trace.jsonl.gz"
+        # Re-compress a tiny hand-written trace (cheaper than a rerun).
+        src.write_text(
+            '{"event": "fit", "ts": 1.0, "seconds": 0.5}\n', encoding="utf-8"
+        )
+        with open(src, "rb") as fin, gzip.open(gz, "wb") as fout:
+            shutil.copyfileobj(fin, fout)
+        assert read_trace(gz)  # sanity: the reader is gz-transparent
+        out = tmp_path / "out.json"
+        assert main(["obs", "export", str(gz), "--chrome", "-o", str(out)]) == 0
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert any(e.get("name") == "fit" for e in payload["traceEvents"])
+
+    def test_export_missing_file_exits_1(self, capsys, tmp_path):
+        assert main(["obs", "export", str(tmp_path / "nope.jsonl")]) == 1
+        assert "no such" in capsys.readouterr().out.lower()
+
+    def test_flight_unreachable_url_exits_1(self, capsys):
+        assert main(
+            ["obs", "flight", "http://127.0.0.1:1/does-not-exist"]
+        ) == 1
+        assert "could not fetch" in capsys.readouterr().out.lower()
+
+    def test_flight_pulls_a_live_daemon_ring(self, capsys, tmp_path):
+        import json
+
+        from repro.core.tmark import TMark
+        from repro.datasets import make_worked_example
+        from repro.serve import PredictionDaemon
+        from repro.stream import StreamingSession
+
+        session = StreamingSession(
+            make_worked_example(), TMark(update_labels=False)
+        )
+        session.fit()
+        daemon = PredictionDaemon(session).start()
+        try:
+            out = tmp_path / "flight.chrome.json"
+            assert main(
+                ["obs", "flight", daemon.url, "--chrome", "-o", str(out)]
+            ) == 0
+            payload = json.loads(out.read_text(encoding="utf-8"))
+            assert payload["traceEvents"]
+            capsys.readouterr()
+            assert main(["obs", "flight", daemon.url, "--last", "5"]) == 0
+            assert "events" in capsys.readouterr().out
+        finally:
+            daemon.stop()

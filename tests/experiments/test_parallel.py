@@ -207,6 +207,55 @@ class TestValidation:
             )
 
 
+class TestSpanPropagation:
+    def test_worker_spans_link_to_the_pool_span_across_forks(self, hin):
+        recorder = ListRecorder(probes=False)
+        grid = run_grid(
+            hin, methods(), FRACTIONS, n_trials=1, seed=2,
+            recorder=recorder, workers=2,
+        )
+        n_cells = len(grid_cells(grid))
+        spans = recorder.events_of("span")
+        (pool,) = [e for e in spans if e["name"] == "pool"]
+        cells = [e for e in spans if e["name"] == "cell"]
+        assert len(cells) == n_cells
+        # Every worker cell span re-rooted under the coordinator's pool
+        # span: parent/trace link across the fork boundary.
+        for cell in cells:
+            assert cell["parent_id"] == pool["span_id"]
+            assert cell["trace_id"] == pool["trace_id"]
+        # Ids are kernel-entropy, so fork workers cannot collide — all
+        # span ids are unique even across processes.
+        ids = [e["span_id"] for e in spans]
+        assert len(set(ids)) == len(ids)
+        # Worker spans carry the worker's own pid, distinct from the
+        # coordinator's.
+        worker_pids = {cell["pid"] for cell in cells}
+        assert pool["pid"] not in worker_pids
+        # Worker-side flat events are tagged with their enclosing cell
+        # span, so causality survives the replay into the parent trace.
+        cell_ids = {cell["span_id"] for cell in cells}
+        for event in recorder.events_of("fit"):
+            assert event["span_id"] in cell_ids
+
+    def test_trial_spans_link_in_trial_level_pool(self, hin):
+        from repro.experiments.parallel import run_trials_parallel
+        from repro.utils.rng import spawn_rngs
+
+        recorder = ListRecorder(probes=False)
+        run_trials_parallel(
+            hin, methods()[0][1], 0.3, rngs=spawn_rngs(5, 6),
+            workers=2, recorder=recorder,
+        )
+        spans = recorder.events_of("span")
+        (pool,) = [e for e in spans if e["name"] == "pool"]
+        assert pool["level"] == "trials"
+        trials = [e for e in spans if e["name"] == "trial"]
+        assert len(trials) == 3
+        assert {t["parent_id"] for t in trials} == {pool["span_id"]}
+        assert {t["trial"] for t in trials} == {0, 1, 2}
+
+
 class TestSpecsAndFingerprint:
     def test_cell_spec_tag(self):
         spec = CellSpec(

@@ -175,3 +175,63 @@ class TestReadTrace:
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             assert len(read_trace(path, strict=False)) == 1
+
+
+class TestGzipTransparency:
+    def test_gz_path_round_trips(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "trace.jsonl.gz"
+        with JsonlTraceRecorder(path) as recorder:
+            recorder.emit("fit", seconds=0.25, n_nodes=10)
+            recorder.emit("trial", trial=0, value=0.9)
+        # The file really is gzip (magic bytes), not plain text.
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            lines = handle.read().strip().splitlines()
+        assert len(lines) == 2
+        events = read_trace(path)
+        assert [e["event"] for e in events] == ["fit", "trial"]
+        assert events[0]["n_nodes"] == 10
+
+    def test_lenient_mode_works_on_gz(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "trace.jsonl.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write('{"event": "fit", "seconds": 0.1}\n{"event": "tr')
+        with pytest.warns(RuntimeWarning, match="truncated"):
+            events = read_trace(path, strict=False)
+        assert [e["event"] for e in events] == ["fit"]
+
+    def test_corrupt_gz_raises_validation_error(self, tmp_path):
+        path = tmp_path / "trace.jsonl.gz"
+        path.write_bytes(b"this is not gzip at all")
+        with pytest.raises(ValidationError, match="not a readable gzip"):
+            read_trace(path)
+
+
+class TestSpanTagging:
+    def test_events_inside_a_span_carry_its_id(self, tmp_path):
+        from repro.obs.spans import span
+
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceRecorder(path) as recorder:
+            recorder.emit("fit", seconds=0.1)
+            with span("outer", recorder=recorder) as ctx:
+                recorder.emit("reconverge", seconds=0.2)
+        events = read_trace(path)
+        by_event = {e["event"]: e for e in events}
+        assert "span_id" not in by_event["fit"]
+        assert by_event["reconverge"]["span_id"] == ctx.span_id
+        assert by_event["span"]["span_id"] == ctx.span_id
+
+    def test_explicit_span_id_is_not_overridden(self, tmp_path):
+        from repro.obs.spans import span
+
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceRecorder(path) as recorder:
+            with span("outer", recorder=recorder):
+                recorder.emit("fit", span_id="mine")
+        by_event = {e["event"]: e for e in read_trace(path)}
+        assert by_event["fit"]["span_id"] == "mine"

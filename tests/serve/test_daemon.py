@@ -232,3 +232,114 @@ class TestConcurrency:
             assert _post(daemon.url, "/classify", {"nodes": ["p1"]})[0] == 200
         finally:
             daemon.stop()
+
+
+def _get_with_headers(base, path):
+    with urllib.request.urlopen(base + path, timeout=10) as response:
+        return response.status, json.loads(response.read()), dict(response.headers)
+
+
+class TestRequestIds:
+    def test_request_id_echoed_in_body_and_header(self, daemon):
+        status, body, headers = _get_with_headers(daemon.url, "/healthz")
+        assert status == 200
+        assert body["request_id"]
+        assert headers["X-Request-Id"] == body["request_id"]
+
+    def test_request_id_matches_the_request_span(self, daemon):
+        _, body = _post(daemon.url, "/classify", {"nodes": ["p1"]})
+        request_id = body["request_id"]
+        spans = [
+            e
+            for e in daemon.state.flight.events()
+            if e["event"] == "span" and e.get("name") == "request"
+        ]
+        assert request_id in {e["span_id"] for e in spans}
+        (request_span,) = [e for e in spans if e["span_id"] == request_id]
+        assert request_span["endpoint"] == "/classify"
+        # The http_request event of the same request is tagged with it.
+        requests = [
+            e
+            for e in daemon.state.flight.events()
+            if e["event"] == "http_request"
+            and e.get("request_id") == request_id
+        ]
+        assert len(requests) == 1
+        assert requests[0]["status"] == 200
+
+    def test_concurrent_requests_get_unique_ids(self, daemon):
+        ids, errors = [], []
+        lock = threading.Lock()
+
+        def hit():
+            try:
+                _, body = _post(daemon.url, "/classify", {"nodes": ["p1"]})
+                with lock:
+                    ids.append(body["request_id"])
+            except Exception as exc:  # pragma: no cover - diagnostic
+                with lock:
+                    errors.append(exc)
+
+        threads = [threading.Thread(target=hit) for _ in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(ids) == 16
+        assert len(set(ids)) == 16
+        span_ids = {
+            e["span_id"]
+            for e in daemon.state.flight.events()
+            if e["event"] == "span" and e.get("name") == "request"
+        }
+        assert set(ids) <= span_ids
+
+
+class TestDebugEndpoints:
+    def test_debug_vars_over_http(self, daemon):
+        status, body = _get(daemon.url, "/debug/vars")
+        assert status == 200
+        assert body["pid"] > 0
+        assert body["snapshot_version"] == 0
+        assert body["snapshot_age_seconds"] >= 0.0
+        assert body["flight_capacity"] == daemon.state.flight.capacity
+
+    def test_debug_trace_over_http(self, daemon):
+        _get(daemon.url, "/healthz")  # populate the ring
+        status, body = _get(daemon.url, "/debug/trace")
+        assert status == 200
+        assert body["n_events"] >= 1
+        kinds = {e["event"] for e in body["events"]}
+        assert "span" in kinds or "http_request" in kinds
+
+    def test_debug_trace_last_param(self, daemon):
+        for _ in range(3):
+            _get(daemon.url, "/healthz")
+        status, body = _get(daemon.url, "/debug/trace?last=2")
+        assert status == 200
+        assert body["n_events"] == 2
+        status, body = _get(daemon.url, "/debug/trace?last=nope")
+        assert status == 400
+
+    def test_healthz_staleness_fields_over_http(self, daemon):
+        _, body = _get(daemon.url, "/healthz")
+        assert body["snapshot_age_seconds"] >= 0.0
+        assert body["last_reconverge_seconds"] is None
+
+    def test_update_records_reconverge_seconds(self, daemon):
+        delta = GraphDelta.set_label("p1", ["CV"]).to_dict()
+        status, _ = _post(daemon.url, "/update", {"deltas": [delta]})
+        assert status == 202
+        daemon.flush()
+        _, body = _get(daemon.url, "/healthz")
+        assert body["last_reconverge_seconds"] is not None
+        assert body["last_reconverge_seconds"] >= 0.0
+        # The update ran inside an "update" span on the flight ring.
+        updates = [
+            e
+            for e in daemon.state.flight.events()
+            if e["event"] == "span" and e.get("name") == "update"
+        ]
+        assert len(updates) == 1
+        assert updates[0]["n_deltas"] == 1

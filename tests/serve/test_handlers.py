@@ -8,6 +8,8 @@ from repro.errors import ValidationError
 from repro.serve import ServingState, Snapshot
 from repro.serve.handlers import (
     handle_classify,
+    handle_debug_trace,
+    handle_debug_vars,
     handle_healthz,
     handle_metrics,
     handle_relations,
@@ -139,3 +141,130 @@ class TestServingState:
     def test_rejects_non_snapshot(self):
         with pytest.raises(ValidationError, match="Snapshot"):
             ServingState("nope")
+
+
+class TestStalenessReporting:
+    def test_healthz_carries_staleness_fields(self, state):
+        _, body = handle_healthz(state)
+        assert body["snapshot_age_seconds"] >= 0.0
+        assert body["last_reconverge_seconds"] is None
+
+    def test_swap_resets_age_and_records_reconverge(self, state):
+        from dataclasses import replace
+
+        before = state.last_swap
+        new = replace(state.snapshot, version=1)
+        state.swap(new, build_seconds=0.1, reconverge_seconds=0.5)
+        assert state.last_swap >= before
+        _, body = handle_healthz(state)
+        assert body["last_reconverge_seconds"] == 0.5
+
+    def test_swap_without_reconverge_keeps_last_value(self, state):
+        from dataclasses import replace
+
+        state.swap(replace(state.snapshot, version=1), reconverge_seconds=0.5)
+        state.swap(replace(state.snapshot, version=2))
+        assert state.last_reconverge_seconds == 0.5
+
+
+class TestDebugTrace:
+    def test_dumps_the_flight_ring(self, state):
+        state.observe_request("/classify", 0.001, 200, request_id="aa")
+        status, body = handle_debug_trace(state, {})
+        assert status == 200
+        assert body["capacity"] == state.flight.capacity
+        assert body["total_events"] == body["n_events"] == 1
+        (event,) = body["events"]
+        assert event["event"] == "http_request"
+        assert event["request_id"] == "aa"
+
+    def test_last_parameter_takes_the_tail(self, state):
+        for index in range(5):
+            state.observe_request(f"/e{index}", 0.001, 200)
+        status, body = handle_debug_trace(state, {"last": "2"})
+        assert status == 200
+        assert body["n_events"] == 2
+        assert body["total_events"] == 5
+        assert [e["endpoint"] for e in body["events"]] == ["/e3", "/e4"]
+
+    @pytest.mark.parametrize("last", ["x", "-1", "1.5"])
+    def test_bad_last_is_400(self, state, last):
+        status, body = handle_debug_trace(state, {"last": last})
+        assert status == 400 and "error" in body
+
+
+class TestDebugVars:
+    def test_carries_process_and_serving_stats(self, state):
+        status, body = handle_debug_vars(state)
+        assert status == 200
+        for key in (
+            "pid",
+            "rss_bytes",
+            "cpu_user_seconds",
+            "gc_collections",
+            "n_threads",
+            "uptime_seconds",
+            "snapshot_version",
+            "snapshot_age_seconds",
+            "last_reconverge_seconds",
+            "n_nodes",
+            "flight_capacity",
+            "flight_total_events",
+        ):
+            assert key in body, key
+        assert body["snapshot_version"] == 0
+        assert body["flight_capacity"] == state.flight.capacity
+
+
+class TestSlowRequestLog:
+    def test_slow_request_logged_and_counted(self, capsys):
+        session = StreamingSession(
+            make_worked_example(), TMark(update_labels=False)
+        )
+        session.fit()
+        state = ServingState(
+            Snapshot.from_session(session), slow_request_seconds=0.01
+        )
+        state.observe_request("/classify", 0.5, 200, request_id="abcd")
+        err = capsys.readouterr().err
+        assert "[slow-request]" in err
+        assert "/classify" in err
+        assert "abcd" in err
+        assert state.registry.get("tmark_slow_requests_total").value == 1.0
+
+    def test_fast_request_not_logged(self, state, capsys):
+        state.observe_request("/classify", 0.0001, 200)
+        assert "[slow-request]" not in capsys.readouterr().err
+
+    def test_none_disables_the_log(self, capsys):
+        session = StreamingSession(
+            make_worked_example(), TMark(update_labels=False)
+        )
+        session.fit()
+        state = ServingState(
+            Snapshot.from_session(session), slow_request_seconds=None
+        )
+        state.observe_request("/classify", 99.0, 200)
+        assert "[slow-request]" not in capsys.readouterr().err
+
+    def test_threshold_validated(self):
+        session = StreamingSession(
+            make_worked_example(), TMark(update_labels=False)
+        )
+        session.fit()
+        with pytest.raises(ValidationError, match="slow_request_seconds"):
+            ServingState(
+                Snapshot.from_session(session), slow_request_seconds=0.0
+            )
+
+
+class TestRequestTelemetry:
+    def test_requests_land_in_ring_and_registry(self, state):
+        state.observe_request("/classify", 0.002, 200, request_id="ff")
+        assert state.registry.get(
+            "tmark_http_classify_requests_total"
+        ).value == 1.0
+        (event,) = state.flight.events()
+        assert event["event"] == "http_request"
+        assert event["seconds"] == 0.002
+        assert event["status"] == 200
