@@ -20,11 +20,21 @@ Entries missing a guarded field fail — a renamed field silently
 un-guarding a trajectory is exactly the regression mode this script
 exists to catch.
 
+Every file is checked even when an earlier one is missing, malformed or
+violated, so one nightly run reports the *complete* set of problems.
+The exit status tells the gate step which kind it saw:
+
+* ``0`` — every guard of every trajectory holds.
+* ``2`` — structural problem: no arguments, a missing file, unreadable
+  JSON, or a malformed guard (the gate could not fully evaluate).
+* ``3`` — one or more guard violations (all of them are listed).
+
+Structural problems take precedence: a run that could not check
+everything must not masquerade as a clean — or merely violated — one.
+
 Usage (nightly CI)::
 
     python benchmarks/check_trajectory.py BENCH_*.json
-
-Exit status 1 when any guard is violated, with one line per violation.
 """
 
 from __future__ import annotations
@@ -33,20 +43,33 @@ import json
 import sys
 from pathlib import Path
 
+#: Exit statuses (see the module docstring).
+EXIT_OK = 0
+EXIT_STRUCTURAL = 2
+EXIT_VIOLATIONS = 3
 
-def check_file(path: Path) -> list[str]:
-    """All guard violations in one trajectory file (empty = clean)."""
-    payload = json.loads(path.read_text(encoding="utf-8"))
+
+def check_file(path: Path) -> tuple[list[str], list[str]]:
+    """One trajectory's ``(violations, structural_errors)`` (empty = clean)."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [], [f"{path.name}: unreadable trajectory ({exc})"]
+    if not isinstance(payload, dict):
+        return [], [f"{path.name}: trajectory is not a JSON object"]
     guards = payload.get("guards", [])
     entries = payload.get("entries", [])
-    violations = []
+    violations: list[str] = []
+    structural: list[str] = []
     if not entries:
-        violations.append(f"{path.name}: trajectory has no entries")
+        structural.append(f"{path.name}: trajectory has no entries")
     for guard in guards:
-        field = guard.get("field")
-        if not field:
-            violations.append(f"{path.name}: guard without a 'field': {guard!r}")
+        if not isinstance(guard, dict) or not guard.get("field"):
+            structural.append(
+                f"{path.name}: guard without a 'field': {guard!r}"
+            )
             continue
+        field = guard["field"]
         for index, entry in enumerate(entries):
             stamp = entry.get("timestamp", f"entry {index}")
             gate = guard.get("gate")
@@ -73,36 +96,47 @@ def check_file(path: Path) -> list[str]:
                     f"{path.name} [{stamp}]: {field} = {value}, "
                     f"required <= {guard['max']}"
                 )
-    return violations
+    return violations, structural
 
 
 def main(argv=None) -> int:
     paths = [Path(arg) for arg in (argv if argv is not None else sys.argv[1:])]
     if not paths:
         print("usage: check_trajectory.py BENCH_*.json")
-        return 2
-    missing = [path for path in paths if not path.exists()]
-    if missing:
-        for path in missing:
-            print(f"no such trajectory file: {path}")
-        return 2
-    all_violations = []
+        return EXIT_STRUCTURAL
+    all_violations: list[str] = []
+    all_structural: list[str] = []
     for path in paths:
-        violations = check_file(path)
-        payload = json.loads(path.read_text(encoding="utf-8"))
+        if not path.exists():
+            print(f"{path.name}: MISSING")
+            all_structural.append(f"no such trajectory file: {path}")
+            continue
+        violations, structural = check_file(path)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            payload = {}
+        if not isinstance(payload, dict):
+            payload = {}
         n_guards = len(payload.get("guards", []))
         n_entries = len(payload.get("entries", []))
-        status = "FAIL" if violations else "ok"
+        status = "FAIL" if violations or structural else "ok"
         print(
             f"{path.name}: {n_entries} entries x {n_guards} guards — {status}"
         )
         all_violations.extend(violations)
-    if all_violations:
+        all_structural.extend(structural)
+    if all_violations or all_structural:
         print()
+        for problem in all_structural:
+            print(f"STRUCTURAL: {problem}")
         for violation in all_violations:
             print(f"VIOLATION: {violation}")
-        return 1
-    return 0
+    if all_structural:
+        return EXIT_STRUCTURAL
+    if all_violations:
+        return EXIT_VIOLATIONS
+    return EXIT_OK
 
 
 if __name__ == "__main__":

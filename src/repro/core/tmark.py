@@ -49,7 +49,7 @@ from repro.solvers.base import (
     PLAIN_SOLVER,
     check_solver,
     make_solver,
-    safeguard_proposal,
+    propose_safeguarded,
 )
 from repro.tensor.transition import build_transition_tensors
 from repro.utils.simplex import project_to_simplex, uniform_distribution
@@ -304,6 +304,8 @@ class TMark:
         operators=None,
         recorder=None,
         solver: str | None = None,
+        shards: int | None = None,
+        workers: int | None = None,
     ) -> "TMark":
         """Run the per-class chains on ``hin``.
 
@@ -349,6 +351,18 @@ class TMark:
             Per-fit override of the constructor's ``solver`` knob (one
             of :data:`repro.solvers.SOLVER_NAMES`); ``None`` keeps the
             constructor's choice.
+        shards:
+            Partition the node set into this many contiguous shards and
+            run the per-iteration propagation in fork-based worker
+            processes (see :mod:`repro.shard`).  ``None`` or ``1`` keeps
+            the serial chain runner untouched.  With in-memory operators
+            the sharded scores are bit-identical to the serial ones for
+            any shard count; where no fork pool can be built (platforms
+            without ``fork``, nested inside a pool worker) the fit warns
+            and runs serially with identical results.
+        workers:
+            Worker-process count for a sharded fit; defaults to
+            ``min(shards, available CPUs)``.  Ignored without ``shards``.
 
         Warns
         -----
@@ -386,6 +400,8 @@ class TMark:
             starts=starts,
             recorder=rec,
             solver=solver,
+            shards=shards,
+            workers=workers,
             _fit_started=fit_started,
         )
         self._hin = hin
@@ -403,6 +419,8 @@ class TMark:
         starts=None,
         recorder=None,
         solver: str | None = None,
+        shards: int | None = None,
+        workers: int | None = None,
         _fit_started: float | None = None,
     ) -> "TMark":
         """Run the per-class chains directly on a precomputed operator triple.
@@ -433,8 +451,11 @@ class TMark:
             Optional node names for the result (``None`` keeps the
             result free of per-node strings — the only sane choice at
             millions of nodes).
-        warm_start, starts, recorder, solver:
-            As in :meth:`fit`.
+        warm_start, starts, recorder, solver, shards, workers:
+            As in :meth:`fit`.  Chunked store-backed operators shard
+            along their on-disk column chunks (argmax-identical across
+            shard counts); in-memory operators shard along rows
+            (bit-identical).
 
         Returns
         -------
@@ -533,13 +554,39 @@ class TMark:
                 previous = None
             if previous is not None:
                 starts = (previous.node_scores, previous.relation_scores)
+        if shards is not None:
+            shards = check_positive_int(shards, "shards")
+        if shards is not None and shards > 1:
+            from repro.shard import shard_fallback_reason
+
+            reason = shard_fallback_reason()
+            if reason is not None:
+                warnings.warn(
+                    f"fit(shards={shards}) falling back to serial: {reason}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                shards = None
+        else:
+            shards = None
         with span(
             "fit_chains", recorder=rec, n_classes=q, solver=solver_name
         ):
-            node_scores, relation_scores, histories = self._run_chains_batched(
-                o_tensor, r_tensor, w_matrix, label_matrix, starts=starts,
-                recorder=rec, solver=solver_name,
-            )
+            if shards is not None:
+                from repro.shard import run_chains_sharded
+
+                node_scores, relation_scores, histories = run_chains_sharded(
+                    self, o_tensor, r_tensor, w_matrix, label_matrix,
+                    shards=shards, workers=workers, starts=starts,
+                    recorder=rec, solver=solver_name,
+                )
+            else:
+                node_scores, relation_scores, histories = (
+                    self._run_chains_batched(
+                        o_tensor, r_tensor, w_matrix, label_matrix,
+                        starts=starts, recorder=rec, solver=solver_name,
+                    )
+                )
         for c, history in enumerate(histories):
             if history.exhausted:
                 warnings.warn(
@@ -743,17 +790,16 @@ class TMark:
                 for idx, c in enumerate(active):
                     accelerator = solvers[c]
                     step_started = time.perf_counter() if timed else 0.0
-                    proposal = accelerator.propose(
+                    outcome, safe = propose_safeguarded(
+                        accelerator,
                         x_scores[:, c].copy(),
                         x_new[:, idx].copy(),
                         t=t,
                         residuals=histories[c].residuals,
                     )
-                    if proposal is None:
+                    if outcome == "none":
                         continue
-                    safe = safeguard_proposal(proposal)
-                    if safe is None:
-                        accelerator.rejected()
+                    if outcome == "rejected":
                         if timed:
                             rec.emit(
                                 "solver_restart",

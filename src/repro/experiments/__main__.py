@@ -144,6 +144,15 @@ def _build_parser() -> argparse.ArgumentParser:
              "RAM (experiments that support it, e.g. 'example'; the store "
              "is created there on first use)",
     )
+    run.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="K",
+        help="partition the fit into K node shards run by fork workers "
+             "(repro.shard; experiments that support it, e.g. 'example'; "
+             "scores are bit-identical to the serial fit)",
+    )
     store = sub.add_parser(
         "store",
         help="build, synthesise or inspect an out-of-core graph store "
@@ -327,6 +336,8 @@ def _run_one(experiment_id: str, args) -> None:
         kwargs["solver"] = args.solver
     if "store" in signature.parameters and getattr(args, "store", None):
         kwargs["store"] = args.store
+    if "shards" in signature.parameters and getattr(args, "shards", None):
+        kwargs["shards"] = args.shards
     from repro.obs import span
 
     started = time.perf_counter()

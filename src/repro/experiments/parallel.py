@@ -76,6 +76,16 @@ def fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+def in_worker() -> bool:
+    """Whether this process is a pool worker (nested pools are refused).
+
+    Shared with :mod:`repro.shard`: a sharded fit dispatched from inside
+    a grid/trial worker falls back to the serial chain runner, exactly
+    as a nested grid would.
+    """
+    return _STATE is not None
+
+
 def graph_fingerprint(hin: HIN) -> str:
     """A stable content hash of a HIN's structure, features and labels.
 

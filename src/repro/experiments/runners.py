@@ -519,7 +519,7 @@ def run_fig10(*, scale: float = 1.0, seed=0, fraction: float = 0.3) -> Experimen
 # ----------------------------------------------------------------------
 def run_example(
     *, scale: float = 1.0, seed=0, solver: str | None = None,
-    store: str | None = None,
+    store: str | None = None, shards: int | None = None,
 ) -> ExperimentReport:
     """The section 3.2 worked example: classify p3/p4 and rank relations.
 
@@ -535,6 +535,10 @@ def run_example(
     :class:`~repro.ooc.store.GraphStore` at that directory and fitted
     with :func:`~repro.ooc.fit.fit_from_store` — the CI smoke that the
     store-backed path stays argmax-identical to the in-memory one.
+
+    ``shards`` runs the fit sharded across fork workers (see
+    :mod:`repro.shard`) — the CI shard-invariance smoke compares this
+    experiment's sharded trace and report against the serial ones.
     """
     del scale, seed
     from repro.datasets.example import EXAMPLE_GROUND_TRUTH, make_worked_example
@@ -550,10 +554,13 @@ def run_example(
         else:
             graph_store = GraphStore.save(hin, store)
         model = fit_from_store(
-            graph_store, TMark(alpha=0.8, gamma=0.5), solver=solver
+            graph_store, TMark(alpha=0.8, gamma=0.5), solver=solver,
+            shards=shards,
         )
     else:
-        model = TMark(alpha=0.8, gamma=0.5).fit(hin, solver=solver)
+        model = TMark(alpha=0.8, gamma=0.5).fit(
+            hin, solver=solver, shards=shards
+        )
     predicted = {
         name: hin.label_names[model.predict()[idx]]
         for idx, name in enumerate(hin.node_names)

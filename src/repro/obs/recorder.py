@@ -32,6 +32,8 @@ EVENT_TYPES = (
     "pool_start",       # parallel pool opened: workers + cell count
     "cell_dispatch",    # one grid cell / trial handed to the pool
     "cell_done",        # one grid cell / trial merged back from a worker
+    "shard_dispatch",   # one node shard assigned to a sharded-fit worker
+    "boundary_exchange",  # per-iteration halo/fibre-mass shard exchange
     "solver_step",      # accelerator proposal accepted for one class
     "solver_restart",   # accelerator history reset: safeguard/label_update
     "store_save",       # GraphStore.save: path + shape + file count

@@ -38,6 +38,8 @@ def fit_from_store(
     recorder=None,
     rebuild_operators: bool = False,
     node_names: str = "auto",
+    shards: int | None = None,
+    workers: int | None = None,
     **model_params,
 ) -> TMark:
     """Fit T-Mark out-of-core against an on-disk graph store.
@@ -68,6 +70,14 @@ def fit_from_store(
     node_names:
         ``"auto"`` (attach names when ``n <= 100_000``), ``"always"``
         or ``"never"``.
+    shards, workers:
+        Run the per-iteration propagation sharded across fork workers
+        (see :mod:`repro.shard`).  Store-backed shards are contiguous
+        column ranges aligned to the operator cache's on-disk chunks —
+        shards map 1:1 onto chunk runs, so a multi-million-node store
+        streams multi-core with the same bounded residency per worker.
+        Partial products merge in fixed shard order: deterministic for
+        a given shard count, argmax-identical across counts.
 
     Returns
     -------
@@ -120,5 +130,7 @@ def fit_from_store(
         starts=starts,
         recorder=recorder,
         solver=solver,
+        shards=shards,
+        workers=workers,
     )
     return model

@@ -102,6 +102,37 @@ class ChunkedNodeTransition:
         indices, indptr = self._store_arrays(k)
         return self._data[k], indices, indptr
 
+    def relation_arrays(self, k: int):
+        """Relation ``k``'s on-disk CSC triple ``(data, indices, indptr)``.
+
+        The entry point for external chunk walkers (the sharded fit's
+        column workers): all three arrays are memmaps, so a fork worker
+        re-reads the same pages without any serialisation.
+        """
+        return self._relation(k)
+
+    @property
+    def nondangling_rows(self):
+        """The ``(m, n)`` boolean non-dangling indicator (memmap)."""
+        return self._nondangling
+
+    @property
+    def chunk_size(self) -> int:
+        """Columns per streamed block."""
+        return self._chunk
+
+    def column_nnz(self) -> np.ndarray:
+        """Per-column stored-entry counts summed over the relation slices.
+
+        The balanced-nnz shard planner's column weights — computed from
+        the (small) ``indptr`` arrays only, never touching the data.
+        """
+        weights = np.zeros(self._n, dtype=np.int64)
+        for k in range(self._m):
+            _, _, indptr = self._relation(k)
+            weights += np.diff(np.asarray(indptr, dtype=np.int64))
+        return weights
+
     @property
     def shape(self) -> tuple[int, int, int]:
         """Logical tensor shape ``(n, n, m)``."""
@@ -184,6 +215,36 @@ class ChunkedRelationTransition:
                 np.load(self._pair_files[1], mmap_mode="r"),
             )
         return self._pairs
+
+    def relation_arrays(self, k: int):
+        """Relation ``k``'s on-disk CSC triple ``(data, indices, indptr)``."""
+        return self._relation(k)
+
+    def pair_arrays(self):
+        """The linked-pair pattern's ``(indices, indptr)`` memmaps."""
+        return self._pair_arrays()
+
+    @property
+    def chunk_size(self) -> int:
+        """Columns per streamed block."""
+        return self._chunk
+
+    @property
+    def relation_nnz(self) -> tuple[int, ...]:
+        """Stored entries per relation slice (from the data file sizes)."""
+        return tuple(
+            int(self._relation(k)[0].size) for k in range(self._m)
+        )
+
+    def column_nnz(self) -> np.ndarray:
+        """Per-column entry counts over relation slices + pair pattern."""
+        weights = np.zeros(self._n, dtype=np.int64)
+        for k in range(self._m):
+            _, _, indptr = self._relation(k)
+            weights += np.diff(np.asarray(indptr, dtype=np.int64))
+        _, pair_indptr = self._pair_arrays()
+        weights += np.diff(np.asarray(pair_indptr, dtype=np.int64))
+        return weights
 
     @property
     def shape(self) -> tuple[int, int, int]:
@@ -275,6 +336,15 @@ class ChunkedFeatureWalk:
     def mode(self) -> str:
         """Storage mode: ``"dense"`` or ``"csc"``."""
         return self._mode
+
+    @property
+    def chunk_size(self) -> int:
+        """Columns per streamed block (csc mode)."""
+        return self._chunk
+
+    def arrays(self):
+        """The on-disk arrays: ``(w,)`` dense or ``(data, indices, indptr)``."""
+        return self._load()
 
     def _load(self):
         if self._arrays is None:

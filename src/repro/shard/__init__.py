@@ -1,0 +1,30 @@
+"""Sharded multi-process fits: contiguous node shards + fork workers.
+
+Public surface:
+
+* :func:`plan_shards` / :class:`ShardPlan` / :class:`Shard` — the
+  balanced-nnz contiguous partitioner (rows policy for in-memory
+  operators, chunk-aligned columns policy for store-backed ones).
+* :func:`run_chains_sharded` — the multi-process twin of the serial
+  chain runner (bit-identical scores under the rows policy for any
+  shard count).
+* :func:`shard_fallback_reason` — why sharding is unavailable here
+  (``None`` when it is); callers fall back to the serial path with a
+  ``RuntimeWarning`` exactly like the parallel grid does.
+
+Entry points thread through the stack: ``TMark.fit(shards=K,
+workers=N)``, :func:`repro.ooc.fit_from_store`,
+``StreamingSession.reconverge`` and the CLI's ``run --shards``.
+"""
+
+from repro.shard.engine import run_chains_sharded, shard_fallback_reason
+from repro.shard.plan import SHARD_POLICIES, Shard, ShardPlan, plan_shards
+
+__all__ = [
+    "SHARD_POLICIES",
+    "Shard",
+    "ShardPlan",
+    "plan_shards",
+    "run_chains_sharded",
+    "shard_fallback_reason",
+]

@@ -61,6 +61,32 @@ def safeguard_proposal(proposal: np.ndarray) -> np.ndarray | None:
     return clipped / total
 
 
+def propose_safeguarded(accelerator, x_prev, x_plain, *, t, residuals):
+    """One solver step: offer the pair, safeguard the proposal.
+
+    The shared per-class acceleration step of the serial and sharded
+    chain runners — both must apply the identical logic (and identical
+    floating-point operations) or accelerated sharded fits would drift
+    from serial ones.  Returns ``(outcome, column)`` where ``outcome``
+    is one of:
+
+    * ``"none"`` — the accelerator proposed nothing; keep the plain step;
+    * ``"rejected"`` — the safeguard refused the proposal; the
+      accelerator's history was restarted (``rejected()``) and the plain
+      step stands (the caller emits a ``solver_restart`` event);
+    * ``"accepted"`` — ``column`` is the safeguarded iterate to install
+      (the caller emits a ``solver_step`` event).
+    """
+    proposal = accelerator.propose(x_prev, x_plain, t=t, residuals=residuals)
+    if proposal is None:
+        return "none", None
+    safe = safeguard_proposal(proposal)
+    if safe is None:
+        accelerator.rejected()
+        return "rejected", None
+    return "accepted", safe
+
+
 class FixedPointAccelerator:
     """Base class for per-class chain accelerators.
 

@@ -142,17 +142,28 @@ class StreamingSession:
     # ------------------------------------------------------------------
     # Fitting
     # ------------------------------------------------------------------
-    def fit(self, *, recorder=None, solver: str | None = None) -> TMarkResult:
+    def fit(
+        self,
+        *,
+        recorder=None,
+        solver: str | None = None,
+        shards: int | None = None,
+        workers: int | None = None,
+    ) -> TMarkResult:
         """Cold-fit the model on the current graph and cache the result.
 
         ``solver`` optionally overrides the model's fixed-point solver
-        for this fit (see :mod:`repro.solvers`).
+        for this fit (see :mod:`repro.solvers`); ``shards`` / ``workers``
+        run the chains sharded across fork workers (see
+        :mod:`repro.shard` — bit-identical to the serial fit).
         """
         self._model.fit(
             self.hin,
             operators=self._ops.operators,
             recorder=recorder,
             solver=solver,
+            shards=shards,
+            workers=workers,
         )
         self._result = self._model.result_
         return self._result
@@ -164,6 +175,8 @@ class StreamingSession:
         refit: bool = True,
         recorder=None,
         solver: str | None = None,
+        shards: int | None = None,
+        workers: int | None = None,
     ) -> StreamUpdate:
         """Apply one delta batch: patch operators, warm-refit, report.
 
@@ -172,7 +185,8 @@ class StreamingSession:
         Emits a ``delta_apply`` event for the graph/operator update and a
         ``reconverge`` event for the refit on the given or ambient
         recorder.  ``solver`` optionally overrides the model's
-        fixed-point solver for the refit.
+        fixed-point solver for the refit; ``shards`` / ``workers`` run
+        the warm refit sharded (see :mod:`repro.shard`).
         """
         rec = get_recorder() if recorder is None else recorder
         batch = as_batch(deltas)
@@ -201,7 +215,7 @@ class StreamingSession:
         health: dict[str, str] = {}
         if refit:
             iterations, converged, warm, fit_seconds, health = self._refit(
-                rec, solver=solver
+                rec, solver=solver, shards=shards, workers=workers
             )
         update = StreamUpdate(
             batch_index=self._n_batches,
@@ -220,7 +234,12 @@ class StreamingSession:
         return update
 
     def reconverge(
-        self, *, recorder=None, solver: str | None = None
+        self,
+        *,
+        recorder=None,
+        solver: str | None = None,
+        shards: int | None = None,
+        workers: int | None = None,
     ) -> StreamUpdate:
         """Warm-refit the chains on the current graph, applying nothing.
 
@@ -231,11 +250,12 @@ class StreamingSession:
         one exists, emits the same ``reconverge`` event, and returns a
         :class:`StreamUpdate` with an empty delta half
         (``n_deltas=0``).  The batch counter does not advance: no batch
-        was applied.
+        was applied.  ``shards`` / ``workers`` run the warm refit
+        sharded across fork workers, bit-identical to the serial path.
         """
         rec = get_recorder() if recorder is None else recorder
         iterations, converged, warm, fit_seconds, health = self._refit(
-            rec, solver=solver
+            rec, solver=solver, shards=shards, workers=workers
         )
         return StreamUpdate(
             batch_index=self._n_batches,
@@ -251,7 +271,14 @@ class StreamingSession:
             health=health,
         )
 
-    def _refit(self, rec, *, solver: str | None = None):
+    def _refit(
+        self,
+        rec,
+        *,
+        solver: str | None = None,
+        shards: int | None = None,
+        workers: int | None = None,
+    ):
         """Warm-refit on the current graph; shared by apply/reconverge."""
         n_now = self.hin.n_nodes
         starts = self._warm_starts(n_now)
@@ -264,6 +291,8 @@ class StreamingSession:
                 operators=self._ops.operators,
                 recorder=rec,
                 solver=solver,
+                shards=shards,
+                workers=workers,
             )
         fit_seconds = time.perf_counter() - fit_started
         self._result = self._model.result_
@@ -289,7 +318,13 @@ class StreamingSession:
         return iterations, converged, warm, fit_seconds, health
 
     def replay(
-        self, log: DeltaLog, *, recorder=None, solver: str | None = None
+        self,
+        log: DeltaLog,
+        *,
+        recorder=None,
+        solver: str | None = None,
+        shards: int | None = None,
+        workers: int | None = None,
     ) -> list[StreamUpdate]:
         """Apply every batch of a :class:`DeltaLog` in order."""
         if not isinstance(log, DeltaLog):
@@ -297,7 +332,13 @@ class StreamingSession:
                 f"expected a DeltaLog, got {type(log).__name__}"
             )
         return [
-            self.apply(batch, recorder=recorder, solver=solver)
+            self.apply(
+                batch,
+                recorder=recorder,
+                solver=solver,
+                shards=shards,
+                workers=workers,
+            )
             for batch in log.batches()
         ]
 

@@ -158,6 +158,52 @@ class NodeTransitionTensor:
             raise ValidationError(f"relation index {k} out of range [0, {self._m})")
         return self._slices[k].copy()
 
+    @property
+    def relation_nnz(self) -> tuple[int, ...]:
+        """Stored entries per relation slice (``M_k.nnz``).
+
+        A slice with zero entries is skipped by :meth:`propagate_many`;
+        sharded row workers replicate exactly that skip condition, so
+        the *global* counts — not the per-shard ones — are what they
+        consult.
+        """
+        return tuple(int(slice_k.nnz) for slice_k in self._slices)
+
+    def row_blocks(self, start: int, stop: int) -> tuple[sp.csr_matrix, ...]:
+        """Rows ``[start, stop)`` of every relation slice, as CSR blocks.
+
+        CSR row slicing copies only the block's entries, and a sparse
+        row block times a dense matrix reproduces the corresponding rows
+        of the full product bit-for-bit — the property the sharded fit's
+        bit-identity contract rests on.
+        """
+        return tuple(slice_k[start:stop] for slice_k in self._slices)
+
+    def row_nnz(self) -> np.ndarray:
+        """Per-row stored-entry counts summed over all relation slices.
+
+        The balanced-nnz shard planner's row weights: row ``i``'s cost in
+        the O-propagation is proportional to its entries across slices.
+        """
+        weights = np.zeros(self._n, dtype=np.int64)
+        for slice_k in self._slices:
+            weights += np.diff(slice_k.indptr)
+        return weights
+
+    def dangling_mass(self, X: np.ndarray, Z: np.ndarray) -> np.ndarray:
+        """The per-column uncovered mass the uniform ``1/n`` fibres carry.
+
+        Exactly the correction term :meth:`propagate_many` adds (before
+        the ``1/n`` scaling): ``max(colsum(X) * colsum(Z) -
+        colsum(Z * (nd @ X)), 0)``.  Exposed so the sharded fit's
+        coordinator can compute the global scalar part of the
+        propagation itself — it is a column-global reduction that must
+        not be split across shards if bit-identity is to hold.
+        """
+        totals = _column_sums(X) * _column_sums(Z)
+        covered = _column_sums(Z * (self._nd_indicator @ X))
+        return np.maximum(totals - covered, 0.0)
+
     def propagate(self, x: np.ndarray, z: np.ndarray) -> np.ndarray:
         """Compute ``O x-bar_1 x x-bar_3 z`` (the contraction in Eq. 7/10).
 
@@ -199,9 +245,7 @@ class NodeTransitionTensor:
             contribution = slice_k @ X
             contribution *= Z[k]
             result += contribution
-        totals = _column_sums(X) * _column_sums(Z)
-        covered = _column_sums(Z * (self._nd_indicator @ X))
-        dangling = np.maximum(totals - covered, 0.0)
+        dangling = self.dangling_mass(X, Z)
         result += dangling / self._n
         return result
 
@@ -315,6 +359,33 @@ class RelationTransitionTensor:
         show how much of Eq. 8's mass flows through the correction.
         """
         return 1.0 - self.n_linked_pairs / (self._n * self._n)
+
+    @property
+    def relation_nnz(self) -> tuple[int, ...]:
+        """Stored entries per relation slice (``B_k.nnz``).
+
+        :meth:`propagate_many` writes a literal ``0.0`` row for an empty
+        slice instead of evaluating the bilinear form; the sharded fit's
+        coordinator consults these global counts to reproduce that exact
+        branch.
+        """
+        return tuple(int(slice_k.nnz) for slice_k in self._rel_slices)
+
+    def row_blocks(self, start: int, stop: int) -> tuple[sp.csr_matrix, ...]:
+        """Rows ``[start, stop)`` of every relation slice, as CSR blocks."""
+        return tuple(slice_k[start:stop] for slice_k in self._rel_slices)
+
+    def pair_rows(self, start: int, stop: int) -> sp.csr_matrix:
+        """Rows ``[start, stop)`` of the linked-pair indicator."""
+        return self._pair_indicator[start:stop]
+
+    def row_nnz(self) -> np.ndarray:
+        """Per-row entry counts over the relation slices + pair indicator."""
+        weights = np.zeros(self._n, dtype=np.int64)
+        for slice_k in self._rel_slices:
+            weights += np.diff(slice_k.indptr)
+        weights += np.diff(self._pair_indicator.indptr)
+        return weights
 
     def propagate(self, x: np.ndarray, y: np.ndarray | None = None) -> np.ndarray:
         """Compute ``R x-bar_1 x x-bar_2 y`` (the contraction in Eq. 8).

@@ -1,0 +1,146 @@
+"""Tests for the nightly bench gate (benchmarks/check_trajectory.py).
+
+The contract under test: the gate distinguishes structural problems
+(exit 2) from guard violations (exit 3), keeps checking every file after
+either kind of failure so one run reports the complete problem set, and
+honours the ``gate`` field that scopes hardware-dependent guards.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from check_trajectory import (  # noqa: E402
+    EXIT_OK,
+    EXIT_STRUCTURAL,
+    EXIT_VIOLATIONS,
+    check_file,
+    main,
+)
+
+
+def write_trajectory(path, *, guards, entries):
+    path.write_text(
+        json.dumps({"bench": path.stem, "guards": guards, "entries": entries})
+    )
+    return path
+
+
+@pytest.fixture
+def clean(tmp_path):
+    return write_trajectory(
+        tmp_path / "BENCH_clean.json",
+        guards=[
+            {"field": "identical", "equals": True},
+            {"field": "speedup", "min": 2.0, "gate": "multicore"},
+        ],
+        entries=[
+            {"timestamp": "t0", "identical": True, "speedup": 3.0,
+             "multicore": True},
+            {"timestamp": "t1", "identical": True, "speedup": 0.4,
+             "multicore": False},  # gated off: recorded, not asserted
+        ],
+    )
+
+
+@pytest.fixture
+def violated(tmp_path):
+    return write_trajectory(
+        tmp_path / "BENCH_violated.json",
+        guards=[
+            {"field": "identical", "equals": True},
+            {"field": "speedup", "min": 2.0},
+            {"field": "seconds", "max": 10.0},
+        ],
+        entries=[
+            {"timestamp": "t0", "identical": False, "speedup": 1.0,
+             "seconds": 60.0},
+            {"timestamp": "t1", "identical": True, "speedup": 5.0},
+        ],
+    )
+
+
+class TestCheckFile:
+    def test_clean_trajectory(self, clean):
+        violations, structural = check_file(clean)
+        assert violations == []
+        assert structural == []
+
+    def test_every_violation_listed(self, violated):
+        violations, structural = check_file(violated)
+        assert structural == []
+        # Entry t0 violates all three guards; entry t1 is missing the
+        # guarded 'seconds' field.  Nothing stops at the first hit.
+        assert len(violations) == 4
+        assert any("identical" in v for v in violations)
+        assert any("required >= 2.0" in v for v in violations)
+        assert any("required <= 10.0" in v for v in violations)
+        assert any("'seconds' missing" in v for v in violations)
+
+    def test_gate_skips_entries(self, clean):
+        violations, _ = check_file(clean)
+        assert not any("speedup" in v for v in violations)
+
+    def test_malformed_json_is_structural(self, tmp_path):
+        path = tmp_path / "BENCH_broken.json"
+        path.write_text("{not json")
+        violations, structural = check_file(path)
+        assert violations == []
+        assert len(structural) == 1
+        assert "unreadable" in structural[0]
+
+    def test_guard_without_field_is_structural(self, tmp_path):
+        path = write_trajectory(
+            tmp_path / "BENCH_nofield.json",
+            guards=[{"min": 2.0}],
+            entries=[{"timestamp": "t0", "speedup": 3.0}],
+        )
+        violations, structural = check_file(path)
+        assert violations == []
+        assert len(structural) == 1
+
+    def test_empty_trajectory_is_structural(self, tmp_path):
+        path = write_trajectory(
+            tmp_path / "BENCH_empty.json", guards=[], entries=[]
+        )
+        _, structural = check_file(path)
+        assert len(structural) == 1
+
+
+class TestExitCodes:
+    def test_ok(self, clean):
+        assert main([str(clean)]) == EXIT_OK
+
+    def test_violations_exit_3(self, clean, violated):
+        assert main([str(clean), str(violated)]) == EXIT_VIOLATIONS
+
+    def test_no_arguments_exit_2(self):
+        assert main([]) == EXIT_STRUCTURAL
+
+    def test_missing_file_exit_2(self, tmp_path, clean):
+        missing = tmp_path / "BENCH_missing.json"
+        assert main([str(clean), str(missing)]) == EXIT_STRUCTURAL
+
+    def test_structural_trumps_violations(self, tmp_path, violated):
+        broken = tmp_path / "BENCH_broken.json"
+        broken.write_text("{not json")
+        assert main([str(violated), str(broken)]) == EXIT_STRUCTURAL
+
+    def test_all_files_checked_after_failure(self, tmp_path, violated, capsys):
+        # A missing first file must not stop the later ones being read.
+        missing = tmp_path / "BENCH_missing.json"
+        exit_code = main([str(missing), str(violated)])
+        out = capsys.readouterr().out
+        assert exit_code == EXIT_STRUCTURAL
+        assert "BENCH_missing.json: MISSING" in out
+        assert "BENCH_violated.json" in out
+        assert out.count("VIOLATION:") == 4
+        assert out.count("STRUCTURAL:") == 1
+
+    def test_exit_codes_are_distinct(self):
+        assert len({EXIT_OK, EXIT_STRUCTURAL, EXIT_VIOLATIONS, 1}) == 4

@@ -1,0 +1,140 @@
+"""End-to-end sharded fits: store-backed, streaming and CLI surfaces.
+
+The contract under test: every entry point that grew a ``shards``
+parameter — ``fit_from_store``, ``StreamingSession`` refits and the
+``run example`` experiment — produces the same answer as its serial
+twin.  Store-backed shards use the ``"columns"`` policy (chunk-aligned
+partial products, argmax-identical); the in-memory surfaces stay
+bit-identical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_worked_example
+from repro.datasets.synthetic import RelationSpec, make_synthetic_hin
+from repro.experiments.parallel import fork_available
+from repro.ooc import GraphStore, fit_from_store
+from repro.ooc.build import build_chunked_operators
+from repro.shard import plan_shards
+from repro.stream import StreamingSession
+from repro.stream.delta import GraphDelta
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="sharded fit requires the fork start method"
+)
+
+
+@pytest.fixture(scope="module")
+def synthetic_hin():
+    return make_synthetic_hin(
+        48,
+        ["a", "b", "c"],
+        [
+            RelationSpec("strong", n_links=150, homophily=0.9),
+            RelationSpec("weak", n_links=60, homophily=0.6),
+        ],
+        seed=11,
+    )
+
+
+class TestColumnsPlan:
+    def test_store_operators_get_column_policy(self, tmp_path, synthetic_hin):
+        store = GraphStore.save(synthetic_hin, tmp_path / "store")
+        operators = build_chunked_operators(
+            store, chunk_size=8, build_w=False
+        )
+        plan = plan_shards(operators.o_tensor, operators.r_tensor, None, 3)
+        assert plan.policy == "columns"
+        assert plan.boundaries[0] == 0
+        assert plan.boundaries[-1] == store.n_nodes
+        for shard in plan.shards:
+            assert shard.halo_size == 0  # columns consume the full iterate
+        # Inner boundaries align to whole mmap chunks when possible.
+        for boundary in plan.boundaries[1:-1]:
+            assert boundary % 8 == 0
+
+
+class TestStoreBackedFit:
+    @pytest.mark.parametrize("gamma", [0.0, 0.4], ids=["no-walk", "walk"])
+    def test_sharded_store_fit_matches_serial(
+        self, tmp_path, synthetic_hin, gamma
+    ):
+        store = GraphStore.save(synthetic_hin, tmp_path / "store")
+        serial = fit_from_store(
+            store, alpha=0.8, gamma=gamma, chunk_size=8
+        )
+        sharded = fit_from_store(
+            store, alpha=0.8, gamma=gamma, chunk_size=8, shards=2, workers=2
+        )
+        assert np.array_equal(serial.predict(), sharded.predict())
+        assert np.allclose(
+            serial.result_.node_scores,
+            sharded.result_.node_scores,
+            atol=1e-8,
+        )
+        assert np.allclose(
+            serial.result_.relation_scores,
+            sharded.result_.relation_scores,
+            atol=1e-8,
+        )
+
+    def test_worked_example_store_fit(self, tmp_path):
+        hin = make_worked_example()
+        store = GraphStore.save(hin, tmp_path / "store")
+        serial = fit_from_store(store, alpha=0.8, gamma=0.5, chunk_size=2)
+        sharded = fit_from_store(
+            store, alpha=0.8, gamma=0.5, chunk_size=2, shards=2
+        )
+        assert np.array_equal(serial.predict(), sharded.predict())
+
+
+class TestStreaming:
+    def test_reconverge_sharded_bit_identical(self):
+        serial = StreamingSession(make_worked_example())
+        sharded = StreamingSession(make_worked_example())
+        serial.fit()
+        sharded.fit(shards=2, workers=2)
+        assert np.array_equal(
+            serial.result.node_scores, sharded.result.node_scores
+        )
+        u_serial = serial.reconverge()
+        u_sharded = sharded.reconverge(shards=2, workers=2)
+        assert u_serial.iterations == u_sharded.iterations
+        assert u_sharded.warm
+        assert np.array_equal(
+            serial.result.node_scores, sharded.result.node_scores
+        )
+        assert np.array_equal(
+            serial.result.relation_scores, sharded.result.relation_scores
+        )
+
+    def test_apply_sharded_bit_identical(self):
+        serial = StreamingSession(make_worked_example())
+        sharded = StreamingSession(make_worked_example())
+        serial.fit()
+        sharded.fit()
+        deltas = [GraphDelta.set_label("p2", ["DM"])]
+        serial.apply(deltas)
+        sharded.apply(deltas, shards=2, workers=2)
+        assert np.array_equal(
+            serial.result.node_scores, sharded.result.node_scores
+        )
+
+
+class TestExperimentSurface:
+    def test_run_example_sharded_matches_serial(self):
+        from repro.experiments.runners import run_example
+
+        serial = run_example()
+        sharded = run_example(shards=2)
+        assert sharded.data["predicted"] == serial.data["predicted"]
+        assert sharded.data["rankings"] == serial.data["rankings"]
+        assert sharded.data["correct"] == serial.data["correct"]
+
+    def test_run_example_sharded_store(self, tmp_path):
+        from repro.experiments.runners import run_example
+
+        serial = run_example()
+        sharded = run_example(shards=2, store=str(tmp_path / "store"))
+        assert sharded.data["predicted"] == serial.data["predicted"]

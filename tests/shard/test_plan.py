@@ -1,0 +1,114 @@
+"""Tests for shard planning (repro.shard.plan).
+
+The contract under test: a plan covers the node axis with contiguous,
+non-overlapping, non-empty ranges in index order; the halo of a rows
+shard is exactly the out-of-range node set its operator blocks read; and
+degenerate requests (more shards than nodes, unknown operator kinds)
+degrade or fail loudly instead of producing broken partitions.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.features import feature_transition_matrix
+from repro.errors import ValidationError
+from repro.shard import SHARD_POLICIES, plan_shards
+from repro.tensor.transition import build_transition_tensors
+from tests.conftest import small_labeled_hin
+
+
+@pytest.fixture(scope="module")
+def operators():
+    hin = small_labeled_hin(seed=3, n=40, q=3)
+    o_tensor, r_tensor = build_transition_tensors(hin.tensor)
+    w_dense = feature_transition_matrix(hin.features)
+    w_sparse = feature_transition_matrix(hin.features, top_k=5)
+    return o_tensor, r_tensor, w_dense, w_sparse
+
+
+class TestRowsPolicy:
+    def test_policies_constant(self):
+        assert SHARD_POLICIES == ("rows", "columns")
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 7])
+    def test_covers_node_axis_contiguously(self, operators, k):
+        o_tensor, r_tensor, _, w_sparse = operators
+        plan = plan_shards(o_tensor, r_tensor, w_sparse, k)
+        assert plan.policy == "rows"
+        assert plan.n == o_tensor.shape[0]
+        assert 1 <= plan.n_shards <= k
+        assert plan.boundaries[0] == 0
+        assert plan.boundaries[-1] == plan.n
+        for index, shard in enumerate(plan.shards):
+            assert shard.index == index
+            assert shard.start < shard.stop  # non-empty
+            assert shard.stop == plan.boundaries[index + 1]
+            assert shard.size == shard.stop - shard.start
+
+    def test_more_shards_than_nodes_caps(self, operators):
+        o_tensor, r_tensor, _, w_sparse = operators
+        plan = plan_shards(o_tensor, r_tensor, w_sparse, 1000)
+        assert plan.n_shards <= o_tensor.shape[0]
+        assert plan.boundaries[-1] == plan.n
+
+    def test_nnz_balance(self, operators):
+        o_tensor, r_tensor, _, w_sparse = operators
+        plan = plan_shards(o_tensor, r_tensor, w_sparse, 4)
+        loads = [shard.nnz for shard in plan.shards]
+        # Contiguous balanced-prefix splits cannot be perfect, but on a
+        # near-uniform graph no shard should carry twice the mean load.
+        assert max(loads) <= 2 * sum(loads) / len(loads)
+        assert min(loads) > 0
+
+    def test_halo_is_out_of_range_block_columns(self, operators):
+        o_tensor, r_tensor, _, w_sparse = operators
+        plan = plan_shards(o_tensor, r_tensor, w_sparse, 3)
+        assert plan.halo_total == sum(s.halo_size for s in plan.shards)
+        for shard in plan.shards:
+            halo = shard.halo
+            assert np.array_equal(halo, np.unique(halo))  # sorted, unique
+            in_range = (halo >= shard.start) & (halo < shard.stop)
+            assert not in_range.any()
+            # Recompute the reference set from the raw blocks.
+            columns = []
+            for block in o_tensor.row_blocks(shard.start, shard.stop):
+                columns.append(block.indices)
+            for block in r_tensor.row_blocks(shard.start, shard.stop):
+                columns.append(block.indices)
+            columns.append(r_tensor.pair_rows(shard.start, shard.stop).indices)
+            w_block = w_sparse.tocsr()[shard.start : shard.stop]
+            columns.append(w_block.indices)
+            reference = np.unique(np.concatenate(columns))
+            reference = reference[
+                (reference < shard.start) | (reference >= shard.stop)
+            ]
+            assert np.array_equal(halo, reference)
+
+    def test_dense_w_halo_is_everything_else(self, operators):
+        o_tensor, r_tensor, w_dense, _ = operators
+        assert not sp.issparse(w_dense)
+        plan = plan_shards(o_tensor, r_tensor, w_dense, 2)
+        n = plan.n
+        for shard in plan.shards:
+            assert shard.halo_size == n - shard.size
+
+    def test_no_w_shrinks_halo(self, operators):
+        o_tensor, r_tensor, w_dense, _ = operators
+        with_w = plan_shards(o_tensor, r_tensor, w_dense, 2)
+        without = plan_shards(o_tensor, r_tensor, None, 2)
+        assert without.halo_total <= with_w.halo_total
+
+
+class TestValidation:
+    def test_zero_shards_rejected(self, operators):
+        o_tensor, r_tensor, _, w_sparse = operators
+        with pytest.raises(ValidationError):
+            plan_shards(o_tensor, r_tensor, w_sparse, 0)
+
+    def test_unknown_operator_kind_rejected(self):
+        class Mystery:
+            shape = (4, 4, 2)
+
+        with pytest.raises(ValidationError, match="neither row_blocks"):
+            plan_shards(Mystery(), Mystery(), None, 2)
